@@ -1,0 +1,45 @@
+"""Figure 4: percentage of data cache misses in read chains.
+
+A read chain is a string of reads to a page from one processor terminated
+by a write from any processor; the fraction of misses in long chains
+measures how much a workload can gain from replication.
+
+Paper shape: raytrace has ~60 % of its data misses in chains of 512+;
+splash ~30 %; the database curve collapses early (its hot pages are
+write-shared).
+"""
+
+from conftest import USER_WORKLOADS
+
+from repro.analysis.readchains import DEFAULT_THRESHOLDS, chain_survival
+from repro.analysis.tables import format_series
+
+
+def test_fig4_read_chain_survival(store, emit, once):
+    def compute():
+        series = {}
+        for name in USER_WORKLOADS:
+            _, trace = store.workload(name)
+            series[name] = [
+                (float(t), fraction * 100)
+                for t, fraction in chain_survival(
+                    trace.user_only(), DEFAULT_THRESHOLDS
+                )
+            ]
+        return series
+
+    series = once(compute)
+    emit(
+        "fig4_read_chains",
+        format_series(
+            "Figure 4: % of data misses in read chains >= L "
+            "(paper: raytrace ~60% at 512, splash ~30%)",
+            "chain length",
+            series,
+        ),
+    )
+    at_512 = {name: dict(points)[512.0] for name, points in series.items()}
+    assert 40 < at_512["raytrace"] < 80
+    assert 15 < at_512["splash"] < 50
+    assert at_512["database"] < 25
+    assert at_512["raytrace"] > at_512["splash"] > at_512["database"]

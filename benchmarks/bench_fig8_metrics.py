@@ -1,0 +1,87 @@
+"""Figure 8: performance impact of approximate information.
+
+The combined policy driven by full cache misses (FC), 1-in-10 sampled
+cache misses (SC), full TLB misses (FT) and sampled TLB misses (ST).
+
+Paper: SC is *identical* to FC for every workload — the basis of the
+recommendation that future machines support sampled miss counting — while
+TLB information is effective for some workloads but clearly not for
+engineering (whose gains come from replicating hot code pages that stay
+TLB-resident and are therefore invisible in the TLB-miss stream).
+"""
+
+from conftest import USER_WORKLOADS
+
+from repro.analysis.tables import format_bar_figure, format_table
+from repro.policy.metrics import ALL_METRICS
+from repro.policy.parameters import PolicyParameters
+from repro.trace.policysim import PolicySimConfig, TracePolicySimulator
+
+
+def test_fig8_approximate_information(store, emit, once):
+    def compute():
+        out = {}
+        for name in USER_WORKLOADS:
+            spec, trace = store.workload(name)
+            user = trace.user_only()
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+            )
+            trigger = 96 if name == "engineering" else 128
+            params = PolicyParameters.base(trigger_threshold=trigger)
+            out[name] = {
+                metric.label: sim.simulate_dynamic(
+                    user, params, metric=metric, label=metric.label
+                )
+                for metric in ALL_METRICS
+            }
+        return out
+
+    all_results = once(compute)
+    rows = []
+    for name, results in all_results.items():
+        rows.append(
+            [name]
+            + [results[m].local_fraction * 100 for m in ("FC", "SC", "FT", "ST")]
+        )
+        bars = [
+            (
+                label,
+                {
+                    "remote stall": r.remote_stall_ns / 1e9,
+                    "local stall": r.local_stall_ns / 1e9,
+                    "overhead": r.overhead_ns / 1e9,
+                },
+            )
+            for label, r in results.items()
+        ]
+        emit(
+            f"fig8_{name}",
+            format_bar_figure(
+                f"Figure 8 ({name}): policy driven by FC / SC / FT / ST",
+                bars, total_label="seconds",
+            ),
+        )
+    emit(
+        "fig8_summary",
+        format_table(
+            "Figure 8 summary: % of misses made local per metric "
+            "(paper: SC == FC everywhere; TLB fails on engineering)",
+            ["Workload", "FC", "SC", "FT(tlb)", "ST(tlb)"],
+            rows,
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    for name in USER_WORKLOADS:
+        fc, sc = by_name[name][1], by_name[name][2]
+        # Sampled cache matches full cache (within a few points).
+        assert abs(fc - sc) < 8, name
+    # TLB misses are an inconsistent approximation: engineering suffers
+    # a large locality gap; others are much closer to FC.
+    eng_gap = by_name["engineering"][1] - by_name["engineering"][3]
+    assert eng_gap > 12
+    other_gaps = [
+        by_name[n][1] - by_name[n][3]
+        for n in ("raytrace", "splash", "database")
+    ]
+    assert eng_gap > max(other_gaps)

@@ -1,0 +1,71 @@
+"""Figure 9: variation in performance with the trigger threshold.
+
+Each workload runs with trigger thresholds 32, 64, 128 and 256 (sharing
+threshold a quarter of the trigger).  The trade-off the paper shows: a
+smaller trigger is more aggressive — more misses made local but more
+kernel overhead — and the best operating point depends on the workload.
+"""
+
+from conftest import USER_WORKLOADS
+
+from repro.analysis.tables import format_table
+from repro.policy.parameters import PolicyParameters
+from repro.trace.policysim import PolicySimConfig, TracePolicySimulator
+
+TRIGGERS = (32, 64, 128, 256)
+
+
+def test_fig9_trigger_threshold_sweep(store, emit, once):
+    def compute():
+        out = {}
+        for name in USER_WORKLOADS:
+            spec, trace = store.workload(name)
+            user = trace.user_only()
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+            )
+            out[name] = {
+                trigger: sim.simulate_dynamic(
+                    user, PolicyParameters.base(trigger_threshold=trigger)
+                )
+                for trigger in TRIGGERS
+            }
+        return out
+
+    all_results = once(compute)
+    rows = []
+    for name, results in all_results.items():
+        for trigger in TRIGGERS:
+            r = results[trigger]
+            rows.append(
+                [
+                    name,
+                    trigger,
+                    r.local_fraction * 100,
+                    (r.stall_ns + r.overhead_ns) / 1e9,
+                    r.overhead_ns / 1e9,
+                    r.migrations + r.replications,
+                ]
+            )
+    emit(
+        "fig9_trigger",
+        format_table(
+            "Figure 9: trigger-threshold sweep (smaller trigger -> more "
+            "locality, more overhead)",
+            ["Workload", "Trigger", "Local %", "Stall+Ovhd (s)",
+             "Overhead (s)", "Operations"],
+            rows,
+        ),
+    )
+    for name in USER_WORKLOADS:
+        results = all_results[name]
+        # Aggressiveness: operations decrease monotonically-ish with the
+        # trigger, and locality never improves by raising it.
+        ops = [results[t].migrations + results[t].replications
+               for t in TRIGGERS]
+        assert ops[0] >= ops[-1], name
+        assert (
+            results[32].local_fraction >= results[256].local_fraction - 0.02
+        ), name
+        # Overhead shrinks as the trigger grows.
+        assert results[32].overhead_ns >= results[256].overhead_ns, name

@@ -1,0 +1,74 @@
+"""Table 3: execution time and memory usage of the workloads.
+
+Runs each workload under first-touch (the machine's default policy) and
+reports cumulative CPU time, memory footprint, the user/kernel/idle time
+split and the stall percentages of non-idle time.
+"""
+
+from conftest import ALL_WORKLOADS
+
+from repro.analysis.tables import format_table
+from repro.sim.simulator import SimulatorOptions, SystemSimulator
+
+#: Approximate share of compute time spent in kernel mode per workload
+#: (pmake is compilation-heavy in the kernel; the others are mostly user).
+KERNEL_COMPUTE_SHARE = {
+    "engineering": 0.06,
+    "raytrace": 0.20,
+    "splash": 0.12,
+    "database": 0.05,
+    "pmake": 0.45,
+}
+
+PAPER = {  # workload: (cum CPU sec, MB, %user, %kern, %idle, ki, kd, ui, ud)
+    "engineering": (61.76, 27.5, 74, 6, 20, 1.6, 3.8, 34.4, 37.4),
+    "raytrace": (74.08, 28.8, 69, 25, 6, 3.6, 15.1, 4.8, 36.1),
+    "splash": (87.52, 57.6, 65, 17, 18, 4.4, 11.8, 3.1, 36.3),
+    "database": (30.40, 20.8, 55, 7, 38, 1.4, 6.0, 2.5, 50.3),
+    "pmake": (35.27, 73.7, 34, 44, 22, 4.0, 29.3, 3.6, 9.1),
+}
+
+
+def test_table3_characterization(store, emit, once):
+    def compute():
+        rows = []
+        for name in ALL_WORKLOADS:
+            spec, trace = store.workload(name)
+            sim = SystemSimulator(spec, options=SimulatorOptions(dynamic=False))
+            result = sim.run(trace)
+            t3 = result.table3_row(KERNEL_COMPUTE_SHARE[name])
+            rows.append(
+                [
+                    name,
+                    t3["total_cpu_sec"],
+                    spec.memory_mb,
+                    t3["% user"],
+                    t3["% kernel"],
+                    t3["% idle"],
+                    t3["kernel instr stall %"],
+                    t3["kernel data stall %"],
+                    t3["user instr stall %"],
+                    t3["user data stall %"],
+                ]
+            )
+        return rows
+
+    rows = once(compute)
+    emit(
+        "table3_characterization",
+        format_table(
+            "Table 3: Execution time and memory usage (first-touch runs)",
+            ["Workload", "CPU(s)", "MB", "%User", "%Kern", "%Idle",
+             "K-Instr%", "K-Data%", "U-Instr%", "U-Data%"],
+            rows,
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # Shape checks against the paper's characterisation.
+    eng = by_name["engineering"]
+    assert eng[8] + eng[9] > 50          # dominant user stall
+    pmake = by_name["pmake"]
+    assert pmake[7] > pmake[9]           # kernel data stall dominates pmake
+    db = by_name["database"]
+    assert db[5] > 25                    # database is idle-heavy
+    assert db[9] > db[8] * 3             # and its stall is data, not instr

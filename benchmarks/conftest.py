@@ -1,0 +1,94 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The heavy
+inputs — the five workload traces and the FT / Mig/Rep full-system runs —
+are produced once per session and shared.
+
+Scale defaults to 1.0 (the paper's full run lengths); set the environment
+variable ``REPRO_BENCH_SCALE`` to a smaller value for quick passes.
+
+Each bench prints its table and also writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.policy.parameters import PolicyParameters
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import run_policy_comparison
+from repro.trace.record import Trace
+from repro.workloads import build_spec, generate_trace
+from repro.workloads.spec import WorkloadSpec
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+USER_WORKLOADS = ("engineering", "raytrace", "splash", "database")
+ALL_WORKLOADS = USER_WORKLOADS + ("pmake",)
+
+
+def params_for(name: str) -> PolicyParameters:
+    """The paper's base policy: trigger 96 for engineering, 128 otherwise."""
+    if name == "engineering":
+        return PolicyParameters.engineering_base()
+    return PolicyParameters.base()
+
+
+class WorkloadStore:
+    """Lazy, memoised workload and full-system-run store."""
+
+    def __init__(self) -> None:
+        self._workloads: Dict[str, Tuple[WorkloadSpec, Trace]] = {}
+        self._fig3: Dict[str, Dict[str, SimulationResult]] = {}
+
+    def workload(self, name: str) -> Tuple[WorkloadSpec, Trace]:
+        if name not in self._workloads:
+            spec = build_spec(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+            self._workloads[name] = (spec, generate_trace(spec))
+        return self._workloads[name]
+
+    def fig3(self, name: str) -> Dict[str, SimulationResult]:
+        """FT and Mig/Rep full-system runs (cached; reused by Tables 4-6)."""
+        if name not in self._fig3:
+            spec, trace = self.workload(name)
+            self._fig3[name] = run_policy_comparison(
+                spec, trace, params=params_for(name)
+            )
+        return self._fig3[name]
+
+
+@pytest.fixture(scope="session")
+def store() -> WorkloadStore:
+    return WorkloadStore()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> str:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Scenario: characterise your own workload with the public spec API.
+
+Builds a workload from scratch — a 4-process analytics service with one
+shared read-mostly dataset, per-worker scratch space and a write-shared
+job queue — generates its miss trace, and asks the Section 8 questions:
+which placement policy wins, and is the dynamic policy worth its cost?
+
+This is the template to copy when modelling a new application.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.common.units import ms, sec
+from repro.kernel.sched.affinity import AffinityScheduler
+from repro.kernel.sched.process import Process
+from repro.policy.parameters import PolicyParameters
+from repro.trace.policysim import (
+    PolicySimConfig,
+    StaticPolicy,
+    TracePolicySimulator,
+)
+from repro.workloads.base import generate_trace
+from repro.workloads.spec import PageGroupSpec, SharingClass, WorkloadSpec
+
+N_CPUS = 4
+DURATION = sec(2)
+
+
+def build_spec() -> WorkloadSpec:
+    """An analytics service: shared dataset + scratch + a hot job queue."""
+    processes = [
+        Process(pid=p, name=f"worker.{p}", job="analytics")
+        for p in range(6)                       # 6 workers on 4 CPUs
+    ]
+    scheduler = AffinityScheduler(
+        n_cpus=N_CPUS, duty_cycle=0.7, rebalance_probability=0.03, seed=1
+    )
+    schedule = scheduler.build(processes, DURATION)
+    groups = [
+        PageGroupSpec(
+            name="dataset",
+            sharing=SharingClass.READ_SHARED,
+            n_pages=2000,
+            miss_share=0.55,
+            write_fraction=0.0001,     # occasional refresh
+            pages_per_quantum=8,
+            hot_fraction=0.03,
+            tlb_factor=0.5,
+        ),
+        PageGroupSpec(
+            name="scratch",
+            sharing=SharingClass.PRIVATE,
+            n_pages=150,
+            miss_share=0.30,
+            write_fraction=0.4,
+            pages_per_quantum=8,
+            hot_fraction=0.2,
+            tlb_factor=0.3,
+        ),
+        PageGroupSpec(
+            name="job-queue",
+            sharing=SharingClass.WRITE_SHARED,
+            n_pages=16,
+            miss_share=0.15,
+            write_fraction=0.5,
+            pages_per_quantum=4,
+            hot_fraction=0.5,
+            tlb_factor=0.6,
+        ),
+    ]
+    return WorkloadSpec(
+        name="analytics",
+        n_cpus=N_CPUS,
+        n_nodes=N_CPUS,
+        duration_ns=DURATION,
+        quantum_ns=ms(10),
+        user_miss_rate=400_000.0,
+        kernel_miss_rate=0.0,
+        compute_time_ns=int(schedule.busy_time_ns() * 0.5),
+        groups=groups,
+        processes=processes,
+        schedule=schedule,
+        seed=42,
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+    print(f"Workload: {spec.describe()}")
+    trace = generate_trace(spec)
+    print(f"Generated {len(trace):,} records / {trace.total_misses:,} misses\n")
+
+    sim = TracePolicySimulator(PolicySimConfig(n_cpus=N_CPUS, n_nodes=N_CPUS))
+    print(f"{'policy':<10s}{'local %':>9s}{'stall (s)':>11s}"
+          f"{'ops':>6s}{'total (s)':>11s}")
+    for policy in StaticPolicy:
+        r = sim.simulate_static(trace, policy)
+        print(f"{r.label:<10s}{r.local_fraction:>8.1%}"
+              f"{r.stall_ns / 1e9:>11.2f}{'—':>6s}"
+              f"{r.run_time_ns() / 1e9:>11.2f}")
+    for label, params in [
+        ("Migr", PolicyParameters.migration_only()),
+        ("Repl", PolicyParameters.replication_only()),
+        ("Mig/Rep", PolicyParameters.base()),
+    ]:
+        r = sim.simulate_dynamic(trace, params, label=label)
+        ops = r.migrations + r.replications + r.collapses
+        print(f"{label:<10s}{r.local_fraction:>8.1%}"
+              f"{r.stall_ns / 1e9:>11.2f}{ops:>6d}"
+              f"{r.run_time_ns() / 1e9:>11.2f}")
+    print(
+        "\nThe shared dataset rewards replication; the workers' scratch "
+        "pages reward migration when the scheduler moves them; the "
+        "write-shared job queue is correctly left alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: the hardware substrate on its own.
+
+Exercises the machine model directly — no workloads, no policy — to show
+why the paper's numbers look the way they do:
+
+1. the cache hierarchy's miss rate as a working set sweeps past the 32 KB
+   L1 and the 512 KB L2 (why compute-server workloads stall at all);
+2. the 64-entry TLB's reach (256 KB) versus the L2's — the structural
+   reason TLB misses and cache misses diverge (Figure 8's FT/ST result);
+3. what a remote:local latency ratio of 4:1 does to average miss cost as
+   locality degrades (why page placement is worth kernel effort).
+
+Run:  python examples/microarch_demo.py
+"""
+
+from repro.machine.cache import CacheHierarchy
+from repro.machine.config import MachineConfig
+from repro.machine.tlb import Tlb
+
+KB = 1024
+
+
+def sweep(hierarchy: CacheHierarchy, tlb: Tlb, span_bytes: int, rounds: int = 4):
+    """Walk ``span_bytes`` sequentially ``rounds`` times; report miss rates."""
+    line = hierarchy.l2.config.line_size
+    page = 4096
+    l2_misses = l2_accesses = tlb_misses = tlb_accesses = 0
+    for _ in range(rounds):
+        for addr in range(0, span_bytes, line):
+            level = hierarchy.access(addr)
+            l2_accesses += 1
+            if level == CacheHierarchy.MEMORY:
+                l2_misses += 1
+            tlb_accesses += 1
+            if not tlb.access(addr // page):
+                tlb_misses += 1
+    return l2_misses / l2_accesses, tlb_misses / tlb_accesses
+
+
+def main() -> None:
+    machine = MachineConfig.flash_ccnuma()
+    print("Working-set sweep on the paper's memory hierarchy")
+    print(f"  (L1 32KB 2-way, L2 512KB 2-way, TLB 64 x 4KB = 256KB reach)\n")
+    print(f"{'working set':>14s}{'L2 miss rate':>15s}{'TLB miss rate':>15s}")
+    for span_kb in (16, 128, 256, 512, 1024, 4096):
+        hierarchy = CacheHierarchy(machine.l1i, machine.l1d, machine.l2)
+        tlb = Tlb(machine.tlb)
+        l2_rate, tlb_rate = sweep(hierarchy, tlb, span_kb * KB)
+        print(f"{span_kb:>11d} KB{l2_rate:>14.1%}{tlb_rate:>15.1%}")
+    print(
+        "\nBetween 256KB and 512KB the TLB thrashes while the L2 still\n"
+        "holds the working set; past 512KB both thrash.  A hot code loop\n"
+        "bigger than the L2 but spanning few pages does the opposite —\n"
+        "huge cache-miss counts, almost no TLB misses.  That asymmetry is\n"
+        "exactly why TLB-driven policies fail on the engineering workload\n"
+        "(Figure 8).\n"
+    )
+
+    mem = machine.memory
+    print("Average miss latency vs locality (300ns local / 1200ns remote):")
+    for local_pct in (100, 75, 50, 25, 12):
+        avg = (local_pct * mem.local_ns + (100 - local_pct) * mem.remote_ns) / 100
+        print(f"  {local_pct:>3d}% local -> {avg:6.0f} ns per miss")
+    print(
+        "\nAt first touch on an 8-node machine a random page is local with\n"
+        "probability 1/8 — the bottom row.  Every point of locality the\n"
+        "policy wins moves a workload up this table; that is the entire\n"
+        "economics of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

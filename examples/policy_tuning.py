@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Scenario: tune the policy and pick an information source.
+
+Section 8's methodology as a workflow: take a workload trace, sweep the
+trigger threshold, compare information sources (full vs sampled cache
+misses vs TLB misses), and pick the configuration you would deploy.
+
+Run:  python examples/policy_tuning.py
+"""
+
+from repro import load_workload
+from repro.policy.metrics import ALL_METRICS
+from repro.policy.parameters import PolicyParameters
+from repro.trace.policysim import (
+    PolicySimConfig,
+    StaticPolicy,
+    TracePolicySimulator,
+)
+
+SCALE = 0.25
+
+
+def main() -> None:
+    spec, trace = load_workload("engineering", scale=SCALE)
+    user = trace.user_only()
+    sim = TracePolicySimulator(
+        PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    )
+    ft = sim.simulate_static(user, StaticPolicy.FIRST_TOUCH)
+    print(f"Baseline (first touch): {ft.local_fraction:.1%} local, "
+          f"stall {ft.stall_ns / 1e9:.2f}s\n")
+
+    print("Trigger-threshold sweep (Figure 9 methodology):")
+    print(f"  {'trigger':>8s}{'local %':>9s}{'ops':>7s}{'stall+ovhd (s)':>16s}")
+    best = None
+    for trigger in (32, 64, 96, 128, 256):
+        r = sim.simulate_dynamic(
+            user, PolicyParameters.base(trigger_threshold=trigger)
+        )
+        total = r.stall_ns + r.overhead_ns
+        ops = r.migrations + r.replications
+        print(f"  {trigger:>8d}{r.local_fraction:>8.1%}{ops:>7d}"
+              f"{total / 1e9:>16.2f}")
+        if best is None or total < best[1]:
+            best = (trigger, total)
+    print(f"  -> best operating point here: trigger {best[0]}\n")
+
+    print("Information sources at the chosen trigger (Figure 8 methodology):")
+    params = PolicyParameters.base(trigger_threshold=best[0])
+    print(f"  {'metric':>8s}{'local %':>9s}{'stall+ovhd (s)':>16s}")
+    for metric in ALL_METRICS:
+        r = sim.simulate_dynamic(user, params, metric=metric)
+        print(f"  {metric.label:>8s}{r.local_fraction:>8.1%}"
+              f"{(r.stall_ns + r.overhead_ns) / 1e9:>16.2f}")
+    print(
+        "\nSampled cache misses (SC) match full information at a tenth of\n"
+        "the collection cost; TLB misses miss the hot code pages entirely\n"
+        "on this workload — the paper's Section 8.3 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim: lets environments without the ``wheel`` package do an
+editable install via ``python setup.py develop``.  Configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Analysis helpers: read chains, attribution, table/figure rendering."""
+
+from repro.analysis.attribution import (
+    GroupActionRow,
+    GroupMissRow,
+    attribution_report,
+    group_actions,
+    group_locality,
+    group_misses,
+)
+from repro.analysis.readchains import (
+    DEFAULT_THRESHOLDS,
+    chain_survival,
+    read_chain_histogram,
+    replication_potential,
+)
+from repro.analysis.tables import (
+    format_bar_figure,
+    format_series,
+    format_table,
+    percentage,
+)
+
+__all__ = [
+    "GroupActionRow",
+    "GroupMissRow",
+    "attribution_report",
+    "group_actions",
+    "group_locality",
+    "group_misses",
+    "DEFAULT_THRESHOLDS",
+    "chain_survival",
+    "read_chain_histogram",
+    "replication_potential",
+    "format_bar_figure",
+    "format_series",
+    "format_table",
+    "percentage",
+]

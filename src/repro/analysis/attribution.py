@@ -1,0 +1,174 @@
+"""Per-page-group attribution of misses, locality and pager actions.
+
+The paper reasons about its workloads in terms of page *classes* —
+private data, read-shared data, write-shared data, code (Section 3.1) —
+and our workload specs are built from exactly those classes.  This module
+maps simulation outputs back onto the groups, answering the questions the
+paper's per-workload discussions answer ("the engineering gain comes from
+migrating private data and replicating code"; "90 % of database misses
+land on write-shared pages that correctly see no action"):
+
+* :func:`group_misses` — how each group contributes to the miss traffic;
+* :func:`group_locality` — each group's local fraction under a placement;
+* :func:`group_actions` — how the pager treated each group's hot pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.kernel.pager.handler import ActionTally, Outcome
+from repro.trace.record import Trace
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class GroupMissRow:
+    """One group's share of the miss traffic."""
+
+    group: str
+    sharing: str
+    misses: int = 0
+    writes: int = 0
+    share: float = 0.0
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of the group's misses that are writes."""
+        return self.writes / self.misses if self.misses else 0.0
+
+
+def _page_group_index(spec: WorkloadSpec) -> np.ndarray:
+    """Array mapping page id -> index into ``spec.groups``."""
+    group_of = {g.name: i for i, g in enumerate(spec.groups)}
+    index = np.zeros(spec.total_pages, dtype=np.int64)
+    for inst in spec.instances:
+        index[inst.first_page : inst.last_page + 1] = group_of[inst.spec.name]
+    return index
+
+
+def group_misses(spec: WorkloadSpec, trace: Trace) -> List[GroupMissRow]:
+    """Aggregate miss weight per page group."""
+    rows = [
+        GroupMissRow(group=g.name, sharing=g.sharing.value)
+        for g in spec.groups
+    ]
+    if not len(trace):
+        return rows
+    index = _page_group_index(spec)
+    groups = index[trace.page]
+    weights = trace.weight
+    totals = np.bincount(groups, weights=weights, minlength=len(rows))
+    writes = np.bincount(
+        groups[trace.is_write],
+        weights=weights[trace.is_write],
+        minlength=len(rows),
+    )
+    grand_total = float(totals.sum()) or 1.0
+    for i, row in enumerate(rows):
+        row.misses = int(totals[i])
+        row.writes = int(writes[i])
+        row.share = totals[i] / grand_total
+    return rows
+
+
+def group_locality(
+    spec: WorkloadSpec,
+    trace: Trace,
+    placement: np.ndarray,
+    node_of_cpu: Callable[[int], int],
+) -> Dict[str, float]:
+    """Local-miss fraction per group under a static placement array."""
+    if not len(trace):
+        return {g.name: 0.0 for g in spec.groups}
+    index = _page_group_index(spec)
+    n_cpus = int(trace.cpu.max()) + 1
+    cpu_nodes = np.asarray([node_of_cpu(c) for c in range(n_cpus)])
+    local = placement[trace.page] == cpu_nodes[trace.cpu]
+    groups = index[trace.page]
+    weights = trace.weight
+    totals = np.bincount(groups, weights=weights, minlength=len(spec.groups))
+    locals_ = np.bincount(
+        groups[local], weights=weights[local], minlength=len(spec.groups)
+    )
+    return {
+        g.name: (locals_[i] / totals[i] if totals[i] else 0.0)
+        for i, g in enumerate(spec.groups)
+    }
+
+
+@dataclass
+class GroupActionRow:
+    """How the pager treated one group's hot pages."""
+
+    group: str
+    sharing: str
+    hot_events: int = 0
+    migrated: int = 0
+    replicated: int = 0
+    no_action: int = 0
+    no_page: int = 0
+    distinct_pages: int = 0
+
+
+def group_actions(
+    spec: WorkloadSpec, tally: ActionTally
+) -> List[GroupActionRow]:
+    """Aggregate the pager's per-page outcome ledger by page group."""
+    rows = {
+        g.name: GroupActionRow(group=g.name, sharing=g.sharing.value)
+        for g in spec.groups
+    }
+    for page, outcomes in tally.by_page.items():
+        group = spec.group_of_page(page)
+        row = rows[group.name]
+        row.distinct_pages += 1
+        for outcome, count in outcomes.items():
+            row.hot_events += count
+            if outcome is Outcome.MIGRATED:
+                row.migrated += count
+            elif outcome is Outcome.REPLICATED:
+                row.replicated += count
+            elif outcome is Outcome.NO_PAGE:
+                row.no_page += count
+            else:
+                row.no_action += count
+    return [rows[g.name] for g in spec.groups]
+
+
+def attribution_report(
+    spec: WorkloadSpec,
+    trace: Trace,
+    tally: Optional[ActionTally] = None,
+) -> str:
+    """A human-readable per-group summary (misses + optional actions)."""
+    from repro.analysis.tables import format_table
+
+    miss_rows = group_misses(spec, trace)
+    action_rows = (
+        {r.group: r for r in group_actions(spec, tally)}
+        if tally is not None
+        else {}
+    )
+    table = []
+    for row in miss_rows:
+        cells = [
+            row.group,
+            row.sharing,
+            row.misses,
+            row.share * 100,
+            row.write_fraction * 100,
+        ]
+        if action_rows:
+            a = action_rows[row.group]
+            cells += [a.hot_events, a.migrated, a.replicated, a.no_page]
+        table.append(cells)
+    headers = ["Group", "Class", "Misses", "Share %", "Write %"]
+    if action_rows:
+        headers += ["Hot", "Migr", "Repl", "NoPage"]
+    return format_table(
+        f"Attribution: {spec.name}", headers, table
+    )

@@ -1,0 +1,91 @@
+"""Read-chain analysis (Figure 4 of the paper).
+
+A *read chain* is a string of reads to a page from one processor,
+terminated by a write from **any** processor to that page.  Long read
+chains mark pages that could profitably be replicated: every read in the
+chain would have been local had the reader held a replica.
+
+Figure 4 plots, for each chain length L on the X axis, the percentage of
+all data cache misses that are part of read chains of length >= L.  The
+raytrace workload has ~60 % of its data misses in chains of 512 or more;
+the database workload's curve collapses early because writes chop its hot
+pages' chains short.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.stats import WeightedHistogram
+from repro.trace.record import Trace
+
+#: The chain-length thresholds Figure 4 uses on its X axis.
+DEFAULT_THRESHOLDS = (2, 8, 32, 128, 512, 2048)
+
+
+def read_chain_histogram(trace: Trace, data_only: bool = True) -> WeightedHistogram:
+    """Chain-length histogram weighted by misses in the chain.
+
+    For every terminated (or end-of-trace) chain of length L the
+    histogram receives weight L at value L, so
+    ``histogram.fraction_at_least(x)`` is exactly Figure 4's Y value.
+    """
+    if data_only:
+        trace = trace.data_only()
+    histogram = WeightedHistogram()
+    # open_chains[page][cpu] = accumulated read weight
+    open_chains: Dict[int, Dict[int, int]] = {}
+    pages = trace.page
+    cpus = trace.cpu
+    weights = trace.weight
+    writes = trace.is_write
+    for i in range(len(trace)):
+        page = int(pages[i])
+        chains = open_chains.get(page)
+        if writes[i]:
+            # A write from any processor terminates every open chain on
+            # the page (and itself belongs to no chain).
+            if chains:
+                for length in chains.values():
+                    if length > 0:
+                        histogram.add(length, length)
+                chains.clear()
+            continue
+        if chains is None:
+            chains = open_chains[page] = {}
+        cpu = int(cpus[i])
+        chains[cpu] = chains.get(cpu, 0) + int(weights[i])
+    # Chains still open at the end of the trace count at their final length.
+    for chains in open_chains.values():
+        for length in chains.values():
+            if length > 0:
+                histogram.add(length, length)
+    return histogram
+
+
+def chain_survival(
+    trace: Trace,
+    thresholds: Iterable[int] = DEFAULT_THRESHOLDS,
+    data_only: bool = True,
+) -> List[Tuple[int, float]]:
+    """Figure 4's series: (L, fraction of data misses in chains >= L)."""
+    histogram = read_chain_histogram(trace, data_only=data_only)
+    total_misses = trace.data_only().total_misses if data_only else trace.total_misses
+    write_misses = total_misses - histogram.total
+    results = []
+    for threshold in thresholds:
+        in_chains = sum(
+            w for v, w in histogram.counts.items() if v >= threshold
+        )
+        fraction = in_chains / total_misses if total_misses else 0.0
+        results.append((int(threshold), fraction))
+    # ``write_misses`` (reads are chain members; writes are not) is folded
+    # into the denominator, matching the figure's "percentage of the total
+    # data misses" phrasing.
+    del write_misses
+    return results
+
+
+def replication_potential(trace: Trace, threshold: int = 512) -> float:
+    """Fraction of data misses in chains >= ``threshold`` (one point)."""
+    return chain_survival(trace, thresholds=(threshold,))[0][1]

@@ -1,0 +1,100 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep the formatting in one place so every bench reads the
+same way: a title, column headers, aligned numeric cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a fixed-width table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for cells in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_figure(
+    title: str,
+    bars: Sequence[Tuple[str, Dict[str, float]]],
+    total_label: str = "total",
+    annotations: Optional[Dict[str, str]] = None,
+    width: int = 44,
+) -> str:
+    """Render stacked bars (a Figure 3/6/8/9 analogue) as text.
+
+    ``bars`` is a sequence of (label, {component: value}); each bar is
+    drawn as one line per component plus a total, scaled so the largest
+    total spans ``width`` characters.
+    """
+    totals = {label: sum(parts.values()) for label, parts in bars}
+    biggest = max(totals.values()) if totals else 1.0
+    scale = width / biggest if biggest else 0.0
+    lines = [title, "=" * len(title)]
+    for label, parts in bars:
+        total = totals[label]
+        lines.append(f"{label}  ({total_label} {total:.3g})")
+        for component, value in parts.items():
+            n = int(round(value * scale))
+            lines.append(f"  {component:<22s} {'#' * n} {value:.3g}")
+        if annotations and label in annotations:
+            lines.append(f"  {annotations[label]}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    y_format: str = "{:.1f}",
+) -> str:
+    """Render one-or-more (x, y) series as a compact table (Figure 4)."""
+    xs: List[float] = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List = [x]
+        for name, points in series.items():
+            lookup = dict(points)
+            value = lookup.get(x)
+            row.append(y_format.format(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def percentage(value: float, digits: int = 1) -> str:
+    """Format a [0, 1] fraction as a percent string."""
+    return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,340 @@
+"""Command-line interface to the reproduction.
+
+Four subcommands cover the common flows:
+
+* ``repro workloads`` — list the five workloads and their structure;
+* ``repro run`` — a full-system run (Section 7 methodology): one workload,
+  one machine, FT or the dynamic policy, summary to stdout;
+* ``repro tracesim`` — the contentionless trace-driven comparison
+  (Section 8 methodology) across the six policies or the four metrics;
+* ``repro chains`` — Figure 4's read-chain analysis for one workload.
+
+Examples::
+
+    repro workloads
+    repro run --workload engineering --scale 0.25
+    repro run --workload engineering --machine ccnow --tracked-flush
+    repro tracesim --workload raytrace --scale 0.25 --metrics
+    repro chains --workload database --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.readchains import DEFAULT_THRESHOLDS, chain_survival
+from repro.analysis.tables import format_table
+from repro.kernel.vm.shootdown import ShootdownMode
+from repro.machine.config import MachineConfig
+from repro.policy.metrics import ALL_METRICS
+from repro.policy.parameters import PolicyParameters
+from repro.sim.simulator import (
+    SimulatorOptions,
+    SystemSimulator,
+    run_policy_comparison,
+)
+from repro.trace.policysim import (
+    PolicySimConfig,
+    StaticPolicy,
+    TracePolicySimulator,
+)
+from repro.workloads import WORKLOAD_NAMES, load_workload
+
+
+def _params_for(name: str, trigger: Optional[int]) -> PolicyParameters:
+    if trigger is not None:
+        return PolicyParameters.base(trigger_threshold=trigger)
+    if name == "engineering":
+        return PolicyParameters.engineering_base()
+    return PolicyParameters.base()
+
+
+def _machine_for(label: str, spec) -> MachineConfig:
+    factory = {
+        "ccnuma": MachineConfig.flash_ccnuma,
+        "ccnow": MachineConfig.flash_ccnow,
+        "zeronet": MachineConfig.zero_network,
+    }[label]
+    return factory(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name in WORKLOAD_NAMES:
+        spec, trace = load_workload(name, scale=args.scale, seed=args.seed)
+        d = spec.describe()
+        rows.append(
+            [name, d["processes"], d["cpus"], d["memory_mb"],
+             len(trace), trace.total_misses]
+        )
+    print(
+        format_table(
+            f"Workloads (scale {args.scale})",
+            ["Name", "Procs", "CPUs", "MB", "Records", "Misses"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
+    machine = _machine_for(args.machine, spec)
+    params = _params_for(args.workload, args.trigger)
+    if args.hotspot:
+        params = params.replace(hotspot_migration=True)
+    mode = (
+        ShootdownMode.TRACKED if args.tracked_flush else ShootdownMode.ALL_CPUS
+    )
+    if args.adaptive:
+        ft = SystemSimulator(
+            spec, machine=machine, params=params,
+            options=SimulatorOptions(dynamic=False, shootdown_mode=mode),
+        ).run(trace)
+        mr = SystemSimulator(
+            spec, machine=machine, params=params,
+            options=SimulatorOptions(
+                dynamic=True, shootdown_mode=mode, adaptive_trigger=True
+            ),
+        ).run(trace)
+    else:
+        results = run_policy_comparison(
+            spec, trace, machine=machine, params=params, shootdown_mode=mode
+        )
+        ft, mr = results["FT"], results["Mig/Rep"]
+    rows = []
+    for label, r in (("FT", ft), ("Mig/Rep", mr)):
+        rows.append(
+            [label, r.local_miss_fraction * 100, r.stall.total_ns / 1e9,
+             r.kernel_overhead_ns / 1e9, r.execution_time_ns / 1e9]
+        )
+    print(
+        format_table(
+            f"{args.workload} on {args.machine} (scale {args.scale})",
+            ["Policy", "Local %", "Stall (s)", "Overhead (s)", "Exec (s)"],
+            rows,
+        )
+    )
+    tally = mr.tally
+    print(
+        f"\nstall reduction {mr.stall_reduction_over(ft):.1f}%, execution "
+        f"improvement {mr.improvement_over(ft):.1f}%"
+    )
+    print(
+        f"hot pages {tally.hot_pages}: {tally.migrated} migrated, "
+        f"{tally.replicated} replicated, {tally.no_action} no action, "
+        f"{tally.no_page} no page"
+    )
+    if args.adaptive and "final_trigger" in mr.extra:
+        print(f"adaptive trigger settled at {mr.extra['final_trigger']:.0f}")
+    return 0
+
+
+def cmd_tracesim(args: argparse.Namespace) -> int:
+    spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
+    user = trace.kernel_only() if args.kernel else trace.user_only()
+    sim = TracePolicySimulator(
+        PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    )
+    params = _params_for(args.workload, args.trigger)
+    rows = []
+    if args.metrics:
+        for metric in ALL_METRICS:
+            r = sim.simulate_dynamic(user, params, metric=metric,
+                                     label=metric.label)
+            rows.append(
+                [r.label, r.local_fraction * 100, r.stall_ns / 1e9,
+                 r.overhead_ns / 1e9,
+                 r.migrations + r.replications + r.collapses]
+            )
+        title = f"{args.workload}: information sources (Figure 8 methodology)"
+    else:
+        for policy in StaticPolicy:
+            r = sim.simulate_static(user, policy)
+            rows.append([r.label, r.local_fraction * 100,
+                         r.stall_ns / 1e9, 0.0, 0])
+        for label, factory in (
+            ("Migr", PolicyParameters.migration_only),
+            ("Repl", PolicyParameters.replication_only),
+            ("Mig/Rep", PolicyParameters.base),
+        ):
+            r = sim.simulate_dynamic(
+                user, factory(trigger_threshold=params.trigger_threshold),
+                label=label,
+            )
+            rows.append(
+                [label, r.local_fraction * 100, r.stall_ns / 1e9,
+                 r.overhead_ns / 1e9,
+                 r.migrations + r.replications + r.collapses]
+            )
+        title = f"{args.workload}: six policies (Figure 6 methodology)"
+    print(
+        format_table(
+            title,
+            ["Policy", "Local %", "Stall (s)", "Overhead (s)", "Ops"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Quick reproduction smoke test: the headline claims, pass/fail."""
+    checks = []
+
+    def check(name, ok, detail):
+        checks.append((name, "PASS" if ok else "FAIL", detail))
+        return ok
+
+    spec, trace = load_workload("engineering", scale=args.scale,
+                                seed=args.seed)
+    results = run_policy_comparison(
+        spec, trace, params=_params_for("engineering", None)
+    )
+    ft, mr = results["FT"], results["Mig/Rep"]
+    red = mr.stall_reduction_over(ft)
+    check("engineering stall reduction (paper 52%)", red > 30,
+          f"{red:.1f}%")
+    check("engineering uses both mechanisms",
+          mr.tally.migrated > 0 and mr.tally.replicated > 0,
+          f"{mr.tally.migrated} migr / {mr.tally.replicated} repl")
+
+    spec, trace = load_workload("database", scale=args.scale, seed=args.seed)
+    results = run_policy_comparison(
+        spec, trace, params=_params_for("database", None)
+    )
+    ft, mr = results["FT"], results["Mig/Rep"]
+    pct = mr.tally.percentages()
+    check("database robustness (paper: 85% no action)",
+          pct["% No Action"] > 50 and
+          mr.execution_time_ns < ft.execution_time_ns * 1.05,
+          f"{pct['% No Action']:.0f}% no action")
+
+    spec, trace = load_workload("raytrace", scale=args.scale, seed=args.seed)
+    user = trace.user_only()
+    sim = TracePolicySimulator(
+        PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    )
+    fc = sim.simulate_dynamic(user, PolicyParameters.base())
+    sc = sim.simulate_dynamic(user, PolicyParameters.base(),
+                              metric=ALL_METRICS[1])
+    check("sampled cache matches full cache (paper: identical)",
+          abs(fc.local_fraction - sc.local_fraction) < 0.08,
+          f"FC {fc.local_fraction:.1%} vs SC {sc.local_fraction:.1%}")
+
+    print(format_table(
+        f"Reproduction smoke test (scale {args.scale})",
+        ["Check", "Verdict", "Measured"],
+        checks,
+    ))
+    return 0 if all(v == "PASS" for _, v, _ in checks) else 1
+
+
+def cmd_chains(args: argparse.Namespace) -> int:
+    spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
+    rows = [
+        [threshold, fraction * 100]
+        for threshold, fraction in chain_survival(
+            trace.user_only(), DEFAULT_THRESHOLDS
+        )
+    ]
+    print(
+        format_table(
+            f"{args.workload}: % of data misses in read chains >= L "
+            "(Figure 4 methodology)",
+            ["Chain length", "% of data misses"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser, workload: bool = True) -> None:
+    if workload:
+        parser.add_argument(
+            "--workload", required=True, choices=WORKLOAD_NAMES,
+            help="which of the paper's five workloads to use",
+        )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="fraction of the paper's run length (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--trigger", type=int, default=None,
+        help="trigger threshold (default: the paper's per-workload value)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'OS Support for Improving Data Locality on "
+            "CC-NUMA Compute Servers' (ASPLOS 1996)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list the synthetic workloads")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("run", help="full-system FT vs Mig/Rep comparison")
+    _add_common(p)
+    p.add_argument(
+        "--machine", choices=("ccnuma", "ccnow", "zeronet"),
+        default="ccnuma", help="machine configuration",
+    )
+    p.add_argument(
+        "--tracked-flush", action="store_true",
+        help="flush only TLBs with mappings (the simulated optimisation)",
+    )
+    p.add_argument(
+        "--hotspot", action="store_true",
+        help="also migrate write-shared pages (the 7.1.2 extension)",
+    )
+    p.add_argument(
+        "--adaptive", action="store_true",
+        help="pick the trigger threshold adaptively (the 8.4 extension)",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "tracesim", help="trace-driven policy comparison (contentionless)"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="compare FC/SC/FT/ST information sources instead of policies",
+    )
+    p.add_argument(
+        "--kernel", action="store_true",
+        help="use the kernel-mode miss trace (Figure 7 methodology)",
+    )
+    p.set_defaults(func=cmd_tracesim)
+
+    p = sub.add_parser("chains", help="read-chain analysis (Figure 4)")
+    _add_common(p)
+    p.set_defaults(func=cmd_chains)
+
+    p = sub.add_parser(
+        "verify", help="quick smoke test of the headline reproductions"
+    )
+    _add_common(p, workload=False)
+    p.set_defaults(func=cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, policy, or workload configuration is invalid."""
+
+
+class AllocationError(ReproError):
+    """A page frame could not be allocated.
+
+    The pager treats this as the "no page" outcome in Table 4 of the
+    paper: the hot page is recorded but no action is taken.
+    """
+
+    def __init__(self, node: int, message: str = "") -> None:
+        self.node = node
+        super().__init__(message or f"no free page frame on node {node}")
+
+
+class VmError(ReproError):
+    """An invariant of the simulated virtual-memory system was violated."""
+
+
+class SchedulerError(ReproError):
+    """A scheduling request could not be satisfied."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (unsorted timestamps, bad column, ...)."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent state."""

@@ -1,0 +1,121 @@
+"""A deterministic event queue for event-driven extensions.
+
+The queue orders events by (time, priority, insertion sequence); the
+insertion sequence guarantees a stable, reproducible order even when many
+events share a timestamp, which happens constantly at weighted-trace
+granularity.
+
+The trace-replay simulators drive themselves from record timestamps and
+keep only a small heap of pending pager interrupts, so they do not need a
+general event queue; this one is provided (and tested) for callers who
+build fully event-driven setups on top of :class:`repro.sim.NumaSystem`
+— e.g. interleaving miss sources with timer events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback with an optional payload."""
+
+    __slots__ = ("time", "priority", "action", "payload", "cancelled")
+
+    def __init__(
+        self,
+        time: int,
+        action: Callable[["Event"], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> None:
+        self.time = int(time)
+        self.priority = int(priority)
+        self.action = action
+        self.payload = payload
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, prio={self.priority}{state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Time of the most recently popped event (simulation clock)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._heap if not item[3].cancelled)
+
+    def schedule(
+        self,
+        time: int,
+        action: Callable[[Event], None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at ``time``; lower ``priority`` runs first."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time, action, payload, priority)
+        heapq.heappush(self._heap, (event.time, event.priority, next(self._counter), event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, advancing the clock."""
+        while self._heap:
+            _, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None when empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Dispatch events (optionally only those at time <= ``until``).
+
+        Returns the number of events dispatched.
+        """
+        dispatched = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or (until is not None and next_time > until):
+                break
+            event = self.pop()
+            assert event is not None
+            event.action(event)
+            dispatched += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return dispatched
+
+    def drain(self) -> Iterator[Tuple[int, Event]]:
+        """Yield (time, event) for every live event without dispatching."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event.time, event

@@ -1,0 +1,164 @@
+"""Small online statistics helpers used by the simulators.
+
+The machine and kernel models accumulate latency and occupancy statistics
+while the event loop runs; these classes keep that accumulation O(1) per
+sample and independent of run length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class OnlineStats:
+    """Streaming count/mean/min/max/variance accumulator (Welford)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` occurring ``weight`` times."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        value = float(value)
+        self.total += value * weight
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        # Weighted Welford update.
+        new_count = self.count + weight
+        delta = value - self._mean
+        self._mean += delta * weight / new_count
+        self._m2 += delta * (value - self._mean) * weight
+        self.count = new_count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded values (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of recorded values (0.0 when empty)."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self._mean = other._mean
+            self._m2 = other._m2
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OnlineStats(count={self.count}, mean={self.mean:.3g}, "
+            f"min={self.minimum:.3g}, max={self.maximum:.3g})"
+        )
+
+
+class TimeWeightedValue:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Used for the average network queue length in Section 7.1.2: each call to
+    :meth:`update` records that the tracked value held its previous level
+    from the last update time until ``now``.
+    """
+
+    __slots__ = ("_value", "_last_time", "_area", "_start", "maximum")
+
+    def __init__(self, initial: float = 0.0, start_time: int = 0) -> None:
+        self._value = float(initial)
+        self._last_time = int(start_time)
+        self._start = int(start_time)
+        self._area = 0.0
+        self.maximum = float(initial)
+
+    @property
+    def value(self) -> float:
+        """Current level of the tracked quantity."""
+        return self._value
+
+    def update(self, now: int, new_value: float) -> None:
+        """Advance time to ``now`` and set a new level."""
+        if now < self._last_time:
+            raise ValueError("time must be monotonically non-decreasing")
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = float(new_value)
+        self.maximum = max(self.maximum, self._value)
+
+    def average(self, now: int) -> float:
+        """Time-weighted average over [start, now]."""
+        span = now - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_time)
+        return area / span
+
+
+@dataclass
+class WeightedHistogram:
+    """Histogram over integer-valued samples with integer weights."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Record ``value`` occurring ``weight`` times."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.counts[int(value)] = self.counts.get(int(value), 0) + int(weight)
+
+    @property
+    def total(self) -> int:
+        """Total recorded weight."""
+        return sum(self.counts.values())
+
+    def fraction_at_least(self, threshold: int) -> float:
+        """Fraction of total weight with value >= ``threshold``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        above = sum(w for v, w in self.counts.items() if v >= threshold)
+        return above / total
+
+    def survival(self, thresholds: List[int]) -> List[Tuple[int, float]]:
+        """(threshold, fraction >= threshold) pairs, as in Figure 4."""
+        return [(t, self.fraction_at_least(t)) for t in thresholds]
+
+
+def percent_change(before: float, after: float) -> float:
+    """Signed percent change from ``before`` to ``after``.
+
+    Positive values mean improvement in the paper's sense (a reduction):
+    ``percent_change(100, 71) == 29.0``.
+    """
+    if before == 0:
+        return 0.0
+    return (before - after) / before * 100.0

@@ -1,0 +1,81 @@
+"""Time and size units used throughout the simulator.
+
+All simulated time is kept in **integer nanoseconds**.  The paper quotes
+latencies in nanoseconds (cache and memory) and microseconds (kernel
+operations), and workload lengths in seconds; integer nanoseconds cover the
+whole range without floating-point drift in the event loop.
+
+All memory sizes are kept in **bytes**; the page size used by the paper's
+FLASH configuration is 4 KB.
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS = 1
+"""One nanosecond (the base unit of simulated time)."""
+
+US = 1_000 * NS
+"""One microsecond in nanoseconds."""
+
+MS = 1_000 * US
+"""One millisecond in nanoseconds."""
+
+SEC = 1_000 * MS
+"""One second in nanoseconds."""
+
+
+def ns_to_us(t_ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return t_ns / US
+
+
+def ns_to_ms(t_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return t_ns / MS
+
+
+def ns_to_sec(t_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return t_ns / SEC
+
+
+def us(value: float) -> int:
+    """Express ``value`` microseconds as integer nanoseconds."""
+    return int(round(value * US))
+
+
+def ms(value: float) -> int:
+    """Express ``value`` milliseconds as integer nanoseconds."""
+    return int(round(value * MS))
+
+
+def sec(value: float) -> int:
+    """Express ``value`` seconds as integer nanoseconds."""
+    return int(round(value * SEC))
+
+
+# --- sizes -----------------------------------------------------------------
+
+KB = 1024
+"""One kilobyte in bytes."""
+
+MB = 1024 * KB
+"""One megabyte in bytes."""
+
+PAGE_SIZE = 4 * KB
+"""Page size of the simulated FLASH machine (4 KB, as in the paper)."""
+
+CACHE_LINE_SIZE = 128
+"""Secondary-cache line size in bytes (FLASH used 128-byte lines)."""
+
+
+def pages_to_bytes(n_pages: int) -> int:
+    """Total bytes occupied by ``n_pages`` 4 KB pages."""
+    return n_pages * PAGE_SIZE
+
+
+def bytes_to_pages(n_bytes: int) -> int:
+    """Number of whole pages needed to hold ``n_bytes`` (rounds up)."""
+    return -(-n_bytes // PAGE_SIZE)

@@ -1,0 +1,5 @@
+"""The IRIX-like operating-system substrate: VM, scheduling, pager."""
+
+from repro.kernel import pager, sched, vm
+
+__all__ = ["pager", "sched", "vm"]

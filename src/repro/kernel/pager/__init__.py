@@ -1,0 +1,27 @@
+"""The pager: interrupt handling, collapse path, cost accounting."""
+
+from repro.kernel.pager.collapse import CollapseHandler
+from repro.kernel.pager.costs import (
+    CostCategory,
+    KernelCostAccounting,
+    KernelCostModel,
+    OpType,
+)
+from repro.kernel.pager.handler import (
+    ActionTally,
+    Outcome,
+    PageActionResult,
+    PagerHandler,
+)
+
+__all__ = [
+    "CollapseHandler",
+    "CostCategory",
+    "KernelCostAccounting",
+    "KernelCostModel",
+    "OpType",
+    "ActionTally",
+    "Outcome",
+    "PageActionResult",
+    "PagerHandler",
+]

@@ -1,0 +1,92 @@
+"""The page-collapse path: a store to a replicated page.
+
+Replicated pages are mapped read-only, so a write traps into the
+protection fault handler (pfault), which collapses the replicas to a
+single page before letting the store proceed (Section 4).  The collapse
+keeps the copy on the writer's node when one exists — the write is about
+to make that node's copy the hot one anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.kernel.pager.costs import (
+    CostCategory,
+    KernelCostAccounting,
+    KernelCostModel,
+    OpType,
+)
+from repro.kernel.vm.shootdown import ShootdownMode, plan_flush
+from repro.kernel.vm.system import VmSystem
+from repro.machine.directory import DirectoryArray
+
+
+class CollapseHandler:
+    """Collapses replicated pages on write faults."""
+
+    def __init__(
+        self,
+        vm: VmSystem,
+        directory: DirectoryArray,
+        costs: KernelCostModel,
+        accounting: KernelCostAccounting,
+        n_cpus: int,
+        node_of_cpu: Callable[[int], int],
+        cpu_of_process: Callable[[int], Optional[int]],
+        shootdown_mode: ShootdownMode = ShootdownMode.ALL_CPUS,
+    ) -> None:
+        self.vm = vm
+        self.directory = directory
+        self.costs = costs
+        self.accounting = accounting
+        self.n_cpus = n_cpus
+        self.node_of_cpu = node_of_cpu
+        self.cpu_of_process = cpu_of_process
+        self.shootdown_mode = shootdown_mode
+        self.collapses = 0
+
+    def handle_write_fault(self, now_ns: int, page: int, cpu: int) -> bool:
+        """Collapse ``page`` because ``cpu`` wrote to it.
+
+        Returns True when a collapse happened (False when the page was no
+        longer replicated by the time the fault was serviced).
+        """
+        master = self.vm.master_of(page)
+        if master is None or not master.has_replicas:
+            return False
+        acct, costs = self.accounting, self.costs
+        op = OpType.COLLAPSE
+        latency = acct.charge(CostCategory.PAGE_FAULT, costs.page_fault_ns, op)
+        keep_node = self.node_of_cpu(cpu)
+        # Plan the flush from the pre-collapse mappings: those are the TLB
+        # entries that go stale.
+        cpus = plan_flush(
+            [master], self.shootdown_mode, self.n_cpus, self.cpu_of_process
+        )
+        # Mapping updates under the page lock, then bookkeeping.
+        wait = self.vm.locks.page_lock(page).acquire(
+            now_ns, costs.page_lock_hold_ns
+        ).wait_ns
+        latency += acct.charge(
+            CostCategory.LINKS_MAPPING, costs.collapse_ns + wait, op
+        )
+        self.vm.collapse(page, keep_node=keep_node)
+        # Every stale mapping must leave the TLBs before the store retries.
+        flushed = (
+            self.n_cpus
+            if self.shootdown_mode is ShootdownMode.ALL_CPUS
+            else max(len(cpus), 1)
+        )
+        latency += acct.charge(
+            CostCategory.TLB_FLUSH,
+            costs.tlb_flush_base_ns + costs.tlb_flush_per_cpu_ns * flushed,
+            op,
+        )
+        latency += acct.charge(
+            CostCategory.POLICY_END, costs.policy_end_migr_ns, op
+        )
+        acct.finish_op(op, latency)
+        self.collapses += 1
+        self.directory.acted_on(page)
+        return True

@@ -1,0 +1,396 @@
+"""The pager interrupt handler: Figure 2 of the paper, executed for real.
+
+The directory controller delivers a batch of hot pages; the handler walks
+the numbered steps — read counters and decide (3), allocate (4), link and
+map (5), one TLB flush for the whole batch (6), copy (7), free and
+re-point mappings (8) — against the live VM data structures, charging each
+step's cost (base latency plus simulated lock waits) to the matching
+Table 5/6 category.
+
+Outcomes per hot page are exactly Table 4's taxonomy: migrated,
+replicated, no action, or "no page" when the target node's memory is
+exhausted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import AllocationError
+from repro.kernel.pager.costs import (
+    CostCategory,
+    KernelCostAccounting,
+    KernelCostModel,
+    OpType,
+)
+from repro.kernel.vm.page import PageFrame
+from repro.kernel.vm.shootdown import ShootdownMode, plan_flush
+from repro.kernel.vm.system import VmSystem
+from repro.machine.directory import DirectoryArray, HotBatch
+from repro.policy.decision import Action, Reason, decide
+from repro.policy.parameters import PolicyParameters
+
+
+class Outcome(enum.Enum):
+    """Table 4's per-hot-page outcomes."""
+
+    MIGRATED = "migrate"
+    REPLICATED = "replicate"
+    NO_ACTION = "no action"
+    NO_PAGE = "no page"
+
+
+@dataclass
+class PageActionResult:
+    """What happened to one hot page."""
+
+    page: int
+    cpu: int
+    outcome: Outcome
+    reason: Optional[Reason] = None
+
+
+@dataclass
+class ActionTally:
+    """Running Table 4 counts, plus a per-page outcome ledger."""
+
+    hot_pages: int = 0
+    migrated: int = 0
+    replicated: int = 0
+    no_action: int = 0
+    no_page: int = 0
+    reasons: Dict[Reason, int] = field(default_factory=dict)
+    by_page: Dict[int, Dict[Outcome, int]] = field(default_factory=dict)
+
+    def add(self, result: PageActionResult) -> None:
+        """Fold one outcome into the tally."""
+        self.hot_pages += 1
+        if result.outcome is Outcome.MIGRATED:
+            self.migrated += 1
+        elif result.outcome is Outcome.REPLICATED:
+            self.replicated += 1
+        elif result.outcome is Outcome.NO_PAGE:
+            self.no_page += 1
+        else:
+            self.no_action += 1
+        if result.reason is not None:
+            self.reasons[result.reason] = self.reasons.get(result.reason, 0) + 1
+        page_counts = self.by_page.setdefault(result.page, {})
+        page_counts[result.outcome] = page_counts.get(result.outcome, 0) + 1
+
+    def percentages(self) -> Dict[str, float]:
+        """Table 4 row: percentage per outcome."""
+        total = max(self.hot_pages, 1)
+        return {
+            "% Migrate": 100.0 * self.migrated / total,
+            "% Replicate": 100.0 * self.replicated / total,
+            "% No Action": 100.0 * self.no_action / total,
+            "% No Page": 100.0 * self.no_page / total,
+        }
+
+
+class PagerHandler:
+    """Services hot-page interrupt batches against the VM system."""
+
+    def __init__(
+        self,
+        vm: VmSystem,
+        directory: DirectoryArray,
+        params: PolicyParameters,
+        costs: KernelCostModel,
+        accounting: KernelCostAccounting,
+        n_cpus: int,
+        node_of_cpu: Callable[[int], int],
+        node_of_process: Callable[[int], int],
+        cpu_of_process: Callable[[int], Optional[int]],
+        shootdown_mode: ShootdownMode = ShootdownMode.ALL_CPUS,
+    ) -> None:
+        self.vm = vm
+        self.directory = directory
+        self.params = params
+        self.costs = costs
+        self.accounting = accounting
+        self.n_cpus = n_cpus
+        self.node_of_cpu = node_of_cpu
+        self.node_of_process = node_of_process
+        self.cpu_of_process = cpu_of_process
+        self.shootdown_mode = shootdown_mode
+        self.tally = ActionTally()
+        self.tlbs_flushed = 0
+        self.flush_operations = 0
+
+    # -- the interrupt path (Figure 2) ------------------------------------------
+
+    def handle_batch(self, now_ns: int, batch: HotBatch) -> List[PageActionResult]:
+        """Service one pager interrupt."""
+        if not len(batch):
+            return []
+        acct, costs = self.accounting, self.costs
+        n_pages = len(batch)
+        # Step 2: interrupt processing, paid once and amortised.
+        acct.charge(CostCategory.INTR_PROC, costs.interrupt_ns)
+        intr_share = costs.interrupt_ns / n_pages
+        results: List[PageActionResult] = []
+        moved_frames: List[PageFrame] = []
+        op_records: List = []  # (op_type, latency so far) per moved page
+        # Pages in one batch are handled sequentially by the interrupted
+        # CPU; the handler clock advances so they do not contend with
+        # themselves on memlock (only with other CPUs' handlers).
+        op_clock = now_ns + costs.interrupt_ns
+        for event in batch.events:
+            result, frame, op, latency, waited = self._handle_page(
+                int(op_clock), event, intr_share
+            )
+            results.append(result)
+            self.tally.add(result)
+            # Advance by the op's *work*; waits overlap other handlers'
+            # work and must not feed back into lock acquisition times.
+            op_clock += max(latency - intr_share - waited, 0.0)
+            if frame is not None:
+                moved_frames.append(frame)
+                op_records.append((op, latency))
+        # Step 6: one TLB flush for the whole batch.  The handler waits for
+        # one parallel flush round (the Table 5 latency); every flushed CPU
+        # burns its own flush time, so the *system-wide* kernel cost is the
+        # per-CPU work times the number of CPUs flushed (the Table 6 cost,
+        # and the reason flushing dominates that table).
+        if moved_frames:
+            flushed = self._flush(now_ns, moved_frames)
+            system_work = (
+                costs.tlb_flush_base_ns + costs.tlb_flush_per_cpu_ns * flushed
+            )
+            acct.charge(CostCategory.TLB_FLUSH, system_work)
+            handler_wait = costs.tlb_flush_base_ns + costs.tlb_flush_per_cpu_ns
+            share = handler_wait / len(moved_frames)
+            for op, latency in op_records:
+                acct.attribute_op(op, CostCategory.TLB_FLUSH, share)
+                acct.finish_op(op, latency + share)
+        return results
+
+    def _handle_page(self, now_ns: int, event, intr_share: float):
+        """Steps 3–5, 7–8 for one hot page.
+
+        Returns (result, moved_frame_or_None, op_type, latency, lock_wait).
+        """
+        acct, costs = self.accounting, self.costs
+        page, cpu = event.page, event.cpu
+        # Step 3: read counters, run the decision tree.
+        acct.charge(CostCategory.POLICY_DECISION, costs.decision_ns)
+        latency = intr_share + costs.decision_ns
+        master = self.vm.master_of(page)
+        counters = self.directory.bank.get(page)
+        if master is None or counters is None:
+            self.directory.acted_on(page)
+            return (
+                PageActionResult(page, cpu, Outcome.NO_ACTION),
+                None,
+                None,
+                latency,
+                0.0,
+            )
+        pressure = self.vm.allocator.under_pressure(self.node_of_cpu(cpu))
+        decision = decide(
+            counters.miss,
+            counters.writes,
+            counters.migrates,
+            cpu,
+            self.params,
+            memory_pressure=pressure,
+        )
+        action = decision.action
+        # Hotspot migration targets the dominant sharer, not the requester.
+        target_cpu = (
+            decision.target_cpu if decision.target_cpu is not None else cpu
+        )
+        target_node = self.node_of_cpu(target_cpu)
+        if action is Action.MIGRATE and master.has_replicas:
+            # The page was replicated in an earlier interval; this
+            # interval's counters only show the requester.  Migrating a
+            # replicated page is impossible — extend the replica set to
+            # the requester's node instead (it already passed the write
+            # test when it was first replicated).
+            action = (
+                Action.REPLICATE
+                if self.params.enable_replication
+                else Action.NOTHING
+            )
+        if (
+            action is Action.MIGRATE
+            and not master.has_replicas
+            and master.node == target_node
+        ):
+            # Hotspot target already holds the page: nothing to move.
+            self.directory.latch(page)
+            return (
+                PageActionResult(page, cpu, Outcome.NO_ACTION, decision.reason),
+                None,
+                None,
+                latency,
+                0.0,
+            )
+        if action is not Action.NOTHING and target_node in master.copy_nodes():
+            # A copy landed on the target while the interrupt was pending;
+            # just re-point the requester (cheap) and stop.
+            self._adopt_replica(event, master)
+            self.directory.acted_on(page)
+            return (
+                PageActionResult(page, cpu, Outcome.NO_ACTION, decision.reason),
+                None,
+                None,
+                latency,
+                0.0,
+            )
+        if action is Action.NOTHING:
+            self.directory.latch(page)
+            return (
+                PageActionResult(page, cpu, Outcome.NO_ACTION, decision.reason),
+                None,
+                None,
+                latency,
+                0.0,
+            )
+        if action is Action.MIGRATE:
+            return self._migrate(
+                now_ns, event, latency, intr_share, target_node,
+                decision.reason,
+            )
+        return self._replicate(now_ns, event, latency, intr_share)
+
+    def _migrate(
+        self,
+        now_ns: int,
+        event,
+        latency: float,
+        intr_share: float,
+        target: int,
+        reason: Reason = Reason.UNSHARED,
+    ):
+        acct, costs = self.accounting, self.costs
+        page, cpu = event.page, event.cpu
+        op = OpType.MIGRATION
+        # Step 4: allocate on the target node (memlock protects free lists).
+        wait_alloc = self.vm.locks.memlock.acquire(
+            now_ns, costs.memlock_hold_alloc_ns
+        ).wait_ns
+        alloc_ns = costs.page_alloc_ns + wait_alloc
+        try:
+            new_frame = self.vm.migrate(page, target)
+        except AllocationError:
+            # Failed attempts still burn kernel time, but they are not
+            # completed operations: keep them out of the Table 5 averages.
+            acct.charge(CostCategory.PAGE_ALLOC, alloc_ns)
+            self.directory.acted_on(page)
+            return (
+                PageActionResult(page, cpu, Outcome.NO_PAGE),
+                None,
+                None,
+                latency + alloc_ns,
+                wait_alloc,
+            )
+        acct.attribute_op(op, CostCategory.INTR_PROC, intr_share)
+        acct.attribute_op(op, CostCategory.POLICY_DECISION, costs.decision_ns)
+        latency += acct.charge(CostCategory.PAGE_ALLOC, alloc_ns, op)
+        # Step 5: unlink old page, link new, update ptes (memlock again for
+        # the physical-page hash table).
+        wait_links = self.vm.locks.memlock.acquire(
+            now_ns, costs.memlock_hold_links_ns
+        ).wait_ns
+        latency += acct.charge(
+            CostCategory.LINKS_MAPPING, costs.links_mapping_migr_ns + wait_links, op
+        )
+        # Step 7: the data copy.
+        latency += acct.charge(CostCategory.PAGE_COPY, costs.page_copy_ns, op)
+        # Step 8: free old page, final mapping updates.
+        latency += acct.charge(
+            CostCategory.POLICY_END, costs.policy_end_migr_ns, op
+        )
+        # Downstream faults as processes reload the changed mappings.
+        acct.charge(CostCategory.PAGE_FAULT, costs.page_fault_ns, op)
+        self.directory.bank.note_migration(page)
+        self.directory.acted_on(page)
+        return (
+            PageActionResult(page, cpu, Outcome.MIGRATED, reason),
+            new_frame,
+            op,
+            latency,
+            wait_alloc + wait_links,
+        )
+
+    def _replicate(self, now_ns: int, event, latency: float, intr_share: float):
+        acct, costs = self.accounting, self.costs
+        page, cpu = event.page, event.cpu
+        target = self.node_of_cpu(cpu)
+        op = OpType.REPLICATION
+        # Step 4: allocation still serialises on memlock for the free list,
+        # but the replica chain update needs only the page-level lock.
+        wait_alloc = self.vm.locks.memlock.acquire(
+            now_ns, costs.memlock_hold_alloc_ns
+        ).wait_ns
+        alloc_ns = costs.page_alloc_ns + wait_alloc
+        try:
+            replica = self.vm.replicate(page, target, self.node_of_process)
+        except AllocationError:
+            acct.charge(CostCategory.PAGE_ALLOC, alloc_ns)
+            self.directory.acted_on(page)
+            return (
+                PageActionResult(page, cpu, Outcome.NO_PAGE),
+                None,
+                None,
+                latency + alloc_ns,
+                wait_alloc,
+            )
+        acct.attribute_op(op, CostCategory.INTR_PROC, intr_share)
+        acct.attribute_op(op, CostCategory.POLICY_DECISION, costs.decision_ns)
+        latency += acct.charge(CostCategory.PAGE_ALLOC, alloc_ns, op)
+        # Step 5: chain the replica (page-level lock only).
+        wait_links = self.vm.locks.page_lock(page).acquire(
+            now_ns, costs.page_lock_hold_ns
+        ).wait_ns
+        latency += acct.charge(
+            CostCategory.LINKS_MAPPING, costs.links_mapping_repl_ns + wait_links, op
+        )
+        # Step 7: the data copy.
+        latency += acct.charge(CostCategory.PAGE_COPY, costs.page_copy_ns, op)
+        # Step 8: every mapping re-pointed to the nearest replica (longer
+        # than migration's, as in Table 5).
+        latency += acct.charge(
+            CostCategory.POLICY_END, costs.policy_end_repl_ns, op
+        )
+        acct.charge(CostCategory.PAGE_FAULT, costs.page_fault_ns, op)
+        self.directory.acted_on(page)
+        return (
+            PageActionResult(page, cpu, Outcome.REPLICATED, Reason.SHARED_READ),
+            replica,
+            op,
+            latency,
+            wait_alloc + wait_links,
+        )
+
+    def _adopt_replica(self, event, master: PageFrame) -> None:
+        """Re-point a process at an existing local replica (cheap path)."""
+        if event.process < 0:
+            return
+        pte = self.vm.page_tables.table(event.process).lookup(event.page)
+        if pte is None:
+            return
+        nearest = master.nearest_copy(self.node_of_cpu(event.cpu))
+        if pte.frame is not nearest:
+            pte.remap(nearest)
+            self.accounting.charge(
+                CostCategory.LINKS_MAPPING, self.costs.page_lock_hold_ns
+            )
+
+    def _flush(self, now_ns: int, frames: List[PageFrame]) -> int:
+        """Step 6: pick the CPU set to flush; returns how many TLBs flush."""
+        cpus = plan_flush(
+            frames, self.shootdown_mode, self.n_cpus, self.cpu_of_process
+        )
+        if self.shootdown_mode is ShootdownMode.ALL_CPUS:
+            flushed = self.n_cpus
+        else:
+            flushed = max(len(cpus), 1)
+        self.tlbs_flushed += flushed
+        self.flush_operations += 1
+        return flushed

@@ -1,0 +1,15 @@
+"""Schedulers: affinity, space-partition, pinned."""
+
+from repro.kernel.sched.affinity import AffinityScheduler
+from repro.kernel.sched.partition import SpacePartitionScheduler
+from repro.kernel.sched.pinned import PinnedScheduler
+from repro.kernel.sched.process import Epoch, Process, Schedule
+
+__all__ = [
+    "AffinityScheduler",
+    "SpacePartitionScheduler",
+    "PinnedScheduler",
+    "Epoch",
+    "Process",
+    "Schedule",
+]

@@ -1,0 +1,97 @@
+"""Space-partitioning scheduler (scheduler-activations style) [ABL+91, TuG89].
+
+The splash workload runs three parallel applications that enter and leave
+the system at different times; CPUs are space-partitioned among the jobs
+currently present, and each repartitioning *redistributes the jobs across
+the processors*, which is what makes static data placement hard and page
+migration valuable for that workload (Section 7.1.1).
+
+The scheduler recomputes the partition at every job arrival or departure:
+active jobs receive contiguous CPU ranges proportional to their requested
+width, and each job's processes are laid out across its range.  Because
+ranges shift when the job mix changes, a process's CPU — and therefore the
+locality of its first-touch pages — changes over the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import SchedulerError
+from repro.kernel.sched.process import Epoch, Process, Schedule
+
+
+class SpacePartitionScheduler:
+    """Partition CPUs among concurrently running parallel jobs."""
+
+    def __init__(self, n_cpus: int) -> None:
+        if n_cpus <= 0:
+            raise SchedulerError("need at least one CPU")
+        self.n_cpus = n_cpus
+
+    def build(self, processes: Sequence[Process], duration_ns: int) -> Schedule:
+        """Generate the schedule; epochs break at job arrivals/departures."""
+        if duration_ns <= 0:
+            raise SchedulerError("duration must be positive")
+        boundaries = {0, duration_ns}
+        for proc in processes:
+            if 0 < proc.arrival_ns < duration_ns:
+                boundaries.add(proc.arrival_ns)
+            if proc.departure_ns is not None and 0 < proc.departure_ns < duration_ns:
+                boundaries.add(proc.departure_ns)
+        times = sorted(boundaries)
+        epochs: List[Epoch] = []
+        for start, end in zip(times, times[1:]):
+            running = self._partition(processes, start)
+            epochs.append(Epoch(start_ns=start, end_ns=end, running=running))
+        return Schedule(epochs, self.n_cpus)
+
+    def _partition(
+        self, processes: Sequence[Process], time_ns: int
+    ) -> Dict[int, int]:
+        """CPU assignment for the job mix alive at ``time_ns``."""
+        jobs: Dict[str, List[Process]] = {}
+        for proc in processes:
+            if proc.alive_at(time_ns):
+                jobs.setdefault(proc.job, []).append(proc)
+        if not jobs:
+            return {}
+        shares = self._shares([(job, len(procs)) for job, procs in sorted(jobs.items())])
+        running: Dict[int, int] = {}
+        cursor = 0
+        for job, width in shares:
+            procs = sorted(jobs[job], key=lambda p: p.pid)
+            cpus = list(range(cursor, cursor + width))
+            cursor += width
+            # Each job runs up to ``width`` of its processes; the rest are
+            # multiplexed in a real system, but at epoch granularity we
+            # keep the first ``width`` runnable (deterministic).
+            for cpu, proc in zip(cpus, procs):
+                running[cpu] = proc.pid
+        return running
+
+    def _shares(self, requests: List[Tuple[str, int]]) -> List[Tuple[str, int]]:
+        """Largest-remainder split of CPUs proportional to requests."""
+        total_request = sum(width for _, width in requests)
+        if total_request == 0:
+            return [(job, 0) for job, _ in requests]
+        raw = [
+            (job, min(width, self.n_cpus) * self.n_cpus / total_request, width)
+            for job, width in requests
+        ]
+        floors = [(job, int(share), share - int(share), width) for job, share, width in raw]
+        allocated = sum(f for _, f, _, _ in floors)
+        spare = self.n_cpus - allocated
+        # Hand out the spare CPUs by largest remainder, capped at request.
+        by_remainder = sorted(floors, key=lambda item: (-item[2], item[0]))
+        result = {job: floor for job, floor, _, _ in floors}
+        for job, floor, _, width in by_remainder:
+            if spare <= 0:
+                break
+            if result[job] < width:
+                result[job] += 1
+                spare -= 1
+        # Never allocate more CPUs than a job has processes.
+        for job, width in requests:
+            result[job] = min(result[job], width)
+        return [(job, result[job]) for job, _ in requests]

@@ -1,0 +1,85 @@
+"""Pinned scheduling: each process locked to one CPU for the whole run.
+
+The raytrace workload locks its worker processes to individual processors
+("a common practice for dedicated-use workloads"), and the database locks
+its engines to four processors.  Pinning makes migration useless by
+construction — any gain those workloads show must come from replication,
+which is exactly the behaviour Figure 6 exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.common.errors import SchedulerError
+from repro.common.rng import make_rng
+from repro.kernel.sched.process import Epoch, Process, Schedule
+
+
+class PinnedScheduler:
+    """Lock process ``i`` to CPU ``assignment[i]`` (default: round-robin).
+
+    ``duty_cycle`` models blocking (I/O, synchronisation): each quantum a
+    process is runnable with that probability, which produces the idle
+    fractions of Table 3 without moving anything between CPUs.
+    """
+
+    def __init__(
+        self,
+        n_cpus: int,
+        assignment: Optional[Dict[int, int]] = None,
+        duty_cycle: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n_cpus <= 0:
+            raise SchedulerError("need at least one CPU")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise SchedulerError("duty cycle must lie in (0, 1]")
+        self.n_cpus = n_cpus
+        self._assignment = assignment
+        self.duty_cycle = duty_cycle
+        self.seed = seed
+
+    def build(
+        self,
+        processes: Sequence[Process],
+        duration_ns: int,
+        quantum_ns: int = 10_000_000,
+    ) -> Schedule:
+        """Produce the (single- or multi-epoch) pinned schedule.
+
+        Epochs are still emitted at ``quantum_ns`` granularity so that
+        process arrivals/departures take effect, but a resident process
+        never changes CPU.
+        """
+        if duration_ns <= 0 or quantum_ns <= 0:
+            raise SchedulerError("duration and quantum must be positive")
+        if len(processes) > self.n_cpus and self._assignment is None:
+            raise SchedulerError(
+                "more processes than CPUs; provide an explicit assignment"
+            )
+        pin: Dict[int, int] = {}
+        for index, proc in enumerate(processes):
+            if self._assignment is not None:
+                if proc.pid not in self._assignment:
+                    raise SchedulerError(f"no pin given for pid {proc.pid}")
+                pin[proc.pid] = self._assignment[proc.pid]
+            else:
+                pin[proc.pid] = index % self.n_cpus
+            if not 0 <= pin[proc.pid] < self.n_cpus:
+                raise SchedulerError("pin out of CPU range")
+        rng = make_rng(self.seed, "pinned-scheduler")
+        epochs = []
+        time = 0
+        while time < duration_ns:
+            end = min(time + quantum_ns, duration_ns)
+            running = {}
+            for p in processes:
+                if not p.alive_at(time):
+                    continue
+                if self.duty_cycle < 1.0 and rng.random() >= self.duty_cycle:
+                    continue
+                running[pin[p.pid]] = p.pid
+            epochs.append(Epoch(start_ns=time, end_ns=end, running=running))
+            time = end
+        return Schedule(epochs, self.n_cpus)

@@ -1,0 +1,26 @@
+"""The IRIX-like virtual memory substrate."""
+
+from repro.kernel.vm.allocator import PageFrameAllocator
+from repro.kernel.vm.hashtable import PageHashTable, logical_id, vnode_offset
+from repro.kernel.vm.locks import LockRegistry, SimLock
+from repro.kernel.vm.page import PageFrame
+from repro.kernel.vm.pagetable import PageTable, PageTableDirectory, Pte
+from repro.kernel.vm.shootdown import ShootdownMode, plan_flush
+from repro.kernel.vm.system import VmStats, VmSystem
+
+__all__ = [
+    "PageFrameAllocator",
+    "PageHashTable",
+    "logical_id",
+    "vnode_offset",
+    "LockRegistry",
+    "SimLock",
+    "PageFrame",
+    "PageTable",
+    "PageTableDirectory",
+    "Pte",
+    "ShootdownMode",
+    "plan_flush",
+    "VmStats",
+    "VmSystem",
+]

@@ -1,0 +1,165 @@
+"""Page frame descriptors and replica chains.
+
+Mirrors the structures Section 4 describes: IRIX's ``pfd`` (physical page
+frame descriptor), the replica chains added for replication support
+(replicas linked together, with one *master* linked into the page hash
+table), and the back-mappings from a pfd to every pte that maps it (an
+inverted-page-table-like addition that makes mapping changes cheap).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.common.errors import VmError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.kernel.vm.pagetable import Pte
+
+
+class PageFrame:
+    """One physical page frame (a pfd).
+
+    A frame is either free (``logical_page is None``), a *master* copy of a
+    logical page, or a *replica* chained off a master.
+    """
+
+    __slots__ = (
+        "frame_id",
+        "node",
+        "logical_page",
+        "is_replica",
+        "master",
+        "replicas",
+        "ptes",
+        "locked",
+    )
+
+    def __init__(self, frame_id: int, node: int) -> None:
+        self.frame_id = frame_id
+        self.node = node
+        self.logical_page: Optional[int] = None
+        self.is_replica = False
+        self.master: Optional["PageFrame"] = None
+        self.replicas: List["PageFrame"] = []
+        self.ptes: List["Pte"] = []   # back-mappings (Section 4)
+        self.locked = False           # transient, during migration/replication
+
+    # -- state predicates -----------------------------------------------------
+
+    @property
+    def is_free(self) -> bool:
+        """True when the frame holds no logical page."""
+        return self.logical_page is None
+
+    @property
+    def is_master(self) -> bool:
+        """True for the chain head of an in-use logical page."""
+        return self.logical_page is not None and not self.is_replica
+
+    @property
+    def has_replicas(self) -> bool:
+        """True when this master has at least one replica."""
+        return bool(self.replicas)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def assign(self, logical_page: int) -> None:
+        """Bind a free frame to a logical page as a master copy."""
+        if not self.is_free:
+            raise VmError(f"frame {self.frame_id} is already in use")
+        self.logical_page = logical_page
+        self.is_replica = False
+        self.master = None
+
+    def release(self) -> None:
+        """Return the frame to the free state."""
+        if self.ptes:
+            raise VmError(
+                f"frame {self.frame_id} still mapped by {len(self.ptes)} pte(s)"
+            )
+        if self.replicas:
+            raise VmError(f"frame {self.frame_id} still has replicas")
+        if self.master is not None:
+            raise VmError(f"frame {self.frame_id} is still chained to a master")
+        self.logical_page = None
+        self.is_replica = False
+        self.locked = False
+
+    # -- replica chain ----------------------------------------------------------
+
+    def add_replica(self, replica: "PageFrame") -> None:
+        """Chain ``replica`` (a free frame) onto this master."""
+        if not self.is_master:
+            raise VmError("replicas chain only onto a master frame")
+        if not replica.is_free:
+            raise VmError(f"frame {replica.frame_id} is not free")
+        if any(r.node == replica.node for r in self.replicas) or (
+            replica.node == self.node
+        ):
+            raise VmError(
+                f"logical page {self.logical_page} already has a copy on "
+                f"node {replica.node}"
+            )
+        replica.logical_page = self.logical_page
+        replica.is_replica = True
+        replica.master = self
+        self.replicas.append(replica)
+
+    def remove_replica(self, replica: "PageFrame") -> None:
+        """Unchain ``replica``; the caller frees it afterwards."""
+        if replica not in self.replicas:
+            raise VmError(
+                f"frame {replica.frame_id} is not a replica of "
+                f"frame {self.frame_id}"
+            )
+        self.replicas.remove(replica)
+        replica.master = None
+        replica.is_replica = False
+        replica.logical_page = None
+
+    def all_copies(self) -> List["PageFrame"]:
+        """Master first, then replicas."""
+        if self.is_replica:
+            raise VmError("all_copies must be called on the master")
+        return [self] + list(self.replicas)
+
+    def copy_nodes(self) -> List[int]:
+        """Nodes holding a copy of this logical page (master first)."""
+        return [frame.node for frame in self.all_copies()]
+
+    def nearest_copy(self, node: int) -> "PageFrame":
+        """The copy on ``node`` if one exists, else the master."""
+        for frame in self.all_copies():
+            if frame.node == node:
+                return frame
+        return self
+
+    # -- back mappings ------------------------------------------------------------
+
+    def attach_pte(self, pte: "Pte") -> None:
+        """Record that ``pte`` maps this frame."""
+        self.ptes.append(pte)
+
+    def detach_pte(self, pte: "Pte") -> None:
+        """Remove a back-mapping."""
+        try:
+            self.ptes.remove(pte)
+        except ValueError:
+            raise VmError("pte is not attached to this frame") from None
+
+    def mapping_cpus(self, cpu_of_process) -> List[int]:
+        """CPUs that currently have a mapping to this frame.
+
+        Used by the tracked-TLB-flush optimisation the paper simulates in
+        Section 7.2.2 (flush only processors holding mappings).
+        """
+        cpus = {cpu_of_process(pte.process) for pte in self.ptes}
+        return sorted(c for c in cpus if c is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "free" if self.is_free else ("replica" if self.is_replica else "master")
+        return (
+            f"PageFrame(id={self.frame_id}, node={self.node}, {kind}, "
+            f"page={self.logical_page})"
+        )

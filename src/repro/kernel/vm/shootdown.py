@@ -1,0 +1,53 @@
+"""TLB shootdown planning.
+
+Table 6 shows TLB flushing is the single largest kernel overhead of page
+movement (34–54 %), because IRIX keeps no record of which processors hold
+a mapping and must therefore flush *every* TLB.  The paper simulates a
+"tracked mappings" capability that flushes only processors with live
+mappings and finds it cuts total kernel overhead by ~25 % (on average two
+TLBs flushed instead of eight).
+
+:func:`plan_flush` computes the CPU set to flush for a batch of frames
+under either mode, using the pfd back-mappings; the cost model charges per
+CPU flushed, so the published effect reproduces mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.kernel.vm.page import PageFrame
+
+
+class ShootdownMode(enum.Enum):
+    """How the kernel picks the processors whose TLBs to flush."""
+
+    ALL_CPUS = "all"          # stock IRIX: no mapping information
+    TRACKED = "tracked"       # simulated: flush only CPUs with mappings
+
+
+def plan_flush(
+    frames: Iterable[PageFrame],
+    mode: ShootdownMode,
+    n_cpus: int,
+    cpu_of_process: Callable[[int], Optional[int]],
+) -> List[int]:
+    """CPUs whose TLBs must be flushed for a batch of page operations.
+
+    ``cpu_of_process`` maps a process id to the CPU it currently runs on
+    (None when not running — a descheduled process needs no flush; its
+    stale TLB context is gone by the time it runs again).
+    """
+    if mode is ShootdownMode.ALL_CPUS:
+        return list(range(n_cpus))
+    cpus: Set[int] = set()
+    for frame in frames:
+        start = frame if not frame.is_replica else frame.master
+        copies = start.all_copies() if start is not None else [frame]
+        for copy in copies:
+            for pte in copy.ptes:
+                cpu = cpu_of_process(pte.process)
+                if cpu is not None:
+                    cpus.add(cpu)
+    return sorted(cpus)

@@ -1,0 +1,96 @@
+"""TLB model: 64-entry fully associative LRU, with shootdown support.
+
+The paper's machine reloads TLBs in software, which is why TLB misses are a
+candidate (and, per Section 8.3, an inconsistent one) source of policy
+information, and why TLB *flushes* dominate the kernel overhead of page
+movement (Table 6).  The model supports both the whole-TLB flush IRIX
+performs and the per-page flush used by the simulated "tracked mappings"
+optimisation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.machine.config import TlbConfig
+
+
+class Tlb:
+    """One processor's TLB, mapping virtual page numbers."""
+
+    def __init__(self, config: Optional[TlbConfig] = None) -> None:
+        self.config = config or TlbConfig()
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.page_flushes = 0
+
+    def access(self, vpn: int) -> bool:
+        """Translate ``vpn``; return True on a hit, filling on a miss."""
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._entries) >= self.config.entries:
+            self._entries.popitem(last=False)
+        self._entries[vpn] = True
+        return False
+
+    def contains(self, vpn: int) -> bool:
+        """True when ``vpn`` is resident (no LRU update)."""
+        return vpn in self._entries
+
+    def flush(self) -> None:
+        """Invalidate every entry (the IRIX whole-TLB shootdown)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def flush_page(self, vpn: int) -> bool:
+        """Invalidate one mapping; return True if it was resident."""
+        self.page_flushes += 1
+        return self._entries.pop(vpn, None) is not None
+
+    @property
+    def occupancy(self) -> int:
+        """Number of live entries."""
+        return len(self._entries)
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses over the TLB's lifetime (0.0 if unused)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class TlbArray:
+    """The machine's set of per-CPU TLBs, with broadcast flush."""
+
+    def __init__(self, n_cpus: int, config: Optional[TlbConfig] = None) -> None:
+        self.tlbs: List[Tlb] = [Tlb(config) for _ in range(n_cpus)]
+
+    def __getitem__(self, cpu: int) -> Tlb:
+        return self.tlbs[cpu]
+
+    def __len__(self) -> int:
+        return len(self.tlbs)
+
+    def flush_all(self) -> int:
+        """Flush every TLB (returns the number of TLBs flushed)."""
+        for tlb in self.tlbs:
+            tlb.flush()
+        return len(self.tlbs)
+
+    def flush_cpus(self, cpus) -> int:
+        """Flush only the listed CPUs' TLBs (tracked-mapping optimisation)."""
+        count = 0
+        for cpu in cpus:
+            self.tlbs[cpu].flush()
+            count += 1
+        return count
+
+    def total_misses(self) -> int:
+        """Sum of TLB misses across CPUs."""
+        return sum(t.misses for t in self.tlbs)

@@ -1,0 +1,42 @@
+"""The paper's contribution: the migration/replication policy."""
+
+from repro.policy.adaptive import AdaptiveTriggerController, IntervalFeedback
+from repro.policy.decision import Action, Decision, Reason, decide, is_shared
+from repro.policy.metrics import (
+    ALL_METRICS,
+    FULL_CACHE,
+    FULL_TLB,
+    SAMPLED_CACHE,
+    SAMPLED_TLB,
+    InformationSource,
+    Metric,
+)
+from repro.policy.parameters import PolicyParameters
+from repro.policy.placement import (
+    first_touch_placement,
+    post_facto_placement,
+    round_robin_placement,
+    static_stall_ns,
+)
+
+__all__ = [
+    "AdaptiveTriggerController",
+    "IntervalFeedback",
+    "Action",
+    "Decision",
+    "Reason",
+    "decide",
+    "is_shared",
+    "ALL_METRICS",
+    "FULL_CACHE",
+    "FULL_TLB",
+    "SAMPLED_CACHE",
+    "SAMPLED_TLB",
+    "InformationSource",
+    "Metric",
+    "PolicyParameters",
+    "first_touch_placement",
+    "post_facto_placement",
+    "round_robin_placement",
+    "static_stall_ns",
+]

@@ -1,0 +1,103 @@
+"""Adaptive trigger-threshold selection (Section 8.4's open problem).
+
+The paper: "The trigger threshold is a critical parameter and selecting
+the correct trigger value, statically or adaptively, is a topic for
+further study."  This module implements the obvious adaptive controller a
+kernel could ship: once per reset interval it compares
+
+* the fraction of CPU time the pager burned this interval (overhead
+  pressure — the cost of being too aggressive), against
+* the fraction of misses still remote (locality headroom — the cost of
+  being too timid),
+
+and nudges the trigger multiplicatively: over budget → double the trigger
+(calm down); under budget with remote misses left → halve it (press
+harder).  Multiplicative moves make the controller stable across the
+orders-of-magnitude differences between workloads, and the clamp range
+keeps it inside Figure 9's studied regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IntervalFeedback:
+    """What the kernel observed during one reset interval."""
+
+    interval_ns: int            # wall length of the interval
+    n_cpus: int
+    overhead_ns: float          # pager time spent this interval
+    remote_misses: int
+    total_misses: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Pager time as a fraction of the interval's total CPU time."""
+        budget = self.interval_ns * self.n_cpus
+        return self.overhead_ns / budget if budget else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of the interval's misses that were remote."""
+        if self.total_misses == 0:
+            return 0.0
+        return self.remote_misses / self.total_misses
+
+
+class AdaptiveTriggerController:
+    """Per-interval multiplicative trigger adjustment."""
+
+    def __init__(
+        self,
+        initial_trigger: int = 128,
+        min_trigger: int = 16,
+        max_trigger: int = 1024,
+        overhead_budget: float = 0.12,
+        remote_target: float = 0.15,
+        step: int = 2,
+    ) -> None:
+        if not min_trigger <= initial_trigger <= max_trigger:
+            raise ConfigurationError("initial trigger outside clamp range")
+        if min_trigger <= 0:
+            raise ConfigurationError("triggers must be positive")
+        if not 0.0 < overhead_budget < 1.0:
+            raise ConfigurationError("overhead budget must lie in (0, 1)")
+        if not 0.0 <= remote_target < 1.0:
+            raise ConfigurationError("remote target must lie in [0, 1)")
+        if step < 2:
+            raise ConfigurationError("step must be at least 2")
+        self.trigger = initial_trigger
+        self.min_trigger = min_trigger
+        self.max_trigger = max_trigger
+        self.overhead_budget = overhead_budget
+        self.remote_target = remote_target
+        self.step = step
+        self.history: List[int] = [initial_trigger]
+
+    def update(self, feedback: IntervalFeedback) -> int:
+        """Adjust the trigger for the next interval; returns the new value.
+
+        The two pressures are checked in priority order: blowing the
+        overhead budget always backs off (a thrashing pager hurts every
+        process), and only a comfortably-idle pager with remote misses
+        left to convert presses harder.
+        """
+        if feedback.overhead_fraction > self.overhead_budget:
+            self.trigger = min(self.trigger * self.step, self.max_trigger)
+        elif (
+            feedback.remote_fraction > self.remote_target
+            and feedback.overhead_fraction < self.overhead_budget / 2
+        ):
+            self.trigger = max(self.trigger // self.step, self.min_trigger)
+        self.history.append(self.trigger)
+        return self.trigger
+
+    @property
+    def settled(self) -> bool:
+        """True once the last three intervals used the same trigger."""
+        return len(self.history) >= 3 and len(set(self.history[-3:])) == 1

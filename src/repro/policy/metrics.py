@@ -1,0 +1,59 @@
+"""Miss-information sources for the policy (Section 8.3).
+
+Full cache-miss information requires directory-controller support that
+many machines lack, so the paper studies four metrics:
+
+* **FC** — full cache-miss information (the Section 7 default);
+* **SC** — cache misses sampled 1-in-10;
+* **FT** — full TLB-miss information (software-reloaded TLBs make this
+  available to the OS with no hardware support);
+* **ST** — TLB misses sampled 1-in-10.
+
+The metric changes what drives the policy's *counters*; the stall time a
+policy achieves is always evaluated against the cache-miss trace, because
+cache misses are what cost time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InformationSource(enum.Enum):
+    """What event stream feeds the policy counters."""
+
+    CACHE_MISSES = "cache"
+    TLB_MISSES = "tlb"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """An information source plus a sampling rate."""
+
+    source: InformationSource
+    sampling_rate: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate <= 0:
+            raise ValueError("sampling rate must be >= 1")
+
+    @property
+    def label(self) -> str:
+        """Short label used in Figure 8 (FC / SC / FT / ST)."""
+        first = "F" if self.sampling_rate == 1 else "S"
+        second = "C" if self.source is InformationSource.CACHE_MISSES else "T"
+        return first + second
+
+    @property
+    def uses_tlb(self) -> bool:
+        """True when the driver stream is TLB misses."""
+        return self.source is InformationSource.TLB_MISSES
+
+
+FULL_CACHE = Metric(InformationSource.CACHE_MISSES, 1)
+SAMPLED_CACHE = Metric(InformationSource.CACHE_MISSES, 10)
+FULL_TLB = Metric(InformationSource.TLB_MISSES, 1)
+SAMPLED_TLB = Metric(InformationSource.TLB_MISSES, 10)
+
+ALL_METRICS = (FULL_CACHE, SAMPLED_CACHE, FULL_TLB, SAMPLED_TLB)

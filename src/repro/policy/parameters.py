@@ -1,0 +1,124 @@
+"""Policy parameters (Table 1 of the paper).
+
+The decision tree works on *rates*, which the implementation approximates
+with counters reset every ``reset_interval``:
+
+* **trigger threshold** — misses after which a page is "hot" and a
+  decision is triggered;
+* **sharing threshold** — misses from another processor that make the page
+  a replication candidate instead of a migration candidate;
+* **write threshold** — writes after which a page is not considered for
+  replication;
+* **migrate threshold** — migrations after which a page is not considered
+  for (further) migration.
+
+The *base policy* of Section 7 uses trigger 128 (96 for the engineering
+workload), sharing = trigger/4, write = migrate = 1, reset interval
+100 ms.  Section 8's dynamic policies use the same values with trigger
+fixed at 128/sharing 32.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MS
+
+
+@dataclass(frozen=True)
+class PolicyParameters:
+    """Tunable knobs of the migration/replication policy."""
+
+    trigger_threshold: int = 128
+    sharing_threshold: int = 32
+    write_threshold: int = 1
+    migrate_threshold: int = 1
+    reset_interval_ns: int = 100 * MS
+    sampling_rate: int = 1        # count 1 in N misses (Section 8.3)
+    batch_pages: int = 4          # hot pages collected per pager interrupt
+    enable_migration: bool = True
+    enable_replication: bool = True
+    hotspot_migration: bool = False
+    """The extension Section 7.1.2 proposes as future work: when a hot
+    write-shared page cannot be replicated, migrate it to the dominant
+    sharer's node anyway, trading one node's controller congestion for
+    fewer total remote misses."""
+
+    def __post_init__(self) -> None:
+        if self.trigger_threshold <= 0:
+            raise ConfigurationError("trigger threshold must be positive")
+        if self.sharing_threshold <= 0:
+            raise ConfigurationError("sharing threshold must be positive")
+        if self.sharing_threshold > self.trigger_threshold:
+            raise ConfigurationError(
+                "sharing threshold above trigger threshold can never fire"
+            )
+        if self.write_threshold < 0 or self.migrate_threshold < 0:
+            raise ConfigurationError("thresholds must be non-negative")
+        if self.reset_interval_ns <= 0:
+            raise ConfigurationError("reset interval must be positive")
+        if self.sampling_rate <= 0:
+            raise ConfigurationError("sampling rate must be >= 1")
+        if self.batch_pages <= 0:
+            raise ConfigurationError("batch size must be positive")
+
+    # -- canonical policies ----------------------------------------------------
+
+    @classmethod
+    def base(cls, trigger_threshold: int = 128, **overrides) -> "PolicyParameters":
+        """The base policy: sharing threshold is a quarter of trigger."""
+        sharing = overrides.pop(
+            "sharing_threshold", max(1, trigger_threshold // 4)
+        )
+        return cls(
+            trigger_threshold=trigger_threshold,
+            sharing_threshold=sharing,
+            **overrides,
+        )
+
+    @classmethod
+    def engineering_base(cls, **overrides) -> "PolicyParameters":
+        """Base policy tuned for the engineering workload (trigger 96)."""
+        return cls.base(trigger_threshold=96, **overrides)
+
+    @classmethod
+    def migration_only(cls, **overrides) -> "PolicyParameters":
+        """The Migr policy of Figure 6."""
+        overrides.setdefault("enable_replication", False)
+        return cls.base(**overrides)
+
+    @classmethod
+    def replication_only(cls, **overrides) -> "PolicyParameters":
+        """The Repl policy of Figure 6."""
+        overrides.setdefault("enable_migration", False)
+        return cls.base(**overrides)
+
+    def replace(self, **changes) -> "PolicyParameters":
+        """A copy with some fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def scaled_for_sampling(self, rate: int) -> "PolicyParameters":
+        """Thresholds rescaled for 1-in-``rate`` sampled miss information.
+
+        The thresholds approximate *rates* of real misses; counters fed
+        1-in-N sampled misses hold 1/N of the real counts, so the
+        comparison values shrink by the same factor.  This is what makes
+        the paper's half-size counters (Section 7.2.1) sufficient under
+        sampling, and what makes sampled-cache performance match
+        full-cache performance (Section 8.3).
+        """
+        if rate <= 1:
+            return self.replace(sampling_rate=1)
+        return self.replace(
+            sampling_rate=rate,
+            trigger_threshold=max(1, self.trigger_threshold // rate),
+            sharing_threshold=max(1, self.sharing_threshold // rate),
+            write_threshold=max(1, self.write_threshold),
+        )
+
+    @property
+    def is_static(self) -> bool:
+        """True when neither migration nor replication can ever fire."""
+        return not (self.enable_migration or self.enable_replication)

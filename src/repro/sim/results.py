@@ -1,0 +1,180 @@
+"""Results of a full-system simulation run.
+
+A :class:`SimulationResult` carries everything Section 7's tables and
+figures are built from: the stall breakdown (kernel/user x
+instruction/data x local/remote), the pager's action tally (Table 4), the
+cost accounting (Tables 5/6), the memory system's contention statistics
+(Section 7.1.2) and the VM's replication space usage (Section 7.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.stats import percent_change
+from repro.kernel.pager.costs import KernelCostAccounting
+from repro.kernel.pager.handler import ActionTally
+
+
+@dataclass
+class StallBreakdown:
+    """Weighted miss-stall time split the way Table 3 reports it."""
+
+    kernel_instr_ns: float = 0.0
+    kernel_data_ns: float = 0.0
+    user_instr_ns: float = 0.0
+    user_data_ns: float = 0.0
+    local_ns: float = 0.0
+    remote_ns: float = 0.0
+    local_misses: int = 0
+    remote_misses: int = 0
+
+    def add(
+        self,
+        stall_ns: float,
+        weight: int,
+        is_kernel: bool,
+        is_instr: bool,
+        is_remote: bool,
+    ) -> None:
+        """Account one serviced (weighted) miss."""
+        if is_kernel:
+            if is_instr:
+                self.kernel_instr_ns += stall_ns
+            else:
+                self.kernel_data_ns += stall_ns
+        elif is_instr:
+            self.user_instr_ns += stall_ns
+        else:
+            self.user_data_ns += stall_ns
+        if is_remote:
+            self.remote_ns += stall_ns
+            self.remote_misses += weight
+        else:
+            self.local_ns += stall_ns
+            self.local_misses += weight
+
+    @property
+    def total_ns(self) -> float:
+        """All miss stall."""
+        return (
+            self.kernel_instr_ns
+            + self.kernel_data_ns
+            + self.user_instr_ns
+            + self.user_data_ns
+        )
+
+    @property
+    def user_ns(self) -> float:
+        """User-mode stall."""
+        return self.user_instr_ns + self.user_data_ns
+
+    @property
+    def kernel_ns(self) -> float:
+        """Kernel-mode stall."""
+        return self.kernel_instr_ns + self.kernel_data_ns
+
+    @property
+    def total_misses(self) -> int:
+        """All serviced misses."""
+        return self.local_misses + self.remote_misses
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of misses serviced locally ("% local" in the figures)."""
+        total = self.total_misses
+        return self.local_misses / total if total else 0.0
+
+
+@dataclass
+class ContentionStats:
+    """Section 7.1.2's system-wide congestion metrics."""
+
+    remote_handler_invocations: int = 0
+    average_network_queue_length: float = 0.0
+    max_controller_occupancy: float = 0.0
+    average_local_latency_ns: float = 0.0
+    average_remote_latency_ns: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """One full-system run of one workload under one policy."""
+
+    workload: str
+    policy: str
+    machine: str
+    compute_time_ns: float
+    idle_time_ns: float
+    stall: StallBreakdown = field(default_factory=StallBreakdown)
+    accounting: KernelCostAccounting = field(default_factory=KernelCostAccounting)
+    tally: ActionTally = field(default_factory=ActionTally)
+    contention: ContentionStats = field(default_factory=ContentionStats)
+    collapses: int = 0
+    base_pages: int = 0
+    peak_replica_frames: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- headline quantities ---------------------------------------------------
+
+    @property
+    def kernel_overhead_ns(self) -> float:
+        """Total pager overhead (migration/replication/collapse)."""
+        return self.accounting.total_overhead_ns
+
+    @property
+    def non_idle_ns(self) -> float:
+        """Cumulative non-idle CPU time."""
+        return self.compute_time_ns + self.stall.total_ns + self.kernel_overhead_ns
+
+    @property
+    def execution_time_ns(self) -> float:
+        """Cumulative execution time (the height of a Figure 3 bar)."""
+        return self.non_idle_ns + self.idle_time_ns
+
+    @property
+    def local_miss_fraction(self) -> float:
+        """Percentage label at the bottom of the Figure 3/6 bars."""
+        return self.stall.local_fraction
+
+    def improvement_over(self, baseline: "SimulationResult") -> float:
+        """Percent execution-time improvement versus ``baseline``."""
+        return percent_change(baseline.execution_time_ns, self.execution_time_ns)
+
+    def stall_reduction_over(self, baseline: "SimulationResult") -> float:
+        """Percent memory-stall reduction versus ``baseline``."""
+        return percent_change(baseline.stall.total_ns, self.stall.total_ns)
+
+    # -- Table 3 view --------------------------------------------------------------
+
+    def table3_row(self, kernel_compute_share: float = 0.1) -> Dict[str, float]:
+        """Workload characterisation percentages (Table 3).
+
+        ``kernel_compute_share`` splits the (policy-independent) compute
+        time between kernel and user mode.
+        """
+        total = self.execution_time_ns
+        non_idle = self.non_idle_ns
+        kernel_compute = self.compute_time_ns * kernel_compute_share
+        kernel_time = kernel_compute + self.stall.kernel_ns
+        user_time = non_idle - kernel_time
+        return {
+            "total_cpu_sec": total / 1e9,
+            "% user": 100.0 * user_time / total,
+            "% kernel": 100.0 * kernel_time / total,
+            "% idle": 100.0 * self.idle_time_ns / total,
+            "kernel instr stall %": 100.0 * self.stall.kernel_instr_ns / non_idle,
+            "kernel data stall %": 100.0 * self.stall.kernel_data_ns / non_idle,
+            "user instr stall %": 100.0 * self.stall.user_instr_ns / non_idle,
+            "user data stall %": 100.0 * self.stall.user_data_ns / non_idle,
+        }
+
+    # -- Section 7.2.3 view ----------------------------------------------------------
+
+    @property
+    def replication_space_overhead(self) -> float:
+        """Peak replica frames over distinct base pages (memory growth)."""
+        if self.base_pages == 0:
+            return 0.0
+        return self.peak_replica_frames / self.base_pages

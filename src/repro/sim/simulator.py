@@ -1,0 +1,348 @@
+"""The full-system simulator: Section 7's experimental apparatus.
+
+Replays a workload's weighted miss trace against the complete stack:
+
+* the NUMA memory system services every miss (latency + contention);
+* the directory controller counts misses per page per CPU, samples if
+  configured, and raises batched pager interrupts for hot remote pages;
+* the pager executes Figure 2 against live VM structures (page frames,
+  replica chains, hash table, page tables, locks), charging its costs;
+* writes to replicated pages trap into the collapse path;
+* kernel-mode pages are placed first-touch and never moved — IRIX loads
+  its kernel unmapped at boot, so kernel pages cannot be migrated or
+  replicated (Section 8.2), only user pages can.
+
+Timestamps come from the trace (fixed timeline); policies are compared by
+the execution-time decomposition compute + idle + stall + overhead, as in
+the paper's trace-based methodology.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.kernel.pager.collapse import CollapseHandler
+from repro.kernel.pager.costs import KernelCostAccounting, KernelCostModel
+from repro.kernel.pager.handler import PagerHandler
+from repro.kernel.vm.shootdown import ShootdownMode
+from repro.kernel.vm.system import VmSystem
+from repro.machine.config import MachineConfig
+from repro.machine.directory import DirectoryArray
+from repro.machine.memory import NumaMemorySystem
+from repro.policy.adaptive import AdaptiveTriggerController, IntervalFeedback
+from repro.policy.parameters import PolicyParameters
+from repro.sim.results import ContentionStats, SimulationResult
+from repro.trace.record import Trace
+from repro.workloads.base import generate_trace
+from repro.workloads.spec import WorkloadSpec
+
+
+class Placement(enum.Enum):
+    """Initial (fault-time) page placement."""
+
+    FIRST_TOUCH = "FT"
+    ROUND_ROBIN = "RR"
+
+
+@dataclass
+class SimulatorOptions:
+    """Knobs of a full-system run."""
+
+    dynamic: bool = True                      # migration/replication on?
+    placement: Placement = Placement.FIRST_TOUCH
+    shootdown_mode: ShootdownMode = ShootdownMode.ALL_CPUS
+    pipelined_copy: bool = False              # MAGIC memory-to-memory copy
+    pager_delay_ns: int = 20_000_000          # interrupt dispatch latency
+    adaptive_trigger: bool = False            # Section 8.4's open problem
+
+    @property
+    def label(self) -> str:
+        """Short policy label for result tables."""
+        return "Mig/Rep" if self.dynamic else self.placement.value
+
+
+class SystemSimulator:
+    """Run one workload on one machine under one policy."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        machine: Optional[MachineConfig] = None,
+        params: Optional[PolicyParameters] = None,
+        options: Optional[SimulatorOptions] = None,
+        costs: Optional[KernelCostModel] = None,
+    ) -> None:
+        self.spec = spec
+        if machine is None:
+            machine = MachineConfig.flash_ccnuma(
+                n_cpus=spec.n_cpus, n_nodes=spec.n_nodes
+            )
+        if machine.n_cpus != spec.n_cpus or machine.n_nodes != spec.n_nodes:
+            raise ConfigurationError(
+                "machine CPU/node counts must match the workload spec"
+            )
+        self.machine = machine
+        self.params = params or PolicyParameters.base()
+        self.options = options or SimulatorOptions()
+        self.costs = costs or KernelCostModel.for_machine(
+            machine, pipelined_copy=self.options.pipelined_copy
+        )
+
+    # -- machine-label helper ----------------------------------------------------
+
+    def _machine_label(self) -> str:
+        remote = self.machine.memory.remote_ns
+        if remote >= 2500:
+            return "CC-NOW"
+        if self.machine.network.hop_ns == 0:
+            return "zero-network"
+        return "CC-NUMA"
+
+    # -- the run --------------------------------------------------------------------
+
+    def run(self, trace: Optional[Trace] = None) -> SimulationResult:
+        """Execute the workload and return the full result."""
+        spec, machine, params, options = (
+            self.spec,
+            self.machine,
+            self.params,
+            self.options,
+        )
+        if trace is None:
+            trace = generate_trace(spec)
+        frames_per_node = spec.frames_per_node or machine.memory.frames_per_node
+        vm = VmSystem(machine.n_nodes, frames_per_node)
+        memory = NumaMemorySystem(machine)
+        directory = DirectoryArray(
+            machine.n_cpus,
+            trigger_threshold=params.trigger_threshold,
+            sampling_rate=params.sampling_rate,
+            batch_pages=params.batch_pages,
+        )
+        accounting = KernelCostAccounting()
+        last_cpu: Dict[int, int] = {}
+
+        def node_of_cpu(cpu: int) -> int:
+            return machine.node_of_cpu(cpu)
+
+        def cpu_of_process(pid: int) -> Optional[int]:
+            return last_cpu.get(pid)
+
+        def node_of_process(pid: int) -> int:
+            return machine.node_of_cpu(last_cpu.get(pid, 0))
+
+        pager = PagerHandler(
+            vm=vm,
+            directory=directory,
+            params=params,
+            costs=self.costs,
+            accounting=accounting,
+            n_cpus=machine.n_cpus,
+            node_of_cpu=node_of_cpu,
+            node_of_process=node_of_process,
+            cpu_of_process=cpu_of_process,
+            shootdown_mode=options.shootdown_mode,
+        )
+        collapser = CollapseHandler(
+            vm=vm,
+            directory=directory,
+            costs=self.costs,
+            accounting=accounting,
+            n_cpus=machine.n_cpus,
+            node_of_cpu=node_of_cpu,
+            cpu_of_process=cpu_of_process,
+            shootdown_mode=options.shootdown_mode,
+        )
+        result = SimulationResult(
+            workload=spec.name,
+            policy=options.label,
+            machine=self._machine_label(),
+            compute_time_ns=float(spec.compute_time_ns),
+            idle_time_ns=float(spec.idle_time_ns()),
+        )
+        kernel_placement: Dict[int, int] = {}
+        pending: list = []                # heap of (due_ns, seq, HotBatch)
+        pending_seq = itertools.count()
+        next_reset = params.reset_interval_ns
+        adaptive: Optional[AdaptiveTriggerController] = None
+        interval_marks = (0.0, 0, 0)      # overhead/remote/total at interval start
+        if options.adaptive_trigger and options.dynamic:
+            adaptive = AdaptiveTriggerController(
+                initial_trigger=params.trigger_threshold
+            )
+        dynamic = options.dynamic
+        round_robin = options.placement is Placement.ROUND_ROBIN
+        n_nodes = machine.n_nodes
+
+        times = trace.time_ns
+        cpus = trace.cpu
+        pids = trace.process
+        pages = trace.page
+        weights = trace.weight
+        is_write = trace.is_write
+        is_instr = trace.is_instr
+        is_kernel = trace.is_kernel
+
+        for i in range(len(trace)):
+            t = int(times[i])
+            cpu = int(cpus[i])
+            pid = int(pids[i])
+            page = int(pages[i])
+            weight = int(weights[i])
+            write = bool(is_write[i])
+            instr = bool(is_instr[i])
+            kernel = bool(is_kernel[i])
+            last_cpu[pid] = cpu
+
+            # Pager interrupts whose dispatch delay has elapsed; each is
+            # serviced at its own due time, so contention between handlers
+            # reflects actual interrupt timing, not record batching.
+            while pending and pending[0][0] <= t:
+                due, _, batch = heapq.heappop(pending)
+                pager.handle_batch(due, batch)
+            # Reset-interval expiry: drain in-flight batches first.
+            if t >= next_reset:
+                for batch in directory.drain():
+                    pager.handle_batch(t, batch)
+                while pending:
+                    _, _, batch = heapq.heappop(pending)
+                    pager.handle_batch(t, batch)
+                directory.interval_reset()
+                if adaptive is not None:
+                    feedback = IntervalFeedback(
+                        interval_ns=params.reset_interval_ns,
+                        n_cpus=machine.n_cpus,
+                        overhead_ns=accounting.total_overhead_ns
+                        - interval_marks[0],
+                        remote_misses=memory.remote_misses
+                        - interval_marks[1],
+                        total_misses=memory.total_misses
+                        - interval_marks[2],
+                    )
+                    new_trigger = adaptive.update(feedback)
+                    directory.trigger_threshold = new_trigger
+                    tuned = params.replace(
+                        trigger_threshold=new_trigger,
+                        sharing_threshold=max(1, new_trigger // 4),
+                    )
+                    pager.params = tuned
+                if adaptive is not None or True:
+                    interval_marks = (
+                        accounting.total_overhead_ns,
+                        memory.remote_misses,
+                        memory.total_misses,
+                    )
+                while next_reset <= t:
+                    next_reset += params.reset_interval_ns
+
+            if kernel:
+                # Kernel pages: first-touch placement, never movable.
+                node = kernel_placement.get(page)
+                if node is None:
+                    node = (
+                        page % n_nodes if round_robin else node_of_cpu(cpu)
+                    )
+                    kernel_placement[page] = node
+                service = memory.service_miss(t, cpu, node, weight)
+                result.stall.add(
+                    service.latency_ns * weight,
+                    weight,
+                    is_kernel=True,
+                    is_instr=instr,
+                    is_remote=service.is_remote,
+                )
+                continue
+
+            # User pages go through the VM system.
+            preferred = page % n_nodes if round_robin else node_of_cpu(cpu)
+            pte = vm.fault(pid, page, preferred)
+            master = vm.master_of(page)
+            if write and master is not None and master.has_replicas:
+                collapser.handle_write_fault(t, page, cpu)
+            frame = pte.frame
+            service = memory.service_miss(t, cpu, frame.node, weight)
+            result.stall.add(
+                service.latency_ns * weight,
+                weight,
+                is_kernel=False,
+                is_instr=instr,
+                is_remote=service.is_remote,
+            )
+            if dynamic:
+                batch = directory.observe(
+                    page,
+                    cpu,
+                    write,
+                    weight,
+                    is_local=not service.is_remote,
+                    process=pid,
+                )
+                if batch is not None:
+                    # Small per-CPU skew so simultaneous interrupts from
+                    # different CPUs do not serialise on memlock at the
+                    # exact same instant.
+                    jitter = (cpu * 997_001) % 4_000_000
+                    heapq.heappush(
+                        pending,
+                        (t + options.pager_delay_ns + jitter,
+                         next(pending_seq), batch),
+                    )
+
+        # End of run: flush whatever is still queued.
+        end_time = int(times[-1]) if len(trace) else 0
+        for batch in directory.drain():
+            pager.handle_batch(end_time, batch)
+        while pending:
+            _, _, batch = heapq.heappop(pending)
+            pager.handle_batch(end_time, batch)
+
+        # -- gather results ------------------------------------------------------
+        result.accounting = accounting
+        result.tally = pager.tally
+        result.collapses = collapser.collapses
+        result.base_pages = vm.stats.base_pages
+        result.peak_replica_frames = vm.allocator.peak_replica_frames
+        result.contention = ContentionStats(
+            remote_handler_invocations=memory.remote_handler_invocations,
+            average_network_queue_length=memory.average_network_queue_length(
+                max(end_time, 1)
+            ),
+            max_controller_occupancy=memory.max_controller_occupancy(),
+            average_local_latency_ns=memory.average_local_latency(),
+            average_remote_latency_ns=memory.average_remote_latency(),
+        )
+        result.extra["tlbs_flushed"] = float(pager.tlbs_flushed)
+        result.extra["flush_operations"] = float(pager.flush_operations)
+        result.extra["memlock_wait_ns"] = vm.locks.memlock.wait.total
+        result.extra["vm_migrations"] = float(vm.stats.migrations)
+        result.extra["vm_replications"] = float(vm.stats.replications)
+        result.extra["vm_faults"] = float(vm.stats.faults)
+        result.extra["replicas_reclaimed"] = float(vm.stats.replicas_reclaimed)
+        if adaptive is not None:
+            result.extra["final_trigger"] = float(adaptive.trigger)
+            result.extra["trigger_history_len"] = float(len(adaptive.history))
+        vm.check_invariants()
+        return result
+
+
+def run_policy_comparison(
+    spec: WorkloadSpec,
+    trace: Optional[Trace] = None,
+    machine: Optional[MachineConfig] = None,
+    params: Optional[PolicyParameters] = None,
+    shootdown_mode: ShootdownMode = ShootdownMode.ALL_CPUS,
+) -> Dict[str, SimulationResult]:
+    """Run FT (static) and Mig/Rep (dynamic) on one workload (Figure 3)."""
+    if trace is None:
+        trace = generate_trace(spec)
+    results = {}
+    for dynamic in (False, True):
+        options = SimulatorOptions(dynamic=dynamic, shootdown_mode=shootdown_mode)
+        sim = SystemSimulator(spec, machine=machine, params=params, options=options)
+        results[options.label] = sim.run(trace)
+    return results

@@ -1,0 +1,476 @@
+"""Trace-driven policy simulation with a contentionless memory model.
+
+Reproduces the methodology of Section 8: each workload's secondary-cache
+miss trace is replayed against a simple memory model (300 ns local miss,
+1200 ns remote miss, 350 µs per migration/replication/collapse) under
+
+* three static policies — round-robin, first-touch, post-facto — and
+* three dynamic policies — migration-only, replication-only, combined —
+
+optionally driven by approximate information (sampled cache misses or
+TLB misses, Section 8.3).  Static policies are evaluated fully vectorised;
+dynamic policies replay the merged driver/cost streams through the same
+counter bank and decision tree the kernel implementation uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, TraceError
+from repro.common.units import US
+from repro.machine.directory import MissCounterBank, SamplingAccumulator
+from repro.policy.decision import Action, decide
+from repro.policy.metrics import FULL_CACHE, Metric
+from repro.policy.parameters import PolicyParameters
+from repro.policy.placement import (
+    first_touch_placement,
+    post_facto_placement,
+    round_robin_placement,
+    static_stall_ns,
+)
+from repro.trace.record import Trace
+from repro.trace.tlbsim import derive_tlb_trace
+
+
+class StaticPolicy(enum.Enum):
+    """The static placement strategies of Figure 6."""
+
+    ROUND_ROBIN = "RR"
+    FIRST_TOUCH = "FT"
+    POST_FACTO = "PF"
+
+
+@dataclass(frozen=True)
+class PolicySimConfig:
+    """Memory model parameters for the trace-driven simulator."""
+
+    n_cpus: int = 8
+    n_nodes: int = 8
+    local_ns: int = 300
+    remote_ns: int = 1200
+    op_cost_ns: int = 350 * US     # cost of a migrate/replicate/collapse
+    decision_delay_ns: int = 20_000_000
+    """Delay between a counter crossing the trigger and the pager acting.
+
+    The directory controller collects multiple hot pages before raising an
+    interrupt (Section 4); with weighted trace records the delay also lets
+    concurrent CPUs' misses be counted before the sharing test runs, which
+    is what happens naturally in an unweighted miss stream.
+    """
+
+    def __post_init__(self) -> None:
+        if self.n_cpus <= 0 or self.n_nodes <= 0:
+            raise ConfigurationError("need positive CPU and node counts")
+        if self.n_cpus % self.n_nodes != 0:
+            raise ConfigurationError("CPUs must divide evenly across nodes")
+        if self.local_ns <= 0 or self.remote_ns < self.local_ns:
+            raise ConfigurationError("latencies must satisfy 0 < local <= remote")
+        if self.op_cost_ns < 0:
+            raise ConfigurationError("operation cost must be non-negative")
+        if self.decision_delay_ns < 0:
+            raise ConfigurationError("decision delay must be non-negative")
+
+    def node_of_cpu(self, cpu: int) -> int:
+        """Home node of ``cpu``."""
+        return cpu // (self.n_cpus // self.n_nodes)
+
+
+@dataclass
+class PolicySimResult:
+    """Outcome of one policy run over one trace."""
+
+    label: str
+    total_misses: int = 0
+    local_misses: int = 0
+    stall_ns: float = 0.0
+    overhead_ns: float = 0.0
+    migrations: int = 0
+    replications: int = 0
+    collapses: int = 0
+    hot_events: int = 0
+    no_actions: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def remote_misses(self) -> int:
+        """Misses serviced from remote memory."""
+        return self.total_misses - self.local_misses
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of misses serviced from local memory."""
+        return self.local_misses / self.total_misses if self.total_misses else 0.0
+
+    @property
+    def local_stall_ns(self) -> float:
+        """Stall attributable to local misses (under the fixed latencies)."""
+        return float(self.extra.get("local_stall_ns", 0.0))
+
+    @property
+    def remote_stall_ns(self) -> float:
+        """Stall attributable to remote misses."""
+        return self.stall_ns - self.local_stall_ns
+
+    def run_time_ns(self, other_ns: float = 0.0) -> float:
+        """Execution time: fixed 'other' time + stall + movement overhead."""
+        return other_ns + self.stall_ns + self.overhead_ns
+
+    def normalised_to(self, baseline: "PolicySimResult", other_ns: float = 0.0) -> float:
+        """Run time normalised to another policy's (Figure 6 style)."""
+        base = baseline.run_time_ns(other_ns)
+        return self.run_time_ns(other_ns) / base if base else 0.0
+
+
+class TracePolicySimulator:
+    """Replay traces under static and dynamic placement policies."""
+
+    def __init__(self, config: Optional[PolicySimConfig] = None) -> None:
+        self.config = config or PolicySimConfig()
+        self._cpu_nodes = np.asarray(
+            [self.config.node_of_cpu(c) for c in range(self.config.n_cpus)],
+            dtype=np.int64,
+        )
+
+    # -- static policies ----------------------------------------------------------
+
+    def placement_for(self, trace: Trace, policy: StaticPolicy) -> np.ndarray:
+        """Page -> node array for a static policy."""
+        cfg = self.config
+        if policy is StaticPolicy.ROUND_ROBIN:
+            return round_robin_placement(trace, cfg.n_nodes)
+        if policy is StaticPolicy.FIRST_TOUCH:
+            return first_touch_placement(trace, cfg.n_nodes, cfg.node_of_cpu)
+        return post_facto_placement(trace, cfg.n_nodes, cfg.node_of_cpu)
+
+    def simulate_static(
+        self, trace: Trace, policy: StaticPolicy
+    ) -> PolicySimResult:
+        """Evaluate a static placement (no page movement, no overhead)."""
+        cfg = self.config
+        placement = self.placement_for(trace, policy)
+        stall, local_fraction = static_stall_ns(
+            trace, placement, cfg.node_of_cpu, cfg.local_ns, cfg.remote_ns
+        )
+        total = trace.total_misses
+        local = int(round(local_fraction * total))
+        result = PolicySimResult(
+            label=policy.value,
+            total_misses=total,
+            local_misses=local,
+            stall_ns=stall,
+        )
+        result.extra["local_stall_ns"] = float(local * cfg.local_ns)
+        return result
+
+    # -- dynamic policies ------------------------------------------------------------
+
+    def simulate_dynamic(
+        self,
+        trace: Trace,
+        params: PolicyParameters,
+        metric: Metric = FULL_CACHE,
+        label: Optional[str] = None,
+        driver_trace: Optional[Trace] = None,
+        initial: StaticPolicy = StaticPolicy.FIRST_TOUCH,
+    ) -> PolicySimResult:
+        """Replay ``trace`` under a dynamic migration/replication policy.
+
+        ``metric`` picks the counter-driving stream: cache misses (the
+        trace itself) or a TLB-miss trace derived from it (or supplied via
+        ``driver_trace``), each optionally sampled.
+        """
+        cfg = self.config
+        if metric.uses_tlb and driver_trace is None:
+            driver_trace = derive_tlb_trace(trace, n_cpus=cfg.n_cpus)
+        if metric.sampling_rate > 1:
+            params = params.scaled_for_sampling(metric.sampling_rate)
+        result = PolicySimResult(label=label or self._default_label(params, metric))
+        placement = self.placement_for(trace, initial)
+        copies: Dict[int, Set[int]] = {}
+        bank = MissCounterBank(cfg.n_cpus)
+        sampler = SamplingAccumulator(cfg.n_cpus, metric.sampling_rate)
+        armed: Set[int] = set()
+
+        if driver_trace is None:
+            events = self._single_stream_events(trace)
+        else:
+            events = self._merged_events(trace, driver_trace)
+
+        cpu_nodes = self._cpu_nodes
+        local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
+        op_cost = cfg.op_cost_ns
+        trigger = params.trigger_threshold
+        next_reset = params.reset_interval_ns
+        local_stall = 0.0
+        pending: deque = deque()   # (due_time, page, cpu) awaiting the pager
+
+        def act(page: int, cpu: int) -> None:
+            """Pager action once the hot page's interrupt is serviced."""
+            page_copies = copies[page]
+            node = int(cpu_nodes[cpu])
+            if node in page_copies:
+                armed.discard(page)
+                return  # became local while pending (another CPU acted)
+            counters = bank.get(page)
+            if counters is None:
+                armed.discard(page)
+                return  # counters cleared by a concurrent action
+            decision = decide(
+                counters.miss,
+                counters.writes,
+                counters.migrates,
+                cpu,
+                params,
+                memory_pressure=False,
+            )
+            if decision.action is Action.MIGRATE and len(page_copies) == 1:
+                dest = (
+                    int(cpu_nodes[decision.target_cpu])
+                    if decision.target_cpu is not None
+                    else node
+                )
+                if dest in page_copies:
+                    result.no_actions += 1
+                    return
+                page_copies.clear()
+                page_copies.add(dest)
+                result.migrations += 1
+                result.overhead_ns += op_cost
+                bank.note_migration(page)
+                bank.clear_page(page)
+                armed.discard(page)
+            elif decision.action is Action.REPLICATE:
+                page_copies.add(node)
+                result.replications += 1
+                result.overhead_ns += op_cost
+                bank.clear_page(page)
+                armed.discard(page)
+            else:
+                # No action: the page stays latched until the next reset so
+                # the pager is not re-interrupted for it every miss.
+                result.no_actions += 1
+
+        for time, cpu, page, weight, is_write, costs, counts in events:
+            while pending and pending[0][0] <= time:
+                _, hot_page, hot_cpu = pending.popleft()
+                act(hot_page, hot_cpu)
+            if time >= next_reset:
+                # Flush in-flight interrupts against pre-reset counters,
+                # then start the new interval.
+                while pending:
+                    _, hot_page, hot_cpu = pending.popleft()
+                    act(hot_page, hot_cpu)
+                bank.reset()
+                armed.clear()
+                while next_reset <= time:
+                    next_reset += params.reset_interval_ns
+            page_copies = copies.get(page)
+            if page_copies is None:
+                page_copies = copies[page] = {int(placement[page])}
+            node = cpu_nodes[cpu]
+            if costs:
+                if is_write and len(page_copies) > 1:
+                    # A store to a replicated page: collapse (pfault path).
+                    keep = node if node in page_copies else min(page_copies)
+                    page_copies.clear()
+                    page_copies.add(int(keep))
+                    result.collapses += 1
+                    result.overhead_ns += op_cost
+                local = node in page_copies
+                result.total_misses += weight
+                if local:
+                    result.local_misses += weight
+                    result.stall_ns += weight * local_ns
+                    local_stall += weight * local_ns
+                else:
+                    result.stall_ns += weight * remote_ns
+            if not counts:
+                continue
+            counted = sampler.sample(cpu, weight)
+            if counted == 0:
+                continue
+            count = bank.record(page, cpu, counted, is_write)
+            if count < trigger or page in armed:
+                continue
+            if node in page_copies:
+                continue  # hot but already local
+            result.hot_events += 1
+            armed.add(page)
+            pending.append((time + cfg.decision_delay_ns, page, cpu))
+        while pending:
+            _, hot_page, hot_cpu = pending.popleft()
+            act(hot_page, hot_cpu)
+        result.extra["local_stall_ns"] = local_stall
+        return result
+
+    # -- event stream helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _single_stream_events(trace: Trace):
+        """Each record both costs stall and drives the counters."""
+        times = trace.time_ns
+        cpus = trace.cpu
+        pages = trace.page
+        weights = trace.weight
+        writes = trace.is_write
+        for i in range(len(trace)):
+            yield (
+                int(times[i]),
+                int(cpus[i]),
+                int(pages[i]),
+                int(weights[i]),
+                bool(writes[i]),
+                True,
+                True,
+            )
+
+    @staticmethod
+    def _merged_events(cost: Trace, driver: Trace):
+        """Merge the cost and driver streams in time order.
+
+        Driver events sort *after* cost events at equal timestamps, so a
+        policy acting on an event never retroactively cheapens the miss
+        that produced it.
+        """
+        if cost.meta is not driver.meta and cost.meta is not None:
+            if driver.meta is not None and cost.meta.name != driver.meta.name:
+                raise TraceError("cost and driver traces are from different workloads")
+        i = j = 0
+        n_cost, n_driver = len(cost), len(driver)
+        c_t, d_t = cost.time_ns, driver.time_ns
+        c_w, d_w = cost.is_write, driver.is_write
+        while i < n_cost or j < n_driver:
+            take_cost = j >= n_driver or (
+                i < n_cost and int(c_t[i]) <= int(d_t[j])
+            )
+            if take_cost:
+                yield (
+                    int(c_t[i]),
+                    int(cost.cpu[i]),
+                    int(cost.page[i]),
+                    int(cost.weight[i]),
+                    bool(c_w[i]),
+                    True,
+                    False,
+                )
+                i += 1
+            else:
+                yield (
+                    int(d_t[j]),
+                    int(driver.cpu[j]),
+                    int(driver.page[j]),
+                    int(driver.weight[j]),
+                    bool(d_w[j]),
+                    False,
+                    True,
+                )
+                j += 1
+
+    # -- the competitive baseline [BGW89] ------------------------------------------
+
+    def simulate_competitive(
+        self,
+        trace: Trace,
+        initial: StaticPolicy = StaticPolicy.FIRST_TOUCH,
+        label: str = "Competitive",
+    ) -> PolicySimResult:
+        """The Black–Gupta–Weber competitive strategy, as a baseline.
+
+        The related-work comparator (Section 2): per-page per-processor
+        counters accumulate *remote* references, and a page moves once the
+        accumulated remote penalty would have paid for the move — the
+        classic rent-vs-buy break-even, ``op_cost / (remote - local)``
+        misses.  A recently-written page migrates, an unwritten one
+        replicates.
+
+        What it lacks, by design, is the paper's selectivity: no reset
+        interval (stale history still counts), no write-shared veto (only
+        a "written recently" hint), and no migrate limit.  On workloads
+        with fine-grain write sharing it therefore replicates pages it
+        should leave alone and pays for the collapses — the behaviour the
+        paper's Section 2 argues coherent caches make unaffordable.
+        """
+        cfg = self.config
+        break_even = max(
+            1, -(-cfg.op_cost_ns // max(cfg.remote_ns - cfg.local_ns, 1))
+        )
+        result = PolicySimResult(label=label)
+        placement = self.placement_for(trace, initial)
+        copies: Dict[int, Set[int]] = {}
+        remote_counts: Dict[int, "np.ndarray"] = {}
+        written: Set[int] = set()
+        cpu_nodes = self._cpu_nodes
+        local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
+        op_cost = cfg.op_cost_ns
+        local_stall = 0.0
+        times = trace.time_ns
+        cpus = trace.cpu
+        pages = trace.page
+        weights = trace.weight
+        writes_mask = trace.is_write
+        for i in range(len(trace)):
+            cpu = int(cpus[i])
+            page = int(pages[i])
+            weight = int(weights[i])
+            is_write = bool(writes_mask[i])
+            page_copies = copies.get(page)
+            if page_copies is None:
+                page_copies = copies[page] = {int(placement[page])}
+            node = int(cpu_nodes[cpu])
+            if is_write:
+                written.add(page)
+                if len(page_copies) > 1:
+                    keep = node if node in page_copies else min(page_copies)
+                    page_copies.clear()
+                    page_copies.add(keep)
+                    result.collapses += 1
+                    result.overhead_ns += op_cost
+            local = node in page_copies
+            result.total_misses += weight
+            if local:
+                result.local_misses += weight
+                result.stall_ns += weight * local_ns
+                local_stall += weight * local_ns
+                continue
+            result.stall_ns += weight * remote_ns
+            counts = remote_counts.get(page)
+            if counts is None:
+                counts = remote_counts[page] = np.zeros(
+                    cfg.n_cpus, dtype=np.int64
+                )
+            counts[cpu] += weight
+            if counts[cpu] < break_even:
+                continue
+            result.hot_events += 1
+            if page in written and len(page_copies) == 1:
+                page_copies.clear()
+                page_copies.add(node)
+                result.migrations += 1
+            else:
+                page_copies.add(node)
+                result.replications += 1
+            result.overhead_ns += op_cost
+            counts[:] = 0
+        result.extra["local_stall_ns"] = local_stall
+        result.extra["break_even_misses"] = float(break_even)
+        return result
+
+    @staticmethod
+    def _default_label(params: PolicyParameters, metric: Metric) -> str:
+        if params.enable_migration and params.enable_replication:
+            base = "Mig/Rep"
+        elif params.enable_migration:
+            base = "Migr"
+        elif params.enable_replication:
+            base = "Repl"
+        else:
+            base = "Static"
+        if metric is not FULL_CACHE:
+            base += f" ({metric.label})"
+        return base

@@ -1,0 +1,289 @@
+"""Columnar secondary-cache-miss traces.
+
+Section 8 of the paper drives a policy simulator from SimOS-generated
+traces containing every secondary-cache miss (user and kernel) with the
+processor and a timestamp.  Our traces carry the same information in
+columnar ``numpy`` arrays, with one extension: a ``weight`` per record —
+the number of consecutive identical misses the record stands for — which
+keeps Python-side record counts tractable at the paper's miss volumes.
+
+Flags encode write/instruction/kernel status as a bitfield.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.common.errors import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.spec import WorkloadSpec
+
+FLAG_WRITE = 0x1
+FLAG_INSTR = 0x2
+FLAG_KERNEL = 0x4
+
+
+@dataclass(frozen=True)
+class MissRecord:
+    """One weighted miss record (a convenience view of a trace row)."""
+
+    time_ns: int
+    cpu: int
+    process: int
+    page: int
+    weight: int
+    is_write: bool
+    is_instr: bool
+    is_kernel: bool
+
+
+class Trace:
+    """An immutable, time-sorted weighted miss trace."""
+
+    def __init__(
+        self,
+        time_ns: np.ndarray,
+        cpu: np.ndarray,
+        process: np.ndarray,
+        page: np.ndarray,
+        weight: np.ndarray,
+        flags: np.ndarray,
+        meta: Optional["WorkloadSpec"] = None,
+        validate: bool = True,
+    ) -> None:
+        self.time_ns = np.asarray(time_ns, dtype=np.int64)
+        self.cpu = np.asarray(cpu, dtype=np.int16)
+        self.process = np.asarray(process, dtype=np.int32)
+        self.page = np.asarray(page, dtype=np.int64)
+        self.weight = np.asarray(weight, dtype=np.int64)
+        self.flags = np.asarray(flags, dtype=np.uint8)
+        self.meta = meta
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.time_ns)
+        for name in ("cpu", "process", "page", "weight", "flags"):
+            if len(getattr(self, name)) != n:
+                raise TraceError(f"column {name} length mismatch")
+        if n and np.any(np.diff(self.time_ns) < 0):
+            raise TraceError("trace timestamps must be non-decreasing")
+        if n and np.any(self.weight <= 0):
+            raise TraceError("record weights must be positive")
+        if n and np.any(self.page < 0):
+            raise TraceError("page ids must be non-negative")
+
+    # -- basic shape --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.time_ns)
+
+    @property
+    def total_misses(self) -> int:
+        """Total represented misses (sum of weights)."""
+        return int(self.weight.sum()) if len(self) else 0
+
+    @property
+    def duration_ns(self) -> int:
+        """Span from first to last record."""
+        if not len(self):
+            return 0
+        return int(self.time_ns[-1] - self.time_ns[0])
+
+    @property
+    def n_pages(self) -> int:
+        """Distinct pages touched."""
+        return int(len(np.unique(self.page))) if len(self) else 0
+
+    # -- derived masks ---------------------------------------------------------------
+
+    @property
+    def is_write(self) -> np.ndarray:
+        """Boolean mask of write records."""
+        return (self.flags & FLAG_WRITE) != 0
+
+    @property
+    def is_instr(self) -> np.ndarray:
+        """Boolean mask of instruction-fetch records."""
+        return (self.flags & FLAG_INSTR) != 0
+
+    @property
+    def is_kernel(self) -> np.ndarray:
+        """Boolean mask of kernel-mode records."""
+        return (self.flags & FLAG_KERNEL) != 0
+
+    # -- selection ---------------------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "Trace":
+        """A sub-trace of the records where ``mask`` is True."""
+        return Trace(
+            self.time_ns[mask],
+            self.cpu[mask],
+            self.process[mask],
+            self.page[mask],
+            self.weight[mask],
+            self.flags[mask],
+            meta=self.meta,
+            validate=False,
+        )
+
+    def user_only(self) -> "Trace":
+        """Records issued in user mode."""
+        return self.select(~self.is_kernel)
+
+    def kernel_only(self) -> "Trace":
+        """Records issued in kernel mode."""
+        return self.select(self.is_kernel)
+
+    def data_only(self) -> "Trace":
+        """Data (non-instruction) records."""
+        return self.select(~self.is_instr)
+
+    def instr_only(self) -> "Trace":
+        """Instruction-fetch records."""
+        return self.select(self.is_instr)
+
+    # -- iteration ----------------------------------------------------------------------
+
+    def records(self) -> Iterator[MissRecord]:
+        """Iterate rows as :class:`MissRecord` (slow path; tests/analysis)."""
+        write, instr, kernel = self.is_write, self.is_instr, self.is_kernel
+        for i in range(len(self)):
+            yield MissRecord(
+                time_ns=int(self.time_ns[i]),
+                cpu=int(self.cpu[i]),
+                process=int(self.process[i]),
+                page=int(self.page[i]),
+                weight=int(self.weight[i]),
+                is_write=bool(write[i]),
+                is_instr=bool(instr[i]),
+                is_kernel=bool(kernel[i]),
+            )
+
+    # -- aggregation ----------------------------------------------------------------------
+
+    def misses_by_page_cpu(self, n_cpus: int) -> dict:
+        """{page: per-CPU weighted miss vector} over the whole trace."""
+        out: dict = {}
+        pages, cpus, weights = self.page, self.cpu, self.weight
+        for i in range(len(self)):
+            vec = out.get(pages[i])
+            if vec is None:
+                vec = out[int(pages[i])] = np.zeros(n_cpus, dtype=np.int64)
+            vec[cpus[i]] += weights[i]
+        return out
+
+    def max_page_id(self) -> int:
+        """Largest page id present (-1 for an empty trace)."""
+        return int(self.page.max()) if len(self) else -1
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: Union[str, "os.PathLike"]) -> None:
+        """Persist the trace as a compressed ``.npz`` archive.
+
+        Workload metadata (``meta``) is a live object graph and is *not*
+        persisted; a loaded trace carries ``meta=None``.  Use
+        :func:`repro.workloads.build_spec` with the same name/scale/seed
+        to re-attach it.
+        """
+        np.savez_compressed(
+            path,
+            time_ns=self.time_ns,
+            cpu=self.cpu,
+            process=self.process,
+            page=self.page,
+            weight=self.weight,
+            flags=self.flags,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike"]) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(path) as data:
+            return cls(
+                data["time_ns"],
+                data["cpu"],
+                data["process"],
+                data["page"],
+                data["weight"],
+                data["flags"],
+            )
+
+
+class TraceBuilder:
+    """Append-friendly trace construction."""
+
+    def __init__(self, meta: Optional["WorkloadSpec"] = None) -> None:
+        self._time: list = []
+        self._cpu: list = []
+        self._process: list = []
+        self._page: list = []
+        self._weight: list = []
+        self._flags: list = []
+        self.meta = meta
+
+    def append(
+        self,
+        time_ns: int,
+        cpu: int,
+        process: int,
+        page: int,
+        weight: int = 1,
+        is_write: bool = False,
+        is_instr: bool = False,
+        is_kernel: bool = False,
+    ) -> None:
+        """Add one record (records may be appended out of order)."""
+        flags = (
+            (FLAG_WRITE if is_write else 0)
+            | (FLAG_INSTR if is_instr else 0)
+            | (FLAG_KERNEL if is_kernel else 0)
+        )
+        self._time.append(time_ns)
+        self._cpu.append(cpu)
+        self._process.append(process)
+        self._page.append(page)
+        self._weight.append(weight)
+        self._flags.append(flags)
+
+    def __len__(self) -> int:
+        return len(self._time)
+
+    def build(self, sort: bool = True) -> Trace:
+        """Produce the immutable trace, sorting by time by default."""
+        time = np.asarray(self._time, dtype=np.int64)
+        cpu = np.asarray(self._cpu, dtype=np.int16)
+        process = np.asarray(self._process, dtype=np.int32)
+        page = np.asarray(self._page, dtype=np.int64)
+        weight = np.asarray(self._weight, dtype=np.int64)
+        flags = np.asarray(self._flags, dtype=np.uint8)
+        if sort and len(time):
+            order = np.argsort(time, kind="stable")
+            time, cpu, process = time[order], cpu[order], process[order]
+            page, weight, flags = page[order], weight[order], flags[order]
+        return Trace(time, cpu, process, page, weight, flags, meta=self.meta)
+
+
+def merge_traces(traces: list) -> Trace:
+    """Merge several traces into one time-sorted trace."""
+    traces = [t for t in traces if len(t)]
+    if not traces:
+        raise TraceError("nothing to merge")
+    time = np.concatenate([t.time_ns for t in traces])
+    order = np.argsort(time, kind="stable")
+    meta = traces[0].meta
+    return Trace(
+        time[order],
+        np.concatenate([t.cpu for t in traces])[order],
+        np.concatenate([t.process for t in traces])[order],
+        np.concatenate([t.page for t in traces])[order],
+        np.concatenate([t.weight for t in traces])[order],
+        np.concatenate([t.flags for t in traces])[order],
+        meta=meta,
+    )

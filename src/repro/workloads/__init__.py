@@ -1,0 +1,74 @@
+"""Synthetic analogues of the paper's five workloads (Table 2).
+
+``load_workload`` is the main entry point; it builds the spec, generates
+the trace, and caches the pair so benches sharing a workload don't pay for
+generation twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.trace.record import Trace
+from repro.workloads import database, engineering, pmake, raytrace, splash
+from repro.workloads.base import TraceGenerator, generate_trace
+from repro.workloads.spec import (
+    GroupInstance,
+    PageGroupSpec,
+    SharingClass,
+    WorkloadSpec,
+)
+
+_BUILDERS = {
+    "engineering": engineering.build,
+    "raytrace": raytrace.build,
+    "splash": splash.build,
+    "database": database.build,
+    "pmake": pmake.build,
+}
+
+WORKLOAD_NAMES = tuple(_BUILDERS)
+
+_cache: Dict[Tuple[str, float, int], Tuple[WorkloadSpec, Trace]] = {}
+
+
+def build_spec(name: str, scale: float = 1.0, seed: int = 0) -> WorkloadSpec:
+    """Build the spec for a named workload."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; pick one of {sorted(_BUILDERS)}"
+        )
+    return builder(scale=scale, seed=seed)
+
+
+def load_workload(
+    name: str, scale: float = 1.0, seed: int = 0
+) -> Tuple[WorkloadSpec, Trace]:
+    """(spec, trace) for a named workload, cached per (name, scale, seed)."""
+    key = (name, float(scale), int(seed))
+    cached = _cache.get(key)
+    if cached is None:
+        spec = build_spec(name, scale=scale, seed=seed)
+        cached = _cache[key] = (spec, generate_trace(spec))
+    return cached
+
+
+def clear_cache() -> None:
+    """Drop all cached workloads (tests use this to bound memory)."""
+    _cache.clear()
+
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "build_spec",
+    "load_workload",
+    "clear_cache",
+    "generate_trace",
+    "TraceGenerator",
+    "GroupInstance",
+    "PageGroupSpec",
+    "SharingClass",
+    "WorkloadSpec",
+]

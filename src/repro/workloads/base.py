@@ -1,0 +1,221 @@
+"""Deterministic synthesis of weighted miss traces from a workload spec.
+
+The generator walks the schedule in fixed quanta.  For every (quantum,
+CPU) with a running process it splits the CPU's miss budget over the page
+groups the process can touch, concentrates each group's share onto a small
+set of pages (hot-set skew), and emits weighted read and write records.
+All randomness flows from one seeded generator, so a (spec, seed) pair
+always produces the identical trace.
+
+The emitted structure is what the policy cares about:
+
+* per-process groups produce misses only from their owner, so their pages
+  look unshared to the counters and migrate when the scheduler moves the
+  owner;
+* shared groups produce misses from every accessor, with a *common* hot
+  set, so their pages cross the sharing threshold;
+* ``write_fraction`` controls how often a page's read chains terminate,
+  deciding between the replication branch and the write-shared veto.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.common.units import SEC
+from repro.trace.record import Trace, TraceBuilder
+from repro.workloads.spec import GroupInstance, WorkloadSpec
+
+
+def _normalised(instances: Sequence[GroupInstance]) -> List[Tuple[GroupInstance, float]]:
+    """Pair each instance with its share, normalised to sum to one."""
+    total = sum(inst.spec.miss_share for inst in instances)
+    if total <= 0:
+        return []
+    return [(inst, inst.spec.miss_share / total) for inst in instances]
+
+
+class TraceGenerator:
+    """Synthesises the weighted miss trace for one workload spec."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self._rng = make_rng(spec.seed, "trace-generator", spec.name)
+        self._user_cache: Dict[int, List[Tuple[GroupInstance, float]]] = {}
+        self._kernel_cache: Dict[Tuple[int, int], List[Tuple[GroupInstance, float]]] = {}
+
+    # -- instance lookup with caching -------------------------------------------
+
+    def _user_instances(self, pid: int) -> List[Tuple[GroupInstance, float]]:
+        cached = self._user_cache.get(pid)
+        if cached is None:
+            cached = _normalised(self.spec.instances_for_process(pid))
+            self._user_cache[pid] = cached
+        return cached
+
+    def _kernel_instances(
+        self, cpu: int, pid: int
+    ) -> List[Tuple[GroupInstance, float]]:
+        key = (cpu, pid)
+        cached = self._kernel_cache.get(key)
+        if cached is None:
+            cached = _normalised(self.spec.kernel_instances_for_cpu(cpu, pid))
+            self._kernel_cache[key] = cached
+        return cached
+
+    # -- generation ------------------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """Produce the full trace (sorted by time)."""
+        spec = self.spec
+        builder = TraceBuilder(meta=spec)
+        quantum = spec.quantum_ns
+        quantum_sec = quantum / SEC
+        user_budget = spec.user_miss_rate * quantum_sec
+        kernel_budget = spec.kernel_miss_rate * quantum_sec
+        time = spec.schedule.start_ns
+        while time < spec.schedule.end_ns:
+            epoch = spec.schedule.at(time)
+            span = min(quantum, spec.schedule.end_ns - time)
+            scale = span / quantum
+            for cpu in sorted(epoch.running):
+                pid = epoch.running[cpu]
+                self._emit_for_cpu(
+                    builder,
+                    time,
+                    span,
+                    cpu,
+                    pid,
+                    user_budget * scale,
+                    self._user_instances(pid),
+                    kernel=False,
+                )
+                self._emit_for_cpu(
+                    builder,
+                    time,
+                    span,
+                    cpu,
+                    pid,
+                    kernel_budget * scale,
+                    self._kernel_instances(cpu, pid),
+                    kernel=True,
+                )
+            time += span
+        return builder.build(sort=True)
+
+    def _emit_for_cpu(
+        self,
+        builder: TraceBuilder,
+        start_ns: int,
+        span_ns: int,
+        cpu: int,
+        pid: int,
+        budget: float,
+        instances: List[Tuple[GroupInstance, float]],
+        kernel: bool,
+    ) -> None:
+        """Emit one CPU's misses for one quantum."""
+        if budget < 1.0 or not instances:
+            return
+        rng = self._rng
+        # De-phase CPUs within the quantum so their miss bursts (and hence
+        # their pager interrupts) do not all land at the quantum start.
+        cpu_phase = (cpu % 8) * (span_ns // 16)
+        for inst, share in instances:
+            group = inst.spec
+            group_weight = int(round(budget * share))
+            if group_weight <= 0:
+                continue
+            # Hot picks carry ``hot_weight`` of the group's misses over a
+            # small hot set (these are the pages that can cross the
+            # trigger threshold); cold picks spread the remainder thinly —
+            # an individual cold touch must stay well below the trigger.
+            hot_n = max(1, int(round(group.hot_fraction * inst.n_pages)))
+            k_hot = min(group.pages_per_quantum, inst.n_pages)
+            k_cold = k_hot if inst.n_pages > hot_n else 0
+            hot_pages = self._pick(inst.first_page, hot_n, k_hot, rng)
+            hot_budget = int(round(group_weight * group.hot_weight))
+            picks = [(page, True) for page in hot_pages]
+            if k_cold:
+                cold_pages = self._pick(inst.first_page, inst.n_pages, k_cold, rng)
+                cold_budget = group_weight - hot_budget
+                picks.extend(
+                    (page, False) for page in cold_pages if page not in hot_pages
+                )
+            else:
+                cold_budget = 0
+                hot_budget = group_weight
+            n_hot = sum(1 for _, is_hot in picks if is_hot)
+            n_cold = len(picks) - n_hot
+            step = max(1, span_ns // (len(picks) + 1))
+            for j, (page, is_hot) in enumerate(picks):
+                if is_hot:
+                    weight = hot_budget // max(n_hot, 1)
+                else:
+                    weight = cold_budget // max(n_cold, 1)
+                if weight <= 0:
+                    continue
+                when = start_ns + (j * step + cpu_phase) % span_ns
+                writes = self._write_weight(weight, group.write_fraction, rng)
+                reads = weight - writes
+                if reads > 0:
+                    builder.append(
+                        when,
+                        cpu,
+                        pid,
+                        page,
+                        weight=reads,
+                        is_write=False,
+                        is_instr=group.is_instr,
+                        is_kernel=kernel,
+                    )
+                if writes > 0:
+                    builder.append(
+                        when + 1,
+                        cpu,
+                        pid,
+                        page,
+                        weight=writes,
+                        is_write=True,
+                        is_instr=group.is_instr,
+                        is_kernel=kernel,
+                    )
+
+    @staticmethod
+    def _pick(
+        first_page: int, range_pages: int, k: int, rng: np.random.Generator
+    ) -> List[int]:
+        """``k`` draws (deduplicated) from the first ``range_pages`` pages."""
+        if k <= 0:
+            return []
+        offsets = rng.integers(0, range_pages, size=min(k, range_pages))
+        return sorted({first_page + int(o) for o in offsets})
+
+    @staticmethod
+    def _write_weight(
+        weight: int, write_fraction: float, rng: np.random.Generator
+    ) -> int:
+        """Integer write weight with exact expectation ``weight * fraction``."""
+        if write_fraction <= 0.0:
+            return 0
+        expected = weight * write_fraction
+        writes = int(expected)
+        if rng.random() < expected - writes:
+            writes += 1
+        return min(writes, weight)
+
+
+def generate_trace(spec: WorkloadSpec) -> Trace:
+    """Convenience wrapper: synthesise the trace for ``spec``."""
+    return TraceGenerator(spec).generate()
+
+
+def scaled_duration(base_duration_ns: int, scale: float) -> int:
+    """Scale a workload duration, keeping it positive."""
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    return max(int(base_duration_ns * scale), 1_000_000)

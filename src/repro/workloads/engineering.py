@@ -1,0 +1,143 @@
+"""The multiprogrammed engineering workload (6 Flashlite + 6 VCS).
+
+Paper characterisation (Tables 2/3, Section 6): twelve large sequential
+compute- and memory-intensive applications, UNIX priority scheduling with
+affinity, 27.5 MB footprint, 20 % idle, 74 % user / 6 % kernel time, and a
+very large user stall (34.4 % instruction + 37.4 % data of non-idle time —
+VCS compiles the simulated circuit into a huge code segment).
+
+Structure that matters to the policy:
+
+* each process's *data* is private — when the scheduler moves the process,
+  those pages strand remotely and only migration recovers them;
+* the six instances of each application share one *code* segment — hot
+  code pages are read-shared by up to six processes and only replication
+  makes them local everywhere;
+* code pages have an enormous cache-miss-to-TLB-miss ratio (tight loops in
+  a segment far larger than the L2), which is why TLB-driven policies fail
+  on this workload (Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.common.units import ms, sec
+from repro.kernel.sched.affinity import AffinityScheduler
+from repro.kernel.sched.process import Process
+from repro.workloads.base import scaled_duration
+from repro.workloads.spec import PageGroupSpec, SharingClass, WorkloadSpec
+
+#: Wall-clock duration at scale 1.0 (cumulative CPU time 61.76 s over 8 CPUs).
+BASE_DURATION_NS = sec(61.76 / 8)
+
+N_CPUS = 8
+N_VCS = 6
+N_FLASHLITE = 6
+
+
+def build(scale: float = 1.0, seed: int = 0) -> WorkloadSpec:
+    """Construct the engineering workload spec."""
+    duration = scaled_duration(BASE_DURATION_NS, scale)
+    vcs_pids = tuple(range(N_VCS))
+    flashlite_pids = tuple(range(N_VCS, N_VCS + N_FLASHLITE))
+    processes = [Process(pid=p, name=f"vcs.{p}", job="vcs") for p in vcs_pids]
+    processes += [
+        Process(pid=p, name=f"flashlite.{p - N_VCS}", job="flashlite")
+        for p in flashlite_pids
+    ]
+    scheduler = AffinityScheduler(
+        n_cpus=N_CPUS,
+        quantum_ns=ms(20),
+        duty_cycle=0.58,           # 12 procs * 0.58 ~ 7 runnable -> ~20 % idle
+        rebalance_probability=0.04,
+        seed=seed,
+    )
+    schedule = scheduler.build(processes, duration)
+    groups = [
+        PageGroupSpec(
+            name="vcs-code",
+            sharing=SharingClass.CODE,
+            n_pages=420,
+            miss_share=0.48,
+            write_fraction=0.0,
+            is_instr=True,
+            pages_per_quantum=8,
+            hot_fraction=0.22,
+            hot_weight=0.92,
+            touches_per_miss=40.0,
+            tlb_factor=0.01,
+            accessors=vcs_pids,
+        ),
+        PageGroupSpec(
+            name="flashlite-code",
+            sharing=SharingClass.CODE,
+            n_pages=160,
+            miss_share=0.48,
+            write_fraction=0.0,
+            is_instr=True,
+            pages_per_quantum=7,
+            hot_fraction=0.30,
+            hot_weight=0.92,
+            touches_per_miss=40.0,
+            tlb_factor=0.01,
+            accessors=flashlite_pids,
+        ),
+        PageGroupSpec(
+            name="private-data",
+            sharing=SharingClass.PRIVATE,
+            n_pages=440,
+            miss_share=0.52,
+            write_fraction=0.25,
+            pages_per_quantum=10,
+            hot_fraction=0.12,
+            hot_weight=0.92,
+            touches_per_miss=8.0,
+            tlb_factor=0.30,
+        ),
+        PageGroupSpec(
+            name="kernel-percpu",
+            sharing=SharingClass.KERNEL_PERCPU,
+            n_pages=40,
+            miss_share=0.60,
+            write_fraction=0.30,
+            pages_per_quantum=5,
+            hot_fraction=0.4,
+            tlb_factor=0.40,
+        ),
+        PageGroupSpec(
+            name="kernel-shared",
+            sharing=SharingClass.KERNEL_SHARED,
+            n_pages=120,
+            miss_share=0.25,
+            write_fraction=0.45,
+            pages_per_quantum=4,
+            hot_fraction=0.4,
+            tlb_factor=0.50,
+        ),
+        PageGroupSpec(
+            name="kernel-code",
+            sharing=SharingClass.KERNEL_CODE,
+            n_pages=120,
+            miss_share=0.15,
+            write_fraction=0.0,
+            is_instr=True,
+            pages_per_quantum=4,
+            hot_fraction=0.3,
+            tlb_factor=0.02,
+        ),
+    ]
+    spec = WorkloadSpec(
+        name="engineering",
+        n_cpus=N_CPUS,
+        n_nodes=N_CPUS,
+        duration_ns=duration,
+        quantum_ns=ms(10),
+        user_miss_rate=750_000.0,
+        kernel_miss_rate=60_000.0,
+        compute_time_ns=int(schedule.busy_time_ns() * 0.228),
+        groups=groups,
+        processes=processes,
+        schedule=schedule,
+        seed=seed,
+        frames_per_node=1400,      # 5.5 MB/node: tight enough for some
+    )                              # allocation failures (Table 4: 6 %)
+    return spec

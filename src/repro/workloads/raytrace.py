@@ -1,0 +1,132 @@
+"""The single-parallel-application workload (SPLASH Raytrace).
+
+Paper characterisation: one compute-intensive parallel renderer whose
+worker processes are *locked to processors*; 28.8 MB footprint, 6 % idle,
+69 % user / 25 % kernel time, user data stall 36.1 % of non-idle.
+
+Structure that matters to the policy:
+
+* the scene database is a large structure read by every worker with
+  essentially no writes — 60 % of the workload's data misses sit in read
+  chains of 512+ misses (Figure 4), so replication is where the win is;
+* processes never move, so migration contributes almost nothing
+  (Figure 6's Migr bar for raytrace is flat);
+* a small task queue is write-shared and must be left alone.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import ms, sec
+from repro.kernel.sched.pinned import PinnedScheduler
+from repro.kernel.sched.process import Process
+from repro.workloads.base import scaled_duration
+from repro.workloads.spec import PageGroupSpec, SharingClass, WorkloadSpec
+
+#: Wall-clock duration at scale 1.0 (cumulative CPU time 74.08 s over 8 CPUs).
+BASE_DURATION_NS = sec(74.08 / 8)
+
+N_CPUS = 8
+
+
+def build(scale: float = 1.0, seed: int = 0) -> WorkloadSpec:
+    """Construct the raytrace workload spec."""
+    duration = scaled_duration(BASE_DURATION_NS, scale)
+    processes = [
+        Process(pid=p, name=f"raytrace.{p}", job="raytrace")
+        for p in range(N_CPUS)
+    ]
+    scheduler = PinnedScheduler(n_cpus=N_CPUS, duty_cycle=0.94, seed=seed)
+    schedule = scheduler.build(processes, duration, quantum_ns=ms(20))
+    groups = [
+        PageGroupSpec(
+            name="scene",
+            sharing=SharingClass.READ_SHARED,
+            n_pages=4600,
+            miss_share=0.62,
+            write_fraction=0.0,
+            pages_per_quantum=10,
+            hot_fraction=0.025,
+            hot_weight=0.85,
+            touches_per_miss=6.0,
+            tlb_factor=0.50,
+        ),
+        PageGroupSpec(
+            name="rays-private",
+            sharing=SharingClass.PRIVATE,
+            n_pages=140,
+            miss_share=0.20,
+            write_fraction=0.30,
+            pages_per_quantum=6,
+            hot_fraction=0.30,
+            tlb_factor=0.30,
+        ),
+        PageGroupSpec(
+            name="task-queue",
+            sharing=SharingClass.WRITE_SHARED,
+            n_pages=24,
+            miss_share=0.08,
+            write_fraction=0.45,
+            pages_per_quantum=4,
+            hot_fraction=0.50,
+            tlb_factor=0.60,
+        ),
+        PageGroupSpec(
+            name="code",
+            sharing=SharingClass.CODE,
+            n_pages=110,
+            miss_share=0.10,
+            write_fraction=0.0,
+            is_instr=True,
+            pages_per_quantum=5,
+            hot_fraction=0.30,
+            hot_weight=0.85,
+            touches_per_miss=40.0,
+            tlb_factor=0.01,
+        ),
+        PageGroupSpec(
+            name="kernel-percpu",
+            sharing=SharingClass.KERNEL_PERCPU,
+            n_pages=50,
+            miss_share=0.50,
+            write_fraction=0.30,
+            pages_per_quantum=5,
+            hot_fraction=0.4,
+            tlb_factor=0.40,
+        ),
+        PageGroupSpec(
+            name="kernel-shared",
+            sharing=SharingClass.KERNEL_SHARED,
+            n_pages=130,
+            miss_share=0.30,
+            write_fraction=0.50,
+            pages_per_quantum=4,
+            hot_fraction=0.4,
+            tlb_factor=0.50,
+        ),
+        PageGroupSpec(
+            name="kernel-code",
+            sharing=SharingClass.KERNEL_CODE,
+            n_pages=90,
+            miss_share=0.20,
+            write_fraction=0.0,
+            is_instr=True,
+            pages_per_quantum=4,
+            hot_fraction=0.3,
+            tlb_factor=0.02,
+        ),
+    ]
+    return WorkloadSpec(
+        name="raytrace",
+        n_cpus=N_CPUS,
+        n_nodes=N_CPUS,
+        duration_ns=duration,
+        quantum_ns=ms(10),
+        user_miss_rate=380_000.0,
+        kernel_miss_rate=195_000.0,
+        compute_time_ns=int(schedule.busy_time_ns() * 0.404),
+        groups=groups,
+        processes=processes,
+        schedule=schedule,
+        seed=seed,
+        frames_per_node=4096,
+    )

@@ -1,0 +1,305 @@
+"""Workload specifications: page groups, sharing classes, calibration.
+
+Section 3.1 of the paper classifies pages into three groups by access
+pattern — accessed by one process (migration candidates), read-shared by
+many (replication candidates), and write-shared by many (neither) — and
+Section 6 characterises five workloads by how their miss traffic spreads
+over those classes.  A :class:`WorkloadSpec` describes a synthetic
+workload in exactly those terms: a set of :class:`PageGroupSpec` entries,
+a miss-rate calibration, and a schedule.
+
+The structural knobs per group:
+
+``miss_share``
+    Fraction of the owning scope's (user or kernel) miss budget.
+``write_fraction``
+    Fraction of the group's miss weight that is writes — the dial that
+    sets read-chain lengths (Figure 4) and write-shared robustness.
+``pages_per_quantum`` / ``hot_fraction`` / ``hot_weight``
+    Concentration of misses over the group's pages; these decide which
+    pages cross the trigger threshold within a reset interval.
+``touches_per_miss`` / ``tlb_factor``
+    How the page-grain access stream relates to the miss stream; these
+    drive the TLB-miss derivation of Section 8.3 (code pages have huge
+    cache-miss counts but tiny TLB-miss counts, which is why TLB misses
+    are an inconsistent policy metric).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB, PAGE_SIZE, SEC
+from repro.kernel.sched.process import Process, Schedule
+
+
+class SharingClass(enum.Enum):
+    """The paper's page-access taxonomy (Section 3.1) plus kernel classes."""
+
+    PRIVATE = "private"                  # one process; migration candidate
+    READ_SHARED = "read-shared"          # many readers; replication candidate
+    WRITE_SHARED = "write-shared"        # fine-grain updates; move nothing
+    CODE = "code"                        # shared text; replication candidate
+    KERNEL_PERCPU = "kernel-percpu"      # PDA, kernel stacks, local PFDs
+    KERNEL_SHARED = "kernel-shared"      # shared kernel data, write-shared
+    KERNEL_CODE = "kernel-code"          # kernel text (~12 % of pmake misses)
+    KERNEL_PROCESS = "kernel-process"    # page tables, u-areas (per process)
+
+
+#: Sharing classes instantiated once per process.
+PER_PROCESS_CLASSES = frozenset(
+    {SharingClass.PRIVATE, SharingClass.KERNEL_PROCESS}
+)
+#: Sharing classes instantiated once per CPU.
+PER_CPU_CLASSES = frozenset({SharingClass.KERNEL_PERCPU})
+#: Kernel-mode classes.
+KERNEL_CLASSES = frozenset(
+    {
+        SharingClass.KERNEL_PERCPU,
+        SharingClass.KERNEL_SHARED,
+        SharingClass.KERNEL_CODE,
+        SharingClass.KERNEL_PROCESS,
+    }
+)
+
+
+@dataclass(frozen=True)
+class PageGroupSpec:
+    """One class of pages with homogeneous access behaviour."""
+
+    name: str
+    sharing: SharingClass
+    n_pages: int
+    miss_share: float
+    write_fraction: float = 0.0
+    is_instr: bool = False
+    pages_per_quantum: int = 8
+    hot_fraction: float = 0.25
+    hot_weight: float = 0.8
+    touches_per_miss: float = 10.0
+    tlb_factor: float = 0.3
+    accessors: Optional[Tuple[int, ...]] = None   # restrict to these pids
+
+    def __post_init__(self) -> None:
+        if self.n_pages <= 0:
+            raise ConfigurationError(f"group {self.name}: needs pages")
+        if not 0.0 <= self.miss_share <= 1.0:
+            raise ConfigurationError(f"group {self.name}: bad miss share")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigurationError(f"group {self.name}: bad write fraction")
+        if self.pages_per_quantum <= 0:
+            raise ConfigurationError(f"group {self.name}: bad pages/quantum")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ConfigurationError(f"group {self.name}: bad hot fraction")
+        if not 0.0 <= self.hot_weight <= 1.0:
+            raise ConfigurationError(f"group {self.name}: bad hot weight")
+        if self.tlb_factor < 0:
+            raise ConfigurationError(f"group {self.name}: bad tlb factor")
+
+    @property
+    def is_kernel(self) -> bool:
+        """True for kernel-mode groups."""
+        return self.sharing in KERNEL_CLASSES
+
+    @property
+    def per_process(self) -> bool:
+        """True when the group is instantiated per process."""
+        return self.sharing in PER_PROCESS_CLASSES
+
+    @property
+    def per_cpu(self) -> bool:
+        """True when the group is instantiated per CPU."""
+        return self.sharing in PER_CPU_CLASSES
+
+
+@dataclass(frozen=True)
+class GroupInstance:
+    """A concrete page range owned by (group, owner)."""
+
+    spec: PageGroupSpec
+    owner: Optional[int]        # pid for per-process, cpu for per-cpu, None shared
+    first_page: int
+    n_pages: int
+
+    @property
+    def last_page(self) -> int:
+        """Highest page id in the range (inclusive)."""
+        return self.first_page + self.n_pages - 1
+
+    def contains(self, page: int) -> bool:
+        """True when ``page`` belongs to this instance."""
+        return self.first_page <= page <= self.last_page
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything needed to synthesise and evaluate one workload."""
+
+    name: str
+    n_cpus: int
+    n_nodes: int
+    duration_ns: int
+    quantum_ns: int
+    user_miss_rate: float           # user misses per busy-CPU-second
+    kernel_miss_rate: float         # kernel misses per busy-CPU-second
+    compute_time_ns: int            # cumulative busy CPU time minus stall
+    groups: List[PageGroupSpec]
+    processes: List[Process]
+    schedule: Schedule
+    seed: int = 0
+    frames_per_node: Optional[int] = None   # full-system memory sizing
+    instances: List[GroupInstance] = field(default_factory=list)
+    _range_starts: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.duration_ns <= 0 or self.quantum_ns <= 0:
+            raise ConfigurationError("duration and quantum must be positive")
+        if self.user_miss_rate < 0 or self.kernel_miss_rate < 0:
+            raise ConfigurationError("miss rates must be non-negative")
+        user = [g for g in self.groups if not g.is_kernel]
+        kernel = [g for g in self.groups if g.is_kernel]
+        for scope, members in (("user", user), ("kernel", kernel)):
+            total = sum(g.miss_share for g in members)
+            if members and total <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: {scope} miss shares must sum to > 0"
+                )
+        # Shares are normalised per process at generation time, so groups
+        # restricted to subsets of processes (via ``accessors``) compose
+        # naturally; the absolute values only set relative intensity.
+        if not self.instances:
+            self._build_instances()
+        self._range_starts = [inst.first_page for inst in self.instances]
+
+    # -- page-range layout -----------------------------------------------------
+
+    def _build_instances(self) -> None:
+        next_page = 0
+        for group in self.groups:
+            owners: Sequence[Optional[int]]
+            if group.per_process:
+                pids = (
+                    group.accessors
+                    if group.accessors is not None
+                    else tuple(p.pid for p in self.processes)
+                )
+                owners = list(pids)
+            elif group.per_cpu:
+                owners = list(range(self.n_cpus))
+            else:
+                owners = [None]
+            for owner in owners:
+                self.instances.append(
+                    GroupInstance(
+                        spec=group,
+                        owner=owner,
+                        first_page=next_page,
+                        n_pages=group.n_pages,
+                    )
+                )
+                next_page += group.n_pages
+
+    # -- lookups --------------------------------------------------------------------
+
+    @property
+    def total_pages(self) -> int:
+        """Distinct logical pages across all instances."""
+        return sum(inst.n_pages for inst in self.instances)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Base (unreplicated) memory footprint."""
+        return self.total_pages * PAGE_SIZE
+
+    @property
+    def memory_mb(self) -> float:
+        """Footprint in megabytes, for Table 3."""
+        return self.memory_bytes / MB
+
+    def instance_of_page(self, page: int) -> GroupInstance:
+        """The group instance owning ``page``."""
+        index = bisect.bisect_right(self._range_starts, page) - 1
+        if index < 0:
+            raise ConfigurationError(f"page {page} below first range")
+        inst = self.instances[index]
+        if not inst.contains(page):
+            raise ConfigurationError(f"page {page} outside every range")
+        return inst
+
+    def group_of_page(self, page: int) -> PageGroupSpec:
+        """The group spec owning ``page``."""
+        return self.instance_of_page(page).spec
+
+    def instances_for_process(self, pid: int) -> List[GroupInstance]:
+        """User-mode instances a process touches."""
+        result = []
+        for inst in self.instances:
+            group = inst.spec
+            if group.is_kernel:
+                continue
+            if group.per_process:
+                if inst.owner == pid:
+                    result.append(inst)
+            elif group.accessors is None or pid in group.accessors:
+                result.append(inst)
+        return result
+
+    def kernel_instances_for_cpu(self, cpu: int, pid: int) -> List[GroupInstance]:
+        """Kernel-mode instances touched while ``pid`` runs on ``cpu``."""
+        result = []
+        for inst in self.instances:
+            group = inst.spec
+            if not group.is_kernel:
+                continue
+            if group.per_cpu:
+                if inst.owner == cpu:
+                    result.append(inst)
+            elif group.per_process:
+                if inst.owner == pid:
+                    result.append(inst)
+            else:
+                result.append(inst)
+        return result
+
+    # -- calibration summaries ----------------------------------------------------------
+
+    @property
+    def wall_time_sec(self) -> float:
+        """Wall-clock duration of the run."""
+        return self.duration_ns / SEC
+
+    def idle_time_ns(self) -> int:
+        """Cumulative CPU idle time (from the schedule)."""
+        return self.schedule.idle_time_ns()
+
+    def busy_time_ns(self) -> int:
+        """Cumulative CPU busy time (from the schedule)."""
+        return self.schedule.busy_time_ns()
+
+    def expected_user_misses(self) -> float:
+        """Approximate total user misses the generator will emit."""
+        return self.user_miss_rate * self.busy_time_ns() / SEC
+
+    def expected_kernel_misses(self) -> float:
+        """Approximate total kernel misses the generator will emit."""
+        return self.kernel_miss_rate * self.busy_time_ns() / SEC
+
+    def tlb_factor_of_page(self, page: int) -> float:
+        """TLB-derivation factor for ``page`` (see :mod:`repro.trace.tlbsim`)."""
+        return self.group_of_page(page).tlb_factor
+
+    def describe(self) -> Dict[str, object]:
+        """A short structural summary (used by Table 2's bench)."""
+        return {
+            "name": self.name,
+            "cpus": self.n_cpus,
+            "processes": len(self.processes),
+            "pages": self.total_pages,
+            "memory_mb": round(self.memory_mb, 1),
+            "groups": [g.name for g in self.groups],
+            "wall_sec": round(self.wall_time_sec, 3),
+        }

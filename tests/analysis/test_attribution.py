@@ -1,0 +1,124 @@
+"""Per-group attribution of misses, locality and actions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attribution import (
+    attribution_report,
+    group_actions,
+    group_locality,
+    group_misses,
+)
+from repro.kernel.pager.handler import (
+    ActionTally,
+    Outcome,
+    PageActionResult,
+)
+from repro.policy.placement import first_touch_placement
+
+
+class TestGroupMisses:
+    def test_shares_sum_to_one(self, engineering):
+        spec, trace = engineering
+        rows = group_misses(spec, trace)
+        assert sum(r.share for r in rows) == pytest.approx(1.0)
+        assert sum(r.misses for r in rows) == trace.total_misses
+
+    def test_code_groups_have_no_writes(self, engineering):
+        spec, trace = engineering
+        for row in group_misses(spec, trace):
+            if row.sharing == "code":
+                assert row.writes == 0
+
+    def test_write_shared_groups_are_write_heavy(self, database):
+        spec, trace = database
+        rows = {r.group: r for r in group_misses(spec, trace)}
+        assert rows["sync-pages"].write_fraction > 0.4
+        assert rows["relations"].write_fraction < 0.01
+
+    def test_empty_trace(self, engineering):
+        spec, trace = engineering
+        empty = trace.select(trace.page < 0)
+        rows = group_misses(spec, empty)
+        assert all(r.misses == 0 for r in rows)
+
+
+class TestGroupLocality:
+    def test_percpu_kernel_groups_fully_local_under_ft(self, raytrace):
+        spec, trace = raytrace
+        placement = first_touch_placement(
+            trace, spec.n_nodes, lambda c: c
+        )
+        locality = group_locality(spec, trace, placement, lambda c: c)
+        assert locality["kernel-percpu"] == pytest.approx(1.0)
+
+    def test_private_beats_shared_under_ft(self, raytrace):
+        spec, trace = raytrace
+        placement = first_touch_placement(trace, spec.n_nodes, lambda c: c)
+        locality = group_locality(spec, trace, placement, lambda c: c)
+        assert locality["rays-private"] > locality["scene"]
+
+
+class TestGroupActions:
+    def tally_for(self, spec, outcomes):
+        tally = ActionTally()
+        for page, outcome in outcomes:
+            tally.add(PageActionResult(page=page, cpu=0, outcome=outcome))
+        return tally
+
+    def test_actions_land_in_the_right_group(self, raytrace):
+        spec, _ = raytrace
+        scene = next(i for i in spec.instances if i.spec.name == "scene")
+        code = next(i for i in spec.instances if i.spec.name == "code")
+        tally = self.tally_for(
+            spec,
+            [
+                (scene.first_page, Outcome.REPLICATED),
+                (scene.first_page, Outcome.REPLICATED),
+                (scene.first_page + 1, Outcome.NO_PAGE),
+                (code.first_page, Outcome.MIGRATED),
+            ],
+        )
+        rows = {r.group: r for r in group_actions(spec, tally)}
+        assert rows["scene"].replicated == 2
+        assert rows["scene"].no_page == 1
+        assert rows["scene"].distinct_pages == 2
+        assert rows["code"].migrated == 1
+        assert rows["task-queue"].hot_events == 0
+
+    def test_full_sim_attribution_is_consistent(self, database):
+        from repro.sim.simulator import SimulatorOptions, SystemSimulator
+        from repro.policy.parameters import PolicyParameters
+
+        spec, trace = database
+        result = SystemSimulator(
+            spec, params=PolicyParameters.base(),
+            options=SimulatorOptions(dynamic=True),
+        ).run(trace)
+        rows = group_actions(spec, result.tally)
+        assert sum(r.hot_events for r in rows) == result.tally.hot_pages
+        by_name = {r.group: r for r in rows}
+        # Kernel pages are immovable: the pager never saw them.
+        for row in rows:
+            if row.sharing.startswith("kernel"):
+                assert row.hot_events == 0, row.group
+        # The write-shared sync pages dominate the no-action outcomes.
+        assert by_name["sync-pages"].no_action > 0
+        assert by_name["sync-pages"].replicated <= by_name["relations"].replicated
+
+
+class TestReport:
+    def test_report_renders(self, database):
+        spec, trace = database
+        text = attribution_report(spec, trace)
+        assert "sync-pages" in text
+        assert "relations" in text
+
+    def test_report_with_actions(self, database):
+        spec, trace = database
+        tally = ActionTally()
+        tally.add(
+            PageActionResult(page=0, cpu=0, outcome=Outcome.NO_ACTION)
+        )
+        text = attribution_report(spec, trace, tally)
+        assert "Hot" in text

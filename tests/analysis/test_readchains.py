@@ -1,0 +1,113 @@
+"""Read-chain analysis (Figure 4)."""
+
+import pytest
+
+from repro.analysis.readchains import (
+    chain_survival,
+    read_chain_histogram,
+    replication_potential,
+)
+from repro.trace.record import TraceBuilder
+
+
+def build(rows):
+    b = TraceBuilder()
+    for r in rows:
+        b.append(*r)
+    return b.build()
+
+
+class TestChainConstruction:
+    def test_unwritten_page_is_one_long_chain(self):
+        trace = build([(t, 0, 0, 5, 10) for t in range(0, 100, 10)])
+        hist = read_chain_histogram(trace)
+        assert hist.counts == {100: 100}
+
+    def test_write_terminates_all_cpus_chains(self):
+        trace = build([
+            (0, 0, 0, 5, 30),
+            (1, 1, 0, 5, 40),
+            (2, 2, 0, 5, 1, True),     # write from cpu 2
+            (3, 0, 0, 5, 7),
+        ])
+        hist = read_chain_histogram(trace)
+        assert hist.counts == {30: 30, 40: 40, 7: 7}
+
+    def test_chains_are_per_cpu(self):
+        trace = build([
+            (0, 0, 0, 5, 10),
+            (1, 1, 0, 5, 20),
+        ])
+        hist = read_chain_histogram(trace)
+        assert hist.counts == {10: 10, 20: 20}
+
+    def test_writes_are_not_chain_members(self):
+        trace = build([
+            (0, 0, 0, 5, 10),
+            (1, 0, 0, 5, 4, True),
+        ])
+        hist = read_chain_histogram(trace)
+        assert hist.total == 10
+
+    def test_chains_per_page_independent(self):
+        trace = build([
+            (0, 0, 0, 5, 10),
+            (1, 0, 0, 6, 20),
+            (2, 1, 0, 5, 1, True),   # terminates only page 5 chains
+            (3, 0, 0, 6, 5),
+        ])
+        hist = read_chain_histogram(trace)
+        assert hist.counts == {10: 10, 25: 25}
+
+    def test_instruction_records_excluded_by_data_only(self):
+        trace = build([
+            (0, 0, 0, 5, 10, False, True),   # instruction fetch
+            (1, 0, 0, 6, 20),
+        ])
+        hist = read_chain_histogram(trace, data_only=True)
+        assert hist.total == 20
+
+
+class TestSurvival:
+    def test_survival_fractions(self):
+        trace = build([
+            (0, 0, 0, 1, 600),            # chain of 600
+            (1, 0, 0, 2, 100),            # chain of 100
+            (2, 1, 0, 2, 1, True),
+            (3, 0, 0, 3, 4, True),        # pure writes
+        ])
+        series = dict(chain_survival(trace, thresholds=(2, 64, 512)))
+        total = 600 + 100 + 1 + 4
+        assert series[512] == pytest.approx(600 / total)
+        assert series[64] == pytest.approx(700 / total)
+
+    def test_survival_is_monotone_nonincreasing(self, raytrace):
+        _, trace = raytrace
+        series = chain_survival(trace.user_only())
+        fractions = [f for _, f in series]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_replication_potential_single_point(self):
+        trace = build([(0, 0, 0, 1, 600)])
+        assert replication_potential(trace, 512) == pytest.approx(1.0)
+        assert replication_potential(trace, 1024) == 0.0
+
+
+class TestPaperShapes:
+    def test_raytrace_has_long_chains(self, raytrace):
+        """~60 % of raytrace data misses in 512+ chains (Figure 4)."""
+        _, trace = raytrace
+        potential = replication_potential(trace.user_only(), 512)
+        assert 0.40 < potential < 0.80
+
+    def test_database_chains_collapse_early(self, database):
+        _, trace = database
+        potential = replication_potential(trace.user_only(), 512)
+        assert potential < 0.25
+
+    def test_raytrace_beats_database(self, raytrace, database):
+        _, ray = raytrace
+        _, db = database
+        assert replication_potential(ray.user_only(), 512) > (
+            replication_potential(db.user_only(), 512) + 0.2
+        )

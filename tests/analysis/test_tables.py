@@ -1,0 +1,83 @@
+"""Table/figure text rendering."""
+
+from repro.analysis.tables import (
+    format_bar_figure,
+    format_series,
+    format_table,
+    percentage,
+)
+
+
+class TestFormatTable:
+    def test_contains_title_headers_and_cells(self):
+        out = format_table(
+            "Table X", ["name", "value"], [["a", 1.25], ["b", 3.5]]
+        )
+        assert "Table X" in out
+        assert "name" in out and "value" in out
+        assert "1.2" in out and "3.5" in out
+
+    def test_alignment_is_consistent(self):
+        out = format_table("T", ["col"], [["x"], ["longer-cell"]])
+        lines = out.splitlines()
+        assert len(set(len(line) for line in lines[-2:])) == 1
+
+    def test_custom_float_format(self):
+        out = format_table("T", ["v"], [[0.123456]], float_format="{:.4f}")
+        assert "0.1235" in out
+
+
+class TestFormatBarFigure:
+    def test_components_and_totals(self):
+        out = format_bar_figure(
+            "Fig",
+            [("FT", {"stall": 10.0, "other": 5.0}),
+             ("Mig/Rep", {"stall": 4.0, "other": 5.0})],
+        )
+        assert "FT" in out and "Mig/Rep" in out
+        assert "stall" in out and "other" in out
+        assert "15" in out
+
+    def test_annotations_rendered(self):
+        out = format_bar_figure(
+            "Fig", [("FT", {"x": 1.0})], annotations={"FT": "52% local"}
+        )
+        assert "52% local" in out
+
+    def test_bars_scale_relative(self):
+        out = format_bar_figure(
+            "Fig",
+            [("big", {"x": 100.0}), ("small", {"x": 1.0})],
+            width=40,
+        )
+        lines = out.splitlines()
+        big = next(l for l in lines if l.strip().startswith("x") and l.endswith("100"))
+        small = next(l for l in lines if l.strip().startswith("x") and l.endswith(" 1"))
+        assert big.count("#") > small.count("#") * 10
+
+
+class TestFormatSeries:
+    def test_multi_series_table(self):
+        out = format_series(
+            "Fig 4",
+            "chain length",
+            {
+                "raytrace": [(2, 0.9), (512, 0.6)],
+                "database": [(2, 0.5), (512, 0.08)],
+            },
+            y_format="{:.2f}",
+        )
+        assert "chain length" in out
+        assert "raytrace" in out and "database" in out
+        assert "0.60" in out and "0.08" in out
+
+    def test_missing_points_render_dash(self):
+        out = format_series(
+            "F", "x", {"a": [(1, 0.5)], "b": [(2, 0.7)]}
+        )
+        assert "-" in out
+
+
+def test_percentage():
+    assert percentage(0.523) == "52.3%"
+    assert percentage(0.5, digits=0) == "50%"

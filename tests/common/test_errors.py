@@ -1,0 +1,31 @@
+"""Error hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro.common import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.AllocationError,
+        errors.VmError,
+        errors.SchedulerError,
+        errors.TraceError,
+        errors.SimulationError,
+    ],
+)
+def test_subclasses_of_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_allocation_error_carries_node():
+    err = errors.AllocationError(3)
+    assert err.node == 3
+    assert "node 3" in str(err)
+
+
+def test_allocation_error_custom_message():
+    err = errors.AllocationError(0, "machine out of memory")
+    assert str(err) == "machine out of memory"

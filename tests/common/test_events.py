@@ -1,0 +1,107 @@
+"""Event queue: ordering, cancellation, deterministic tie-breaking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    q = EventQueue()
+    fired = []
+    for t in (30, 10, 20):
+        q.schedule(t, lambda e: fired.append(e.time))
+    q.run()
+    assert fired == [10, 20, 30]
+
+
+def test_ties_break_by_priority_then_insertion():
+    q = EventQueue()
+    fired = []
+    q.schedule(10, lambda e: fired.append("late"), priority=5)
+    q.schedule(10, lambda e: fired.append("first"), priority=0)
+    q.schedule(10, lambda e: fired.append("second"), priority=0)
+    q.run()
+    assert fired == ["first", "second", "late"]
+
+
+def test_cancelled_events_do_not_fire():
+    q = EventQueue()
+    fired = []
+    keep = q.schedule(10, lambda e: fired.append("keep"))
+    drop = q.schedule(5, lambda e: fired.append("drop"))
+    drop.cancel()
+    q.run()
+    assert fired == ["keep"]
+    assert keep.time == 10
+
+
+def test_cannot_schedule_in_the_past():
+    q = EventQueue()
+    q.schedule(100, lambda e: None)
+    q.pop()
+    assert q.now == 100
+    with pytest.raises(ValueError):
+        q.schedule(50, lambda e: None)
+
+
+def test_run_until_stops_at_boundary():
+    q = EventQueue()
+    fired = []
+    for t in (10, 20, 30):
+        q.schedule(t, lambda e: fired.append(e.time))
+    dispatched = q.run(until=20)
+    assert dispatched == 2
+    assert fired == [10, 20]
+    assert q.now == 20
+    q.run()
+    assert fired == [10, 20, 30]
+
+
+def test_events_can_schedule_more_events():
+    q = EventQueue()
+    fired = []
+
+    def chain(event):
+        fired.append(event.time)
+        if event.time < 30:
+            q.schedule(event.time + 10, chain)
+
+    q.schedule(10, chain)
+    q.run()
+    assert fired == [10, 20, 30]
+
+
+def test_len_excludes_cancelled():
+    q = EventQueue()
+    a = q.schedule(1, lambda e: None)
+    q.schedule(2, lambda e: None)
+    a.cancel()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.schedule(1, lambda e: None)
+    q.schedule(2, lambda e: None)
+    first.cancel()
+    assert q.peek_time() == 2
+
+
+def test_drain_yields_everything_in_order():
+    q = EventQueue()
+    for t in (5, 1, 3):
+        q.schedule(t, lambda e: None)
+    times = [t for t, _ in q.drain()]
+    assert times == [1, 3, 5]
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+def test_arbitrary_schedules_fire_sorted(times):
+    q = EventQueue()
+    fired = []
+    for t in times:
+        q.schedule(t, lambda e: fired.append(e.time))
+    q.run()
+    assert fired == sorted(times)

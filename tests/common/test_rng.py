@@ -1,0 +1,64 @@
+"""RNG utilities: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng, spawn_seeds, weighted_choice
+
+
+def test_same_seed_same_stream():
+    a = make_rng(42, "workload").random(16)
+    b = make_rng(42, "workload").random(16)
+    assert np.array_equal(a, b)
+
+
+def test_different_labels_different_streams():
+    a = make_rng(42, "alpha").random(16)
+    b = make_rng(42, "beta").random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_different_streams():
+    a = make_rng(1, "x").random(16)
+    b = make_rng(2, "x").random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_mixed_label_types():
+    a = make_rng(7, "cpu", 3).random(4)
+    b = make_rng(7, "cpu", 3).random(4)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_seeds_deterministic():
+    assert spawn_seeds(99, 5) == spawn_seeds(99, 5)
+    assert len(spawn_seeds(99, 5)) == 5
+    assert len(set(spawn_seeds(99, 64))) == 64
+
+
+def test_spawn_seeds_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_seeds(1, -1)
+
+
+def test_weighted_choice_respects_zero_weight():
+    rng = make_rng(0, "choice")
+    for _ in range(50):
+        assert weighted_choice(rng, ["a", "b"], [1.0, 0.0]) == "a"
+
+
+def test_weighted_choice_distribution():
+    rng = make_rng(0, "dist")
+    picks = [weighted_choice(rng, ["x", "y"], [3.0, 1.0]) for _ in range(2000)]
+    fraction_x = picks.count("x") / len(picks)
+    assert 0.70 < fraction_x < 0.80
+
+
+def test_weighted_choice_validation():
+    rng = make_rng(0, "bad")
+    with pytest.raises(ValueError):
+        weighted_choice(rng, [], [])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [0.0])

@@ -1,0 +1,150 @@
+"""Statistics helpers: online accumulators agree with exact computation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    OnlineStats,
+    TimeWeightedValue,
+    WeightedHistogram,
+    percent_change,
+)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(42.0)
+        assert s.count == 1
+        assert s.mean == 42.0
+        assert s.minimum == 42.0
+        assert s.maximum == 42.0
+        assert s.variance == 0.0
+
+    def test_weighted_add_equals_repeats(self):
+        weighted = OnlineStats()
+        repeated = OnlineStats()
+        weighted.add(5.0, weight=4)
+        weighted.add(9.0, weight=2)
+        for _ in range(4):
+            repeated.add(5.0)
+        for _ in range(2):
+            repeated.add(9.0)
+        assert weighted.count == repeated.count
+        assert weighted.mean == pytest.approx(repeated.mean)
+        assert weighted.variance == pytest.approx(repeated.variance)
+
+    def test_rejects_nonpositive_weight(self):
+        s = OnlineStats()
+        with pytest.raises(ValueError):
+            s.add(1.0, weight=0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_matches_numpy(self, values):
+        s = OnlineStats()
+        for v in values:
+            s.add(v)
+        assert s.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(np.var(values), rel=1e-6, abs=1e-3)
+        assert s.minimum == min(values)
+        assert s.maximum == max(values)
+        assert s.total == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=30),
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=30),
+    )
+    def test_merge_matches_combined(self, a, b):
+        left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in a:
+            left.add(v)
+            combined.add(v)
+        for v in b:
+            right.add(v)
+            combined.add(v)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean, rel=1e-6, abs=1e-6)
+        assert left.variance == pytest.approx(
+            combined.variance, rel=1e-4, abs=1e-3
+        )
+
+    def test_merge_empty_is_noop(self):
+        s = OnlineStats()
+        s.add(3.0)
+        s.merge(OnlineStats())
+        assert s.count == 1
+        assert s.mean == 3.0
+
+
+class TestTimeWeightedValue:
+    def test_constant_value(self):
+        tw = TimeWeightedValue(initial=5.0)
+        tw.update(100, 5.0)
+        assert tw.average(200) == pytest.approx(5.0)
+
+    def test_step_function(self):
+        tw = TimeWeightedValue(initial=0.0)
+        tw.update(50, 10.0)   # 0 for [0,50), 10 afterwards
+        assert tw.average(100) == pytest.approx(5.0)
+
+    def test_maximum_tracked(self):
+        tw = TimeWeightedValue()
+        tw.update(10, 3.0)
+        tw.update(20, 1.0)
+        assert tw.maximum == 3.0
+
+    def test_time_must_not_go_backwards(self):
+        tw = TimeWeightedValue()
+        tw.update(100, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(50, 2.0)
+
+
+class TestWeightedHistogram:
+    def test_fraction_at_least(self):
+        h = WeightedHistogram()
+        h.add(10, 3)
+        h.add(100, 7)
+        assert h.total == 10
+        assert h.fraction_at_least(50) == pytest.approx(0.7)
+        assert h.fraction_at_least(10) == pytest.approx(1.0)
+        assert h.fraction_at_least(101) == 0.0
+
+    def test_empty_histogram(self):
+        h = WeightedHistogram()
+        assert h.fraction_at_least(1) == 0.0
+
+    def test_survival_is_monotone(self):
+        h = WeightedHistogram()
+        for v, w in [(1, 5), (8, 2), (64, 9), (512, 4)]:
+            h.add(v, w)
+        survival = h.survival([1, 8, 64, 512, 4096])
+        fractions = [f for _, f in survival]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_rejects_bad_weight(self):
+        h = WeightedHistogram()
+        with pytest.raises(ValueError):
+            h.add(1, 0)
+
+
+class TestPercentChange:
+    def test_reduction(self):
+        assert percent_change(100, 71) == pytest.approx(29.0)
+
+    def test_increase_is_negative(self):
+        assert percent_change(100, 120) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert percent_change(0, 10) == 0.0

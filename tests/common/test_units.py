@@ -1,0 +1,50 @@
+"""Units: conversions are exact and self-consistent."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_time_constants_nest():
+    assert units.US == 1_000
+    assert units.MS == 1_000_000
+    assert units.SEC == 1_000_000_000
+
+
+def test_us_ms_sec_round_trip():
+    assert units.us(350) == 350_000
+    assert units.ms(100) == 100_000_000
+    assert units.sec(1.5) == 1_500_000_000
+
+
+def test_ns_to_conversions():
+    assert units.ns_to_us(1_500) == 1.5
+    assert units.ns_to_ms(2_500_000) == 2.5
+    assert units.ns_to_sec(3_000_000_000) == 3.0
+
+
+def test_fractional_us_rounds():
+    assert units.us(0.5) == 500
+    assert units.us(0.0004) == 0  # below a nanosecond rounds away
+
+
+def test_page_size_is_4k():
+    assert units.PAGE_SIZE == 4096
+
+
+def test_pages_to_bytes():
+    assert units.pages_to_bytes(3) == 3 * 4096
+
+
+@pytest.mark.parametrize(
+    "n_bytes,expected",
+    [(0, 0), (1, 1), (4096, 1), (4097, 2), (8192, 2), (12289, 4)],
+)
+def test_bytes_to_pages_rounds_up(n_bytes, expected):
+    assert units.bytes_to_pages(n_bytes) == expected
+
+
+def test_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
+    assert units.CACHE_LINE_SIZE == 128

@@ -1,0 +1,339 @@
+"""End-to-end checks of the paper's qualitative claims.
+
+These tests run the same pipelines as the benchmark harness on
+module-scoped 40 %-scale workloads (long enough for one-time page-movement
+costs to amortise as they do in the paper's full runs), asserting the
+*shape* of each result: who wins, in which direction, and which mechanism
+is responsible.  The benchmarks regenerate the quantitative tables at
+full scale.
+"""
+
+import pytest
+
+from repro.kernel.vm.shootdown import ShootdownMode
+from repro.workloads import build_spec, generate_trace
+from repro.machine.config import MachineConfig
+from repro.policy.metrics import FULL_TLB, SAMPLED_CACHE
+from repro.policy.parameters import PolicyParameters
+from repro.sim.simulator import SimulatorOptions, SystemSimulator, run_policy_comparison
+from repro.trace.policysim import PolicySimConfig, StaticPolicy, TracePolicySimulator
+
+
+def params_for(name):
+    if name == "engineering":
+        return PolicyParameters.engineering_base()
+    return PolicyParameters.base()
+
+
+INTEGRATION_SCALE = 0.4
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """Larger-scale workloads: one-time costs amortise as in the paper."""
+    out = {}
+    for name in ("engineering", "raytrace", "splash", "database", "pmake"):
+        spec = build_spec(name, scale=INTEGRATION_SCALE, seed=7)
+        out[name] = (spec, generate_trace(spec))
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig3_results(workloads):
+    """FT vs Mig/Rep full-system runs for the four user workloads."""
+    out = {}
+    for name in ("engineering", "raytrace", "splash", "database"):
+        spec, trace = workloads[name]
+        out[name] = run_policy_comparison(spec, trace, params=params_for(name))
+    return out
+
+
+class TestFigure3:
+    """Mig/Rep vs first touch (Section 7.1.1)."""
+
+    @pytest.mark.parametrize(
+        "name", ["engineering", "raytrace", "splash", "database"]
+    )
+    def test_stall_never_worse(self, fig3_results, name):
+        ft, mr = fig3_results[name]["FT"], fig3_results[name]["Mig/Rep"]
+        assert mr.stall.total_ns <= ft.stall.total_ns
+
+    def test_engineering_gains_most(self, fig3_results):
+        reductions = {
+            name: r["Mig/Rep"].stall_reduction_over(r["FT"])
+            for name, r in fig3_results.items()
+        }
+        assert reductions["engineering"] == max(reductions.values())
+        assert reductions["engineering"] > 35.0
+
+    def test_database_is_robust(self, fig3_results):
+        """The policy must not hurt the write-shared workload."""
+        ft, mr = fig3_results["database"]["FT"], fig3_results["database"]["Mig/Rep"]
+        assert mr.execution_time_ns < ft.execution_time_ns * 1.05
+        pct = mr.tally.percentages()
+        assert pct["% No Action"] > 50.0
+
+    def test_locality_improves_everywhere(self, fig3_results):
+        for name, r in fig3_results.items():
+            assert (
+                r["Mig/Rep"].local_miss_fraction
+                > r["FT"].local_miss_fraction
+            ), name
+
+    def test_splash_suffers_allocation_failures(self, workloads):
+        """With per-node memory sized as tightly (relative to the pages
+        actually touched) as the full-scale run, replication attempts fail
+        with "no page" as in Table 4."""
+        spec, trace = workloads["splash"]
+        touched = trace.n_pages
+        spec.frames_per_node = int(touched / spec.n_nodes * 1.04)
+        try:
+            result = run_policy_comparison(
+                spec, trace, params=params_for("splash")
+            )["Mig/Rep"]
+        finally:
+            spec.frames_per_node = 1650
+        assert result.tally.percentages()["% No Page"] > 3.0
+
+    def test_engineering_uses_both_mechanisms(self, fig3_results):
+        tally = fig3_results["engineering"]["Mig/Rep"].tally
+        assert tally.migrated > 0 and tally.replicated > 0
+
+
+class TestSection712Contention:
+    def test_locality_relieves_the_memory_system(self, fig3_results):
+        ft = fig3_results["engineering"]["FT"].contention
+        mr = fig3_results["engineering"]["Mig/Rep"].contention
+        assert mr.remote_handler_invocations < ft.remote_handler_invocations * 0.8
+        assert mr.average_network_queue_length <= ft.average_network_queue_length
+        assert mr.average_local_latency_ns <= ft.average_local_latency_ns * 1.05
+
+    def test_zero_network_locality_still_pays(self, workloads):
+        """Even with no interconnect delay, contention rewards locality."""
+        spec, trace = workloads["engineering"]
+        machine = MachineConfig.zero_network(
+            n_cpus=spec.n_cpus, n_nodes=spec.n_nodes
+        )
+        results = run_policy_comparison(
+            spec, trace, machine=machine, params=params_for("engineering")
+        )
+        assert (
+            results["Mig/Rep"].stall.total_ns
+            <= results["FT"].stall.total_ns
+        )
+
+
+class TestFigure5CcNow:
+    def test_ccnow_reduction_exceeds_ccnuma(self, workloads, fig3_results):
+        spec, trace = workloads["engineering"]
+        machine = MachineConfig.flash_ccnow(
+            n_cpus=spec.n_cpus, n_nodes=spec.n_nodes
+        )
+        ccnow = run_policy_comparison(
+            spec, trace, machine=machine, params=params_for("engineering")
+        )
+        ccnow_red = ccnow["Mig/Rep"].stall_reduction_over(ccnow["FT"])
+        ccnuma = fig3_results["engineering"]
+        ccnuma_red = ccnuma["Mig/Rep"].stall_reduction_over(ccnuma["FT"])
+        assert ccnow_red > ccnuma_red
+
+    def test_ccnow_gain_sublinear_in_latency_ratio(self, workloads,
+                                                   fig3_results):
+        """Remote latency grows 2.5x but the gain grows far less, because
+        contention already inflates CC-NUMA latencies and op costs rise."""
+        spec, trace = workloads["engineering"]
+        machine = MachineConfig.flash_ccnow(
+            n_cpus=spec.n_cpus, n_nodes=spec.n_nodes
+        )
+        ccnow = run_policy_comparison(
+            spec, trace, machine=machine, params=params_for("engineering")
+        )
+        ccnuma = fig3_results["engineering"]
+        saved_now = (
+            ccnow["FT"].stall.total_ns - ccnow["Mig/Rep"].stall.total_ns
+        )
+        saved_numa = (
+            ccnuma["FT"].stall.total_ns - ccnuma["Mig/Rep"].stall.total_ns
+        )
+        # The naive expectation converts every saved remote miss at the
+        # full latency gap: (3000-300)/(1200-300) = 3x.  Controller
+        # occupancy and costlier operations keep the real gain below it.
+        assert 1.5 * saved_numa < saved_now < 3.0 * saved_numa
+
+
+class TestTables5And6:
+    def test_op_latencies_in_paper_range(self, fig3_results):
+        from repro.kernel.pager.costs import OpType
+
+        acct = fig3_results["engineering"]["Mig/Rep"].accounting
+        for op in (OpType.MIGRATION, OpType.REPLICATION):
+            if acct.op_counts[op]:
+                assert 250 < acct.mean_op_latency_us(op) < 1000
+
+    def test_flush_and_alloc_lead_overhead(self, fig3_results):
+        from repro.kernel.pager.costs import CostCategory
+
+        pct = fig3_results["engineering"]["Mig/Rep"].accounting.overhead_percentages()
+        leading = sorted(pct.items(), key=lambda kv: -kv[1])[:3]
+        leading_categories = {c for c, _ in leading}
+        assert CostCategory.TLB_FLUSH in leading_categories or (
+            CostCategory.PAGE_ALLOC in leading_categories
+        )
+
+    def test_tracked_shootdown_cuts_overhead_about_quarter(self, workloads):
+        spec, trace = workloads["engineering"]
+        full = run_policy_comparison(
+            spec, trace, params=params_for("engineering"),
+            shootdown_mode=ShootdownMode.ALL_CPUS,
+        )["Mig/Rep"]
+        tracked = run_policy_comparison(
+            spec, trace, params=params_for("engineering"),
+            shootdown_mode=ShootdownMode.TRACKED,
+        )["Mig/Rep"]
+        saving = 1 - tracked.kernel_overhead_ns / full.kernel_overhead_ns
+        assert 0.05 < saving < 0.5
+
+
+class TestFigure6Policies:
+    @pytest.fixture(scope="class")
+    def sims(self, workloads):
+        out = {}
+        for name in ("engineering", "raytrace"):
+            spec, trace = workloads[name]
+            user = trace.user_only()
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+            )
+            out[name] = (sim, user)
+        return out
+
+    def test_static_ordering_rr_ft_pf(self, sims):
+        for name, (sim, user) in sims.items():
+            rr = sim.simulate_static(user, StaticPolicy.ROUND_ROBIN)
+            ft = sim.simulate_static(user, StaticPolicy.FIRST_TOUCH)
+            pf = sim.simulate_static(user, StaticPolicy.POST_FACTO)
+            assert pf.stall_ns <= ft.stall_ns <= rr.stall_ns, name
+
+    def test_dynamic_beats_post_facto_on_engineering(self, sims):
+        sim, user = sims["engineering"]
+        pf = sim.simulate_static(user, StaticPolicy.POST_FACTO)
+        mr = sim.simulate_dynamic(user, PolicyParameters.engineering_base())
+        assert mr.stall_ns + mr.overhead_ns < pf.stall_ns
+
+    def test_raytrace_needs_replication_not_migration(self, sims):
+        sim, user = sims["raytrace"]
+        migr = sim.simulate_dynamic(user, PolicyParameters.migration_only())
+        repl = sim.simulate_dynamic(user, PolicyParameters.replication_only())
+        assert repl.local_fraction > migr.local_fraction
+
+    def test_combined_at_least_as_good_as_each_alone(self, sims):
+        sim, user = sims["engineering"]
+        params = PolicyParameters.engineering_base()
+        combined = sim.simulate_dynamic(user, params)
+        migr = sim.simulate_dynamic(
+            user, params.replace(enable_replication=False)
+        )
+        repl = sim.simulate_dynamic(
+            user, params.replace(enable_migration=False)
+        )
+        assert combined.local_fraction >= migr.local_fraction - 0.02
+        assert combined.local_fraction >= repl.local_fraction - 0.02
+
+
+class TestFigure7KernelStudy:
+    def test_kernel_gains_little_beyond_first_touch(self, workloads):
+        spec, trace = workloads["pmake"]
+        kern = trace.kernel_only()
+        sim = TracePolicySimulator(PolicySimConfig())
+        rr = sim.simulate_static(kern, StaticPolicy.ROUND_ROBIN)
+        ft = sim.simulate_static(kern, StaticPolicy.FIRST_TOUCH)
+        mr = sim.simulate_dynamic(kern, PolicyParameters.base())
+        assert ft.stall_ns < rr.stall_ns * 0.75       # FT >> RR for kernel
+        # Dynamic policies give almost nothing beyond FT.
+        total_mr = mr.stall_ns + mr.overhead_ns
+        assert total_mr < ft.stall_ns * 1.15
+        assert total_mr > ft.stall_ns * 0.7
+
+
+class TestFigure8Metrics:
+    def test_sampled_cache_matches_full(self, workloads):
+        spec, trace = workloads["raytrace"]
+        user = trace.user_only()
+        sim = TracePolicySimulator(PolicySimConfig())
+        fc = sim.simulate_dynamic(user, PolicyParameters.base())
+        sc = sim.simulate_dynamic(
+            user, PolicyParameters.base(), metric=SAMPLED_CACHE
+        )
+        assert sc.local_fraction == pytest.approx(fc.local_fraction, abs=0.08)
+
+    def test_tlb_fails_on_engineering_specifically(self, workloads):
+        sim8 = TracePolicySimulator(PolicySimConfig())
+        gaps = {}
+        for name in ("engineering", "raytrace"):
+            spec, trace = workloads[name]
+            user = trace.user_only()
+            params = params_for(name)
+            fc = sim8.simulate_dynamic(user, params)
+            tlb = sim8.simulate_dynamic(user, params, metric=FULL_TLB)
+            gaps[name] = fc.local_fraction - tlb.local_fraction
+        assert gaps["engineering"] > gaps["raytrace"]
+        assert gaps["engineering"] > 0.10
+
+
+class TestFigure9Trigger:
+    def test_smaller_trigger_more_ops_more_locality(self, workloads):
+        spec, trace = workloads["engineering"]
+        user = trace.user_only()
+        sim = TracePolicySimulator(PolicySimConfig())
+        results = {
+            trig: sim.simulate_dynamic(user, PolicyParameters.base(trig))
+            for trig in (32, 256)
+        }
+        ops_32 = results[32].migrations + results[32].replications
+        ops_256 = results[256].migrations + results[256].replications
+        assert ops_32 > ops_256
+        assert results[32].local_fraction >= results[256].local_fraction
+
+
+class TestSection84Sharing:
+    def test_sharing_threshold_is_insensitive(self, workloads):
+        spec, trace = workloads["raytrace"]
+        user = trace.user_only()
+        sim = TracePolicySimulator(PolicySimConfig())
+        locals_ = []
+        for sharing in (16, 32, 64):
+            params = PolicyParameters.base().replace(sharing_threshold=sharing)
+            locals_.append(sim.simulate_dynamic(user, params).local_fraction)
+        spread = max(locals_) - min(locals_)
+        assert spread < 0.10
+
+
+class TestReplicationSpace:
+    def test_hot_page_selection_bounds_memory_growth(self, fig3_results):
+        for name in ("engineering", "raytrace"):
+            r = fig3_results[name]["Mig/Rep"]
+            assert 0.0 < r.replication_space_overhead < 1.0, name
+
+
+class TestFullSystemSampling:
+    def test_sampled_counters_match_full_in_the_kernel_path(self, workloads):
+        """Section 8.3's recommendation holds in the full-system simulator
+        too: a directory that samples 1-in-10 misses (with proportionally
+        scaled thresholds, i.e. half-size counters) places pages the same
+        way full counting does."""
+        spec, trace = workloads["raytrace"]
+        full = run_policy_comparison(
+            spec, trace, params=params_for("raytrace")
+        )["Mig/Rep"]
+        sampled_params = params_for("raytrace").scaled_for_sampling(10)
+        sim = SystemSimulator(
+            spec, params=sampled_params,
+            options=SimulatorOptions(dynamic=True),
+        )
+        sampled = sim.run(trace)
+        assert sampled.local_miss_fraction == pytest.approx(
+            full.local_miss_fraction, abs=0.06
+        )
+        assert sampled.stall.total_ns == pytest.approx(
+            full.stall.total_ns, rel=0.10
+        )

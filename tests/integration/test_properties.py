@@ -1,0 +1,162 @@
+"""Cross-cutting property tests over randomly generated traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.readchains import read_chain_histogram
+from repro.policy.parameters import PolicyParameters
+from repro.policy.placement import (
+    first_touch_placement,
+    post_facto_placement,
+    round_robin_placement,
+    static_stall_ns,
+)
+from repro.trace.policysim import (
+    PolicySimConfig,
+    StaticPolicy,
+    TracePolicySimulator,
+)
+from repro.trace.record import TraceBuilder
+
+N_CPUS = 4
+
+record_rows = st.lists(
+    st.tuples(
+        st.integers(0, 1_000_000),   # time
+        st.integers(0, N_CPUS - 1),  # cpu
+        st.integers(0, 3),           # process
+        st.integers(0, 25),          # page
+        st.integers(1, 400),         # weight
+        st.booleans(),               # write
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build(rows):
+    b = TraceBuilder()
+    for t, c, p, pg, w, wr in rows:
+        b.append(t, c, p, pg, w, is_write=wr)
+    return b.build()
+
+
+def node_of_cpu(cpu):
+    return cpu
+
+
+class TestPlacementProperties:
+    @given(record_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_placements_are_total_and_in_range(self, rows):
+        trace = build(rows)
+        for placement in (
+            round_robin_placement(trace, N_CPUS),
+            first_touch_placement(trace, N_CPUS, node_of_cpu),
+            post_facto_placement(trace, N_CPUS, node_of_cpu),
+        ):
+            assert len(placement) >= trace.max_page_id() + 1
+            assert placement.min() >= 0
+            assert placement.max() < N_CPUS
+
+    @given(record_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_post_facto_is_optimal_static(self, rows):
+        """PF minimises stall over ALL static placements, so it beats RR
+        and FT on every trace."""
+        trace = build(rows)
+        pf = post_facto_placement(trace, N_CPUS, node_of_cpu)
+        pf_stall, _ = static_stall_ns(trace, pf, node_of_cpu, 300, 1200)
+        for other in (
+            round_robin_placement(trace, N_CPUS),
+            first_touch_placement(trace, N_CPUS, node_of_cpu),
+        ):
+            stall, _ = static_stall_ns(trace, other, node_of_cpu, 300, 1200)
+            assert pf_stall <= stall + 1e-6
+
+    @given(record_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_stall_bounds(self, rows):
+        """Static stall always lies between all-local and all-remote."""
+        trace = build(rows)
+        placement = first_touch_placement(trace, N_CPUS, node_of_cpu)
+        stall, local = static_stall_ns(trace, placement, node_of_cpu, 300, 1200)
+        total = trace.total_misses
+        assert total * 300 <= stall <= total * 1200
+        assert 0.0 <= local <= 1.0
+
+
+class TestDynamicProperties:
+    @given(record_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_miss_conservation(self, rows):
+        """The dynamic simulator services exactly the trace's misses."""
+        trace = build(rows)
+        sim = TracePolicySimulator(
+            PolicySimConfig(n_cpus=N_CPUS, n_nodes=N_CPUS,
+                            decision_delay_ns=100)
+        )
+        result = sim.simulate_dynamic(
+            trace,
+            PolicyParameters(trigger_threshold=50, sharing_threshold=10),
+        )
+        assert result.total_misses == trace.total_misses
+        assert 0 <= result.local_misses <= result.total_misses
+
+    @given(record_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_static_flags_match_static_evaluation(self, rows):
+        """A dynamic policy with both mechanisms off reproduces FT exactly."""
+        trace = build(rows)
+        sim = TracePolicySimulator(
+            PolicySimConfig(n_cpus=N_CPUS, n_nodes=N_CPUS)
+        )
+        frozen = sim.simulate_dynamic(
+            trace,
+            PolicyParameters(
+                trigger_threshold=50, sharing_threshold=10,
+                enable_migration=False, enable_replication=False,
+            ),
+        )
+        ft = sim.simulate_static(trace, StaticPolicy.FIRST_TOUCH)
+        assert frozen.migrations == 0
+        assert frozen.replications == 0
+        assert frozen.local_misses == ft.local_misses
+
+    @given(record_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_overhead_accounts_every_operation(self, rows):
+        trace = build(rows)
+        sim = TracePolicySimulator(
+            PolicySimConfig(n_cpus=N_CPUS, n_nodes=N_CPUS,
+                            decision_delay_ns=100)
+        )
+        r = sim.simulate_dynamic(
+            trace,
+            PolicyParameters(trigger_threshold=50, sharing_threshold=10),
+        )
+        ops = r.migrations + r.replications + r.collapses
+        assert r.overhead_ns == pytest.approx(ops * 350_000)
+
+
+class TestReadChainProperties:
+    @given(record_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_chain_weight_equals_read_weight(self, rows):
+        """Every read miss belongs to exactly one chain."""
+        trace = build(rows)
+        histogram = read_chain_histogram(trace, data_only=False)
+        reads = int(trace.weight[~trace.is_write].sum())
+        assert histogram.total == reads
+
+    @given(record_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_survival_monotone(self, rows):
+        trace = build(rows)
+        histogram = read_chain_histogram(trace, data_only=False)
+        fractions = [
+            histogram.fraction_at_least(x) for x in (1, 4, 16, 64, 256, 1024)
+        ]
+        assert fractions == sorted(fractions, reverse=True)

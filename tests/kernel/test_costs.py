@@ -1,0 +1,113 @@
+"""Kernel cost model and accounting (Tables 5/6 machinery)."""
+
+import pytest
+
+from repro.kernel.pager.costs import (
+    CostCategory,
+    KernelCostAccounting,
+    KernelCostModel,
+    OpType,
+)
+from repro.machine.config import MachineConfig
+
+
+class TestCostModel:
+    def test_ccnuma_model_is_baseline(self):
+        base = KernelCostModel()
+        derived = KernelCostModel.for_machine(MachineConfig.flash_ccnuma())
+        assert derived == base
+
+    def test_ccnow_stretches_network_bound_steps(self):
+        base = KernelCostModel()
+        ccnow = KernelCostModel.for_machine(MachineConfig.flash_ccnow())
+        assert ccnow.page_copy_ns > base.page_copy_ns
+        assert ccnow.tlb_flush_per_cpu_ns > base.tlb_flush_per_cpu_ns
+        # Steps with no network component are untouched.
+        assert ccnow.decision_ns == base.decision_ns
+        assert ccnow.page_alloc_ns == base.page_alloc_ns
+
+    def test_ccnow_op_cost_reaches_about_600us(self):
+        """Section 7.1.3: per-op cost grows from ~450 to ~600 us."""
+        base = KernelCostModel()
+        ccnow = KernelCostModel.for_machine(MachineConfig.flash_ccnow())
+
+        def op_cost(m):
+            return (
+                m.decision_ns
+                + m.page_alloc_ns
+                + m.links_mapping_repl_ns
+                + m.tlb_flush_base_ns
+                + m.tlb_flush_per_cpu_ns
+                + m.page_copy_ns
+                + m.policy_end_repl_ns
+            ) / 1000.0
+
+        assert 300 < op_cost(base) < 500
+        assert 500 < op_cost(ccnow) < 750
+        assert op_cost(ccnow) - op_cost(base) > 100
+
+    def test_pipelined_copy_is_cheaper(self):
+        pipelined = KernelCostModel.for_machine(
+            MachineConfig.flash_ccnuma(), pipelined_copy=True
+        )
+        assert pipelined.page_copy_ns < KernelCostModel().page_copy_ns
+        assert pipelined.page_copy_ns == KernelCostModel().page_copy_pipelined_ns
+
+
+class TestAccounting:
+    def test_charge_accumulates_category(self):
+        acct = KernelCostAccounting()
+        acct.charge(CostCategory.PAGE_COPY, 1000)
+        acct.charge(CostCategory.PAGE_COPY, 500)
+        assert acct.category_ns[CostCategory.PAGE_COPY] == 1500
+        assert acct.total_overhead_ns == 1500
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCostAccounting().charge(CostCategory.PAGE_COPY, -1)
+
+    def test_op_attribution(self):
+        acct = KernelCostAccounting()
+        acct.charge(CostCategory.PAGE_ALLOC, 2000, OpType.MIGRATION)
+        acct.finish_op(OpType.MIGRATION, 5000)
+        assert acct.mean_step_latency_us(
+            OpType.MIGRATION, CostCategory.PAGE_ALLOC
+        ) == pytest.approx(2.0)
+        assert acct.mean_op_latency_us(OpType.MIGRATION) == pytest.approx(5.0)
+
+    def test_attribute_op_does_not_inflate_total(self):
+        acct = KernelCostAccounting()
+        acct.charge(CostCategory.TLB_FLUSH, 8000)          # system-wide
+        acct.attribute_op(OpType.REPLICATION, CostCategory.TLB_FLUSH, 1000)
+        acct.finish_op(OpType.REPLICATION, 1000)
+        assert acct.total_overhead_ns == 8000
+        assert acct.mean_step_latency_us(
+            OpType.REPLICATION, CostCategory.TLB_FLUSH
+        ) == pytest.approx(1.0)
+
+    def test_overhead_percentages_sum_to_100(self):
+        acct = KernelCostAccounting()
+        acct.charge(CostCategory.TLB_FLUSH, 300)
+        acct.charge(CostCategory.PAGE_ALLOC, 500)
+        acct.charge(CostCategory.PAGE_COPY, 200)
+        pct = acct.overhead_percentages()
+        assert sum(pct.values()) == pytest.approx(100.0)
+        assert pct[CostCategory.PAGE_ALLOC] == pytest.approx(50.0)
+
+    def test_empty_accounting(self):
+        acct = KernelCostAccounting()
+        assert acct.total_overhead_ns == 0
+        assert all(v == 0.0 for v in acct.overhead_percentages().values())
+        assert acct.mean_op_latency_us(OpType.COLLAPSE) == 0.0
+        assert acct.mean_step_latency_us(
+            OpType.COLLAPSE, CostCategory.PAGE_COPY
+        ) == 0.0
+
+    def test_table5_row_shape(self):
+        acct = KernelCostAccounting()
+        acct.charge(CostCategory.PAGE_COPY, 95_000, OpType.REPLICATION)
+        acct.finish_op(OpType.REPLICATION, 450_000)
+        row = acct.table5_row(OpType.REPLICATION)
+        assert row["Page Copying"] == pytest.approx(95.0)
+        assert row["Total Latency"] == pytest.approx(450.0)
+        assert "Intr. Proc" in row and "Policy End" in row

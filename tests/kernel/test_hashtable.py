@@ -1,0 +1,114 @@
+"""The (vnode, offset) page hash table."""
+
+import pytest
+
+from repro.common.errors import VmError
+from repro.kernel.vm.hashtable import PageHashTable, logical_id, vnode_offset
+from repro.kernel.vm.page import PageFrame
+
+
+def make_master(page_id, frame_id=0, node=0):
+    frame = PageFrame(frame_id, node)
+    frame.assign(page_id)
+    return frame
+
+
+class TestLogicalIds:
+    def test_round_trip(self):
+        page = logical_id(vnode=7, offset=1234)
+        assert vnode_offset(page) == (7, 1234)
+
+    def test_distinct_vnodes_distinct_ids(self):
+        assert logical_id(1, 0) != logical_id(2, 0)
+
+    def test_validation(self):
+        with pytest.raises(VmError):
+            logical_id(-1, 0)
+        with pytest.raises(VmError):
+            logical_id(0, 1 << 20)
+        with pytest.raises(VmError):
+            vnode_offset(-1)
+
+
+class TestHashTable:
+    def test_insert_lookup(self):
+        table = PageHashTable()
+        frame = make_master(42)
+        table.insert(frame)
+        assert table.lookup(42) is frame
+        assert 42 in table
+        assert len(table) == 1
+
+    def test_lookup_missing_returns_none(self):
+        assert PageHashTable().lookup(9) is None
+
+    def test_duplicate_insert_rejected(self):
+        table = PageHashTable()
+        table.insert(make_master(42))
+        with pytest.raises(VmError):
+            table.insert(make_master(42, frame_id=1))
+
+    def test_replica_cannot_be_inserted(self):
+        table = PageHashTable()
+        master = make_master(1)
+        replica = PageFrame(1, node=1)
+        master.add_replica(replica)
+        with pytest.raises(VmError):
+            table.insert(replica)
+
+    def test_remove(self):
+        table = PageHashTable()
+        frame = make_master(42)
+        table.insert(frame)
+        assert table.remove(42) is frame
+        assert table.lookup(42) is None
+        assert len(table) == 0
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(VmError):
+            PageHashTable().remove(42)
+
+    def test_replace_master(self):
+        table = PageHashTable()
+        old = make_master(42, frame_id=0)
+        table.insert(old)
+        new = make_master(42, frame_id=1, node=3)
+        table.replace_master(old, new)
+        assert table.lookup(42) is new
+        assert len(table) == 1
+
+    def test_replace_master_validates_identity(self):
+        table = PageHashTable()
+        old = make_master(42)
+        table.insert(old)
+        wrong_page = make_master(43, frame_id=1)
+        with pytest.raises(VmError):
+            table.replace_master(old, wrong_page)
+
+    def test_replace_master_rejects_stale_old(self):
+        table = PageHashTable()
+        current = make_master(42, frame_id=0)
+        table.insert(current)
+        stale = make_master(42, frame_id=1)
+        replacement = make_master(42, frame_id=2)
+        with pytest.raises(VmError):
+            table.replace_master(stale, replacement)
+
+    def test_collisions_resolved_within_bucket(self):
+        table = PageHashTable(n_buckets=2)
+        frames = [make_master(i, frame_id=i) for i in range(10)]
+        for f in frames:
+            table.insert(f)
+        for i, f in enumerate(frames):
+            assert table.lookup(i) is f
+        assert table.longest_chain() == 5
+
+    def test_iteration_covers_all(self):
+        table = PageHashTable(n_buckets=4)
+        for i in range(7):
+            table.insert(make_master(i, frame_id=i))
+        assert sorted(f.logical_page for f in table) == list(range(7))
+
+    def test_needs_buckets(self):
+        with pytest.raises(VmError):
+            PageHashTable(n_buckets=0)

@@ -1,0 +1,75 @@
+"""Simulated locks: wait computation and contention accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.kernel.vm.locks import LockRegistry, SimLock
+
+
+class TestSimLock:
+    def test_uncontended_acquire_has_no_wait(self):
+        lock = SimLock("l")
+        acq = lock.acquire(now=100, hold_ns=50)
+        assert acq.wait_ns == 0.0
+        assert acq.release_ns == 150
+
+    def test_overlapping_acquire_waits(self):
+        lock = SimLock("l")
+        lock.acquire(100, 50)          # held [100, 150)
+        acq = lock.acquire(120, 30)
+        assert acq.wait_ns == 30.0     # waits until 150
+        assert acq.release_ns == 180
+
+    def test_sequential_acquires_do_not_wait(self):
+        lock = SimLock("l")
+        lock.acquire(0, 50)
+        acq = lock.acquire(60, 50)
+        assert acq.wait_ns == 0.0
+
+    def test_wait_chain_accumulates(self):
+        lock = SimLock("l")
+        waits = [lock.acquire(0, 10).wait_ns for _ in range(5)]
+        assert waits == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_contention_statistics(self):
+        lock = SimLock("l")
+        lock.acquire(0, 100)
+        lock.acquire(10, 100)
+        lock.acquire(500, 100)
+        assert lock.acquisitions == 3
+        assert lock.contended == 1
+        assert lock.contention_rate == pytest.approx(1 / 3)
+        assert lock.wait.total == pytest.approx(90.0)
+        assert lock.hold.total == pytest.approx(300.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimLock("l").acquire(0, -1)
+
+
+class TestLockRegistry:
+    def test_memlock_is_singleton(self):
+        registry = LockRegistry()
+        assert registry.memlock is registry.memlock
+
+    def test_region_locks_created_on_demand(self):
+        registry = LockRegistry()
+        a = registry.region_lock(1)
+        b = registry.region_lock(1)
+        c = registry.region_lock(2)
+        assert a is b
+        assert a is not c
+
+    def test_page_locks_independent(self):
+        registry = LockRegistry()
+        registry.page_lock(10).acquire(0, 100)
+        acq = registry.page_lock(11).acquire(0, 100)
+        assert acq.wait_ns == 0.0
+
+    def test_total_wait_spans_all_locks(self):
+        registry = LockRegistry()
+        registry.memlock.acquire(0, 100)
+        registry.memlock.acquire(0, 100)          # waits 100
+        registry.page_lock(5).acquire(0, 50)
+        registry.page_lock(5).acquire(0, 50)      # waits 50
+        assert registry.total_wait_ns() == pytest.approx(150.0)

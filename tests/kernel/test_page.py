@@ -1,0 +1,149 @@
+"""Page frames and replica chains."""
+
+import pytest
+
+from repro.common.errors import VmError
+from repro.kernel.vm.page import PageFrame
+from repro.kernel.vm.pagetable import PageTable
+
+
+def master_with_replicas(nodes=(1, 2)):
+    master = PageFrame(0, node=0)
+    master.assign(100)
+    replicas = []
+    for i, node in enumerate(nodes, start=1):
+        r = PageFrame(i, node=node)
+        master.add_replica(r)
+        replicas.append(r)
+    return master, replicas
+
+
+class TestLifecycle:
+    def test_fresh_frame_is_free(self):
+        f = PageFrame(0, 0)
+        assert f.is_free
+        assert not f.is_master
+
+    def test_assign_makes_master(self):
+        f = PageFrame(0, 0)
+        f.assign(42)
+        assert f.is_master
+        assert f.logical_page == 42
+
+    def test_double_assign_rejected(self):
+        f = PageFrame(0, 0)
+        f.assign(1)
+        with pytest.raises(VmError):
+            f.assign(2)
+
+    def test_release_returns_to_free(self):
+        f = PageFrame(0, 0)
+        f.assign(1)
+        f.release()
+        assert f.is_free
+
+    def test_release_with_mappings_rejected(self):
+        f = PageFrame(0, 0)
+        f.assign(1)
+        PageTable(0).map(1, f)
+        with pytest.raises(VmError):
+            f.release()
+
+    def test_release_with_replicas_rejected(self):
+        master, _ = master_with_replicas()
+        with pytest.raises(VmError):
+            master.release()
+
+
+class TestReplicaChains:
+    def test_add_replica(self):
+        master, (r1, r2) = master_with_replicas()
+        assert master.has_replicas
+        assert r1.is_replica
+        assert r1.master is master
+        assert r1.logical_page == 100
+
+    def test_replica_on_master_node_rejected(self):
+        master, _ = master_with_replicas()
+        dup = PageFrame(9, node=0)
+        with pytest.raises(VmError):
+            master.add_replica(dup)
+
+    def test_duplicate_node_rejected(self):
+        master, _ = master_with_replicas(nodes=(1,))
+        dup = PageFrame(9, node=1)
+        with pytest.raises(VmError):
+            master.add_replica(dup)
+
+    def test_replica_must_chain_onto_master(self):
+        master, (r1, _) = master_with_replicas()
+        other = PageFrame(9, node=5)
+        with pytest.raises(VmError):
+            r1.add_replica(other)
+
+    def test_busy_frame_cannot_become_replica(self):
+        master, _ = master_with_replicas()
+        busy = PageFrame(9, node=5)
+        busy.assign(7)
+        with pytest.raises(VmError):
+            master.add_replica(busy)
+
+    def test_remove_replica(self):
+        master, (r1, r2) = master_with_replicas()
+        master.remove_replica(r1)
+        assert r1.is_free
+        assert r1.master is None
+        assert master.replicas == [r2]
+
+    def test_remove_foreign_replica_rejected(self):
+        master, _ = master_with_replicas()
+        stranger = PageFrame(9, node=5)
+        with pytest.raises(VmError):
+            master.remove_replica(stranger)
+
+    def test_copy_nodes_master_first(self):
+        master, _ = master_with_replicas(nodes=(3, 5))
+        assert master.copy_nodes() == [0, 3, 5]
+
+    def test_nearest_copy_prefers_local(self):
+        master, (r1, r2) = master_with_replicas(nodes=(1, 2))
+        assert master.nearest_copy(2) is r2
+        assert master.nearest_copy(0) is master
+        assert master.nearest_copy(7) is master   # no copy: fall to master
+
+    def test_all_copies_from_replica_rejected(self):
+        _, (r1, _) = master_with_replicas()
+        with pytest.raises(VmError):
+            r1.all_copies()
+
+
+class TestBackMappings:
+    def test_attach_detach(self):
+        f = PageFrame(0, 0)
+        f.assign(1)
+        table = PageTable(0)
+        pte = table.map(1, f)
+        assert f.ptes == [pte]
+        table.unmap(1)
+        assert f.ptes == []
+
+    def test_detach_unknown_pte_rejected(self):
+        f = PageFrame(0, 0)
+        f.assign(1)
+        other = PageFrame(1, 0)
+        other.assign(1)
+        pte = PageTable(0).map(1, other)
+        with pytest.raises(VmError):
+            f.detach_pte(pte)
+
+    def test_mapping_cpus(self):
+        master, _ = master_with_replicas()
+        PageTable(10).map(100, master)
+        PageTable(11).map(100, master)
+        cpu_of = {10: 3, 11: 6}.get
+        assert master.mapping_cpus(cpu_of) == [3, 6]
+
+    def test_mapping_cpus_skips_descheduled(self):
+        master, _ = master_with_replicas()
+        PageTable(10).map(100, master)
+        assert master.mapping_cpus(lambda pid: None) == []

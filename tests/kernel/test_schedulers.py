@@ -1,0 +1,233 @@
+"""Schedulers: pinning, affinity stickiness, space partitioning."""
+
+import pytest
+
+from repro.common.errors import SchedulerError
+from repro.common.units import ms, sec
+from repro.kernel.sched.affinity import AffinityScheduler
+from repro.kernel.sched.partition import SpacePartitionScheduler
+from repro.kernel.sched.pinned import PinnedScheduler
+from repro.kernel.sched.process import Epoch, Process, Schedule
+
+
+def procs(n, job="job", duration=None, arrivals=None):
+    out = []
+    for i in range(n):
+        arrival = arrivals[i] if arrivals else 0
+        out.append(Process(pid=i, name=f"p{i}", job=job, arrival_ns=arrival))
+    return out
+
+
+class TestEpochAndSchedule:
+    def test_epoch_duration(self):
+        e = Epoch(0, 100, {0: 1})
+        assert e.duration_ns == 100
+        assert e.cpu_of(1) == 0
+        assert e.cpu_of(9) is None
+        assert e.idle_cpus(2) == [1]
+
+    def test_epoch_rejects_duplicate_process(self):
+        with pytest.raises(SchedulerError):
+            Epoch(0, 100, {0: 1, 1: 1})
+
+    def test_epoch_rejects_empty_span(self):
+        with pytest.raises(SchedulerError):
+            Epoch(100, 100)
+
+    def test_schedule_must_be_contiguous(self):
+        with pytest.raises(SchedulerError):
+            Schedule([Epoch(0, 10, {}), Epoch(20, 30, {})], n_cpus=1)
+
+    def test_schedule_lookup(self):
+        s = Schedule([Epoch(0, 10, {0: 5}), Epoch(10, 20, {1: 5})], n_cpus=2)
+        assert s.cpu_of(5, 5) == 0
+        assert s.cpu_of(5, 15) == 1
+        assert s.at(10).start_ns == 10
+        with pytest.raises(SchedulerError):
+            s.at(20)
+
+    def test_migration_count(self):
+        s = Schedule(
+            [Epoch(0, 10, {0: 5}), Epoch(10, 20, {}), Epoch(20, 30, {1: 5})],
+            n_cpus=2,
+        )
+        assert s.migration_count(5) == 1
+        assert s.total_migrations() == 1
+
+    def test_busy_and_idle_time(self):
+        s = Schedule([Epoch(0, 10, {0: 1}), Epoch(10, 20, {0: 1, 1: 2})], n_cpus=2)
+        assert s.busy_time_ns() == 30
+        assert s.idle_time_ns() == 10
+        assert s.cpu_time_ns(1) == 20
+
+
+class TestPinnedScheduler:
+    def test_processes_never_move(self):
+        sched = PinnedScheduler(n_cpus=4).build(procs(4), sec(1), quantum_ns=ms(10))
+        for pid in range(4):
+            assert sched.migration_count(pid) == 0
+            cpus = {e.cpu_of(pid) for e in sched if e.cpu_of(pid) is not None}
+            assert cpus == {pid}
+
+    def test_duty_cycle_creates_idle(self):
+        full = PinnedScheduler(n_cpus=4).build(procs(4), sec(1), quantum_ns=ms(10))
+        gappy = PinnedScheduler(n_cpus=4, duty_cycle=0.5, seed=3).build(
+            procs(4), sec(1), quantum_ns=ms(10)
+        )
+        assert full.idle_time_ns() == 0
+        idle_fraction = gappy.idle_time_ns() / (sec(1) * 4)
+        assert 0.4 < idle_fraction < 0.6
+
+    def test_explicit_assignment(self):
+        sched = PinnedScheduler(n_cpus=4, assignment={0: 3}).build(
+            procs(1), ms(100), quantum_ns=ms(10)
+        )
+        assert sched.cpu_of(0, 0) == 3
+
+    def test_more_processes_than_cpus_needs_assignment(self):
+        with pytest.raises(SchedulerError):
+            PinnedScheduler(n_cpus=2).build(procs(3), ms(100))
+
+    def test_missing_pin_rejected(self):
+        with pytest.raises(SchedulerError):
+            PinnedScheduler(n_cpus=2, assignment={0: 0}).build(procs(2), ms(100))
+
+    def test_deterministic(self):
+        a = PinnedScheduler(4, duty_cycle=0.7, seed=5).build(procs(4), sec(1))
+        b = PinnedScheduler(4, duty_cycle=0.7, seed=5).build(procs(4), sec(1))
+        assert [e.running for e in a] == [e.running for e in b]
+
+
+class TestAffinityScheduler:
+    def test_all_cpus_busy_when_oversubscribed(self):
+        sched = AffinityScheduler(n_cpus=4, seed=1).build(procs(8), sec(1))
+        assert sched.idle_time_ns() == 0
+
+    def test_affinity_keeps_processes_sticky(self):
+        sched = AffinityScheduler(
+            n_cpus=4, duty_cycle=0.6, rebalance_probability=0.0, seed=1
+        ).build(procs(6), sec(2))
+        # With moderate blocking and no gratuitous churn, moves are rare.
+        total_moves = sched.total_migrations()
+        quanta = len(sched.epochs)
+        assert total_moves < quanta / 4
+
+    def test_rebalancing_produces_some_moves(self):
+        sched = AffinityScheduler(
+            n_cpus=4, duty_cycle=0.5, rebalance_probability=0.1, seed=1
+        ).build(procs(8), sec(2))
+        assert sched.total_migrations() > 0
+
+    def test_fairness_everyone_runs(self):
+        sched = AffinityScheduler(n_cpus=2, seed=1).build(procs(6), sec(1))
+        for pid in range(6):
+            assert sched.cpu_time_ns(pid) > 0
+
+    def test_arrivals_and_departures_respected(self):
+        duration = sec(1)
+        p = [
+            Process(pid=0, name="early", arrival_ns=0, departure_ns=duration // 2),
+            Process(pid=1, name="late", arrival_ns=duration // 2),
+        ]
+        sched = AffinityScheduler(n_cpus=1, seed=0).build(p, duration)
+        assert sched.cpu_of(1, 0) is None
+        assert sched.cpu_of(0, duration - 1) is None
+
+    def test_deterministic(self):
+        a = AffinityScheduler(4, duty_cycle=0.6, seed=9).build(procs(8), sec(1))
+        b = AffinityScheduler(4, duty_cycle=0.6, seed=9).build(procs(8), sec(1))
+        assert [e.running for e in a] == [e.running for e in b]
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            AffinityScheduler(0)
+        with pytest.raises(SchedulerError):
+            AffinityScheduler(2, duty_cycle=0.0)
+        with pytest.raises(SchedulerError):
+            AffinityScheduler(2).build(procs(1), 0)
+
+
+class TestSpacePartitionScheduler:
+    def make_jobs(self, duration):
+        a = [Process(pid=i, name=f"a{i}", job="a", departure_ns=duration // 2)
+             for i in range(4)]
+        b = [Process(pid=4 + i, name=f"b{i}", job="b",
+                     arrival_ns=duration // 4) for i in range(4)]
+        return a + b
+
+    def test_epochs_break_at_job_events(self):
+        duration = sec(1)
+        sched = SpacePartitionScheduler(8).build(self.make_jobs(duration), duration)
+        boundaries = {e.start_ns for e in sched}
+        assert duration // 4 in boundaries
+        assert duration // 2 in boundaries
+
+    def test_jobs_get_disjoint_cpu_ranges(self):
+        duration = sec(1)
+        jobs = self.make_jobs(duration)
+        sched = SpacePartitionScheduler(8).build(jobs, duration)
+        overlap_epoch = sched.at(duration // 3)   # both jobs alive
+        a_cpus = {c for c, p in overlap_epoch.running.items() if p < 4}
+        b_cpus = {c for c, p in overlap_epoch.running.items() if p >= 4}
+        assert a_cpus and b_cpus
+        assert not (a_cpus & b_cpus)
+
+    def test_repartition_moves_processes(self):
+        duration = sec(1)
+        jobs = self.make_jobs(duration)
+        sched = SpacePartitionScheduler(8).build(jobs, duration)
+        # Job b exists in [T/4, T); once job a leaves at T/2 its range shifts.
+        moves = sum(sched.migration_count(p.pid) for p in jobs)
+        assert moves > 0
+
+    def test_no_more_cpus_than_processes(self):
+        duration = ms(100)
+        jobs = [Process(pid=0, name="solo", job="solo")]
+        sched = SpacePartitionScheduler(8).build(jobs, duration)
+        assert len(sched.at(0).running) == 1
+
+    def test_full_machine_when_demand_exceeds_cpus(self):
+        duration = ms(100)
+        jobs = [Process(pid=i, name=f"p{i}", job=f"j{i % 3}") for i in range(12)]
+        sched = SpacePartitionScheduler(8).build(jobs, duration)
+        assert len(sched.at(0).running) == 8
+
+
+class TestPartitionShares:
+    """The largest-remainder CPU split."""
+
+    def make(self, n_cpus=8):
+        return SpacePartitionScheduler(n_cpus)
+
+    def test_equal_jobs_split_evenly(self):
+        shares = dict(self.make()._shares([("a", 4), ("b", 4)]))
+        assert shares == {"a": 4, "b": 4}
+
+    def test_proportional_to_width(self):
+        shares = dict(self.make()._shares([("big", 6), ("small", 2)]))
+        assert shares["big"] == 6
+        assert shares["small"] == 2
+
+    def test_never_exceeds_job_width(self):
+        shares = dict(self.make()._shares([("solo", 2)]))
+        assert shares["solo"] == 2
+
+    def test_remainders_distributed(self):
+        shares = dict(self.make()._shares([("a", 3), ("b", 3), ("c", 3)]))
+        assert sum(shares.values()) <= 8
+        assert all(2 <= v <= 3 for v in shares.values())
+
+    def test_zero_request(self):
+        shares = dict(self.make()._shares([("idle", 0)]))
+        assert shares["idle"] == 0
+
+    def test_single_cpu_machine(self):
+        shares = dict(SpacePartitionScheduler(1)._shares([("a", 2), ("b", 2)]))
+        assert sum(shares.values()) <= 1
+
+    def test_empty_interval_has_no_assignment(self):
+        duration = ms(100)
+        jobs = [Process(pid=0, name="late", arrival_ns=duration // 2)]
+        sched = SpacePartitionScheduler(4).build(jobs, duration)
+        assert sched.at(0).running == {}
+        assert sched.at(duration // 2 + 1).running != {}

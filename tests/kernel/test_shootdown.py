@@ -1,0 +1,62 @@
+"""TLB shootdown planning: all-CPU vs tracked-mapping mode."""
+
+from repro.kernel.vm.page import PageFrame
+from repro.kernel.vm.pagetable import PageTable
+from repro.kernel.vm.shootdown import ShootdownMode, plan_flush
+
+
+def build_mapped_master():
+    master = PageFrame(0, node=0)
+    master.assign(100)
+    replica = PageFrame(1, node=2)
+    master.add_replica(replica)
+    PageTable(10).map(100, master)
+    PageTable(11).map(100, replica)
+    return master, replica
+
+
+def test_all_cpus_mode_flushes_everything():
+    master, _ = build_mapped_master()
+    cpus = plan_flush([master], ShootdownMode.ALL_CPUS, 8, lambda pid: None)
+    assert cpus == list(range(8))
+
+
+def test_tracked_mode_flushes_only_mappers():
+    master, _ = build_mapped_master()
+    cpu_of = {10: 1, 11: 5}.get
+    cpus = plan_flush([master], ShootdownMode.TRACKED, 8, cpu_of)
+    assert cpus == [1, 5]
+
+
+def test_tracked_mode_includes_replica_mappers_via_master():
+    master, replica = build_mapped_master()
+    cpu_of = {10: 1, 11: 5}.get
+    # Passing the replica frame must still find the whole copy set.
+    cpus = plan_flush([replica], ShootdownMode.TRACKED, 8, cpu_of)
+    assert cpus == [1, 5]
+
+
+def test_tracked_mode_skips_descheduled_processes():
+    master, _ = build_mapped_master()
+    cpu_of = {10: 1}.get           # pid 11 is not running
+    cpus = plan_flush([master], ShootdownMode.TRACKED, 8, cpu_of)
+    assert cpus == [1]
+
+
+def test_tracked_mode_empty_when_nothing_mapped():
+    frame = PageFrame(0, node=0)
+    frame.assign(1)
+    cpus = plan_flush([frame], ShootdownMode.TRACKED, 8, lambda pid: 0)
+    assert cpus == []
+
+
+def test_tracked_mode_unions_multiple_frames():
+    a = PageFrame(0, 0)
+    a.assign(1)
+    b = PageFrame(1, 1)
+    b.assign(2)
+    PageTable(10).map(1, a)
+    PageTable(11).map(2, b)
+    cpu_of = {10: 2, 11: 2}.get
+    cpus = plan_flush([a, b], ShootdownMode.TRACKED, 8, cpu_of)
+    assert cpus == [2]

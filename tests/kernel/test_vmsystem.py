@@ -1,0 +1,254 @@
+"""The VM system facade: fault, migrate, replicate, collapse, invariants.
+
+Includes a hypothesis state-machine-style property test that hammers the
+facade with random valid operations and checks the global invariants the
+kernel depends on after every step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AllocationError, VmError
+from repro.kernel.vm.system import VmSystem
+
+
+@pytest.fixture
+def vm():
+    return VmSystem(n_nodes=4, frames_per_node=16)
+
+
+class TestFault:
+    def test_first_touch_places_on_requested_node(self, vm):
+        pte = vm.fault(process=1, page=10, node=2)
+        assert pte.frame.node == 2
+        assert vm.master_of(10) is pte.frame
+        assert vm.stats.faults == 1
+        assert vm.stats.base_pages == 1
+
+    def test_second_fault_same_process_is_idempotent(self, vm):
+        first = vm.fault(1, 10, 2)
+        second = vm.fault(1, 10, 3)
+        assert first is second
+        assert vm.stats.faults == 1
+
+    def test_other_process_maps_existing_master(self, vm):
+        vm.fault(1, 10, 2)
+        pte = vm.fault(2, 10, 0)
+        assert pte.frame is vm.master_of(10)
+        assert vm.stats.base_pages == 1
+
+    def test_fault_maps_nearest_replica(self, vm):
+        vm.fault(1, 10, 0)
+        vm.replicate(10, 3, node_of_process=lambda pid: 0)
+        pte = vm.fault(2, 10, 3)
+        assert pte.frame.node == 3
+        assert pte.frame.is_replica
+        assert not pte.writable     # replicated pages are read-only
+
+    def test_fault_full_node_falls_back(self):
+        vm = VmSystem(n_nodes=2, frames_per_node=2)
+        vm.fault(1, 1, 0)
+        vm.fault(1, 2, 0)
+        pte = vm.fault(1, 3, 0)
+        assert pte.frame.node == 1
+
+    def test_fault_reclaims_replicas_when_machine_full(self):
+        vm = VmSystem(n_nodes=2, frames_per_node=2)
+        vm.fault(1, 1, 0)
+        vm.replicate(1, 1, node_of_process=lambda pid: 0)
+        vm.fault(1, 2, 0)
+        vm.fault(1, 3, 0)
+        # All 4 frames in use (one is a replica): next fault reclaims it.
+        pte = vm.fault(1, 4, 0)
+        assert pte is not None
+        assert vm.stats.replicas_reclaimed == 1
+
+
+class TestMigrate:
+    def test_migrate_moves_master_and_mappings(self, vm):
+        vm.fault(1, 10, 0)
+        vm.fault(2, 10, 1)
+        new = vm.migrate(10, to_node=3)
+        assert new.node == 3
+        assert vm.master_of(10) is new
+        assert vm.location_for(1, 10) == 3
+        assert vm.location_for(2, 10) == 3
+        assert vm.stats.migrations == 1
+        vm.check_invariants()
+
+    def test_migrate_frees_old_frame(self, vm):
+        vm.fault(1, 10, 0)
+        before = vm.allocator.frames_in_use()
+        vm.migrate(10, 3)
+        assert vm.allocator.frames_in_use() == before
+
+    def test_migrate_nonresident_rejected(self, vm):
+        with pytest.raises(VmError):
+            vm.migrate(99, 1)
+
+    def test_migrate_to_same_node_rejected(self, vm):
+        vm.fault(1, 10, 0)
+        with pytest.raises(VmError):
+            vm.migrate(10, 0)
+
+    def test_migrate_replicated_page_rejected(self, vm):
+        vm.fault(1, 10, 0)
+        vm.replicate(10, 1, node_of_process=lambda pid: 0)
+        with pytest.raises(VmError):
+            vm.migrate(10, 2)
+
+    def test_migrate_to_full_node_raises_no_page(self):
+        vm = VmSystem(n_nodes=2, frames_per_node=1)
+        vm.fault(1, 1, 0)
+        vm.fault(2, 2, 1)      # node 1 now full
+        with pytest.raises(AllocationError):
+            vm.migrate(1, 1)
+
+
+class TestReplicate:
+    def test_replicate_creates_read_only_copies(self, vm):
+        vm.fault(1, 10, 0)
+        pte2 = vm.fault(2, 10, 1)
+        node_of = {1: 0, 2: 1}
+        replica = vm.replicate(10, 1, node_of_process=node_of.get)
+        assert replica.node == 1
+        assert replica.is_replica
+        # Process 2's mapping re-pointed to its local replica, read-only.
+        assert pte2.frame is replica
+        assert not pte2.writable
+        assert vm.stats.replications == 1
+        vm.check_invariants()
+
+    def test_replicate_duplicate_node_rejected(self, vm):
+        vm.fault(1, 10, 0)
+        vm.replicate(10, 1, node_of_process=lambda pid: 0)
+        with pytest.raises(VmError):
+            vm.replicate(10, 1, node_of_process=lambda pid: 0)
+
+    def test_replicate_full_node_raises(self):
+        vm = VmSystem(n_nodes=2, frames_per_node=1)
+        vm.fault(1, 1, 0)
+        vm.fault(2, 2, 1)
+        with pytest.raises(AllocationError):
+            vm.replicate(1, 1, node_of_process=lambda pid: 0)
+
+    def test_replica_accounting(self, vm):
+        vm.fault(1, 10, 0)
+        vm.replicate(10, 1, node_of_process=lambda pid: 0)
+        vm.replicate(10, 2, node_of_process=lambda pid: 0)
+        assert vm.allocator.total_replica_frames() == 2
+        assert vm.allocator.peak_replica_frames == 2
+
+
+class TestCollapse:
+    def make_replicated(self, vm):
+        vm.fault(1, 10, 0)
+        vm.fault(2, 10, 1)
+        vm.fault(3, 10, 2)
+        node_of = {1: 0, 2: 1, 3: 2}.get
+        vm.replicate(10, 1, node_of)
+        vm.replicate(10, 2, node_of)
+
+    def test_collapse_to_writer_node(self, vm):
+        self.make_replicated(vm)
+        survivor = vm.collapse(10, keep_node=1)
+        assert survivor.node == 1
+        assert vm.master_of(10) is survivor
+        assert not survivor.has_replicas
+        for pid in (1, 2, 3):
+            assert vm.location_for(pid, 10) == 1
+            assert vm.page_tables.table(pid).lookup(10).writable
+        assert vm.allocator.total_replica_frames() == 0
+        vm.check_invariants()
+
+    def test_collapse_keeps_master_when_writer_has_no_copy(self, vm):
+        self.make_replicated(vm)
+        survivor = vm.collapse(10, keep_node=3)
+        assert survivor.node == 0   # master's node
+        vm.check_invariants()
+
+    def test_collapse_unreplicated_rejected(self, vm):
+        vm.fault(1, 10, 0)
+        with pytest.raises(VmError):
+            vm.collapse(10)
+
+    def test_collapse_frees_replica_frames(self, vm):
+        self.make_replicated(vm)
+        in_use_before = vm.allocator.frames_in_use()
+        vm.collapse(10, keep_node=0)
+        assert vm.allocator.frames_in_use() == in_use_before - 2
+
+
+class TestReclaim:
+    def test_reclaim_repoints_to_master(self, vm):
+        vm.fault(1, 10, 0)
+        pte = vm.fault(2, 10, 1)
+        vm.replicate(10, 1, node_of_process={1: 0, 2: 1}.get)
+        assert pte.frame.node == 1
+        reclaimed = vm.reclaim_replicas(node=1, want=5)
+        assert reclaimed == 1
+        assert pte.frame is vm.master_of(10)
+        assert pte.writable     # no replicas left: writable again
+        vm.check_invariants()
+
+    def test_reclaim_nothing_to_do(self, vm):
+        assert vm.reclaim_replicas(0, 3) == 0
+
+    def test_reclaim_respects_node(self, vm):
+        vm.fault(1, 10, 0)
+        vm.replicate(10, 2, node_of_process=lambda pid: 0)
+        assert vm.reclaim_replicas(node=1, want=1) == 0
+        assert vm.reclaim_replicas(node=2, want=1) == 1
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["fault", "migrate", "replicate", "collapse"]),
+                st.integers(0, 5),    # process
+                st.integers(0, 11),   # page
+                st.integers(0, 3),    # node
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_invariants_hold_under_random_operations(self, ops):
+        vm = VmSystem(n_nodes=4, frames_per_node=64)
+        node_of_process = lambda pid: pid % 4  # noqa: E731
+        for op, process, page, node in ops:
+            try:
+                if op == "fault":
+                    vm.fault(process, page, node)
+                elif op == "migrate":
+                    vm.migrate(page, node)
+                elif op == "replicate":
+                    vm.replicate(page, node, node_of_process)
+                elif op == "collapse":
+                    vm.collapse(page, keep_node=node)
+            except (VmError, AllocationError):
+                pass  # invalid transitions are expected; state must stay sane
+            vm.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pages=st.lists(st.integers(0, 20), min_size=1, max_size=40),
+        nodes=st.lists(st.integers(0, 3), min_size=1, max_size=40),
+    )
+    def test_frame_conservation(self, pages, nodes):
+        """Frames in use always equals masters + replicas."""
+        vm = VmSystem(n_nodes=4, frames_per_node=32)
+        for page, node in zip(pages, nodes):
+            try:
+                vm.fault(page % 3, page, node)
+                if page % 2:
+                    vm.replicate(page, (node + 1) % 4, lambda pid: 0)
+            except (VmError, AllocationError):
+                pass
+        masters = sum(1 for _ in vm.hash_table)
+        replicas = sum(len(m.replicas) for m in vm.hash_table)
+        assert vm.allocator.frames_in_use() == masters + replicas
+        assert vm.allocator.total_replica_frames() == replicas

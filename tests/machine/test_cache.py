@@ -1,0 +1,135 @@
+"""Set-associative cache model: hits, LRU eviction, writebacks."""
+
+import pytest
+
+from repro.machine.cache import CacheHierarchy, SetAssociativeCache
+from repro.machine.config import CacheConfig
+
+
+def small_cache(n_sets=2, assoc=2, line=64):
+    return SetAssociativeCache(
+        CacheConfig(n_sets * assoc * line, assoc, line, hit_ns=1.0)
+    )
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_then_hits(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(32) is True   # same line (64-byte lines)
+        assert c.misses == 1
+        assert c.hits == 2
+
+    def test_distinct_lines_in_same_set(self):
+        c = small_cache(n_sets=2, assoc=2, line=64)
+        # addresses 0 and 256 map to set 0 with different tags
+        assert c.access(0) is False
+        assert c.access(256) is False
+        assert c.access(0) is True
+        assert c.access(256) is True
+
+    def test_lru_eviction(self):
+        c = small_cache(n_sets=1, assoc=2, line=64)
+        c.access(0)      # A
+        c.access(64)     # B
+        c.access(0)      # A again: B becomes LRU
+        c.access(128)    # C evicts B
+        assert c.access(0) is True
+        assert c.access(64) is False  # B was evicted
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = small_cache(n_sets=1, assoc=1, line=64)
+        c.access(0, write=True)
+        c.access(64)     # evicts dirty line
+        assert c.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = small_cache(n_sets=1, assoc=1, line=64)
+        c.access(0)
+        c.access(64)
+        assert c.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = small_cache(n_sets=1, assoc=1, line=64)
+        c.access(0)               # clean fill
+        c.access(0, write=True)   # dirty it
+        c.access(64)              # evict
+        assert c.writebacks == 1
+
+    def test_invalidate_line(self):
+        c = small_cache()
+        c.access(0)
+        assert c.invalidate_line(0) is True
+        assert c.invalidate_line(0) is False
+        assert c.access(0) is False
+
+    def test_invalidate_all(self):
+        c = small_cache()
+        c.access(0)
+        c.access(64)
+        c.invalidate_all()
+        assert c.resident_lines == 0
+
+    def test_contains_does_not_touch_lru(self):
+        c = small_cache(n_sets=1, assoc=2, line=64)
+        c.access(0)
+        c.access(64)
+        assert c.contains(0)
+        c.access(128)            # evicts LRU = line 0 (contains didn't promote)
+        assert not c.contains(0)
+
+    def test_miss_rate(self):
+        c = small_cache()
+        assert c.miss_rate == 0.0
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == pytest.approx(0.5)
+
+
+class TestCapacity:
+    def test_working_set_larger_than_cache_thrashes(self):
+        c = small_cache(n_sets=4, assoc=2, line=64)   # 8 lines capacity
+        addresses = [i * 64 for i in range(16)]       # 16 lines
+        for _ in range(3):
+            for a in addresses:
+                c.access(a)
+        # Sequential sweep over 2x capacity with LRU: everything misses.
+        assert c.hits == 0
+
+    def test_working_set_fits(self):
+        c = small_cache(n_sets=4, assoc=2, line=64)
+        addresses = [i * 64 for i in range(8)]
+        for a in addresses:
+            c.access(a)
+        for a in addresses:
+            assert c.access(a) is True
+
+
+class TestHierarchy:
+    def test_levels_fill_top_down(self):
+        from repro.machine.config import MachineConfig
+
+        m = MachineConfig.flash_ccnuma()
+        h = CacheHierarchy(m.l1i, m.l1d, m.l2)
+        assert h.access(0x1000) == CacheHierarchy.MEMORY
+        assert h.access(0x1000) == CacheHierarchy.L1
+        assert h.l2_misses() == 1
+
+    def test_instruction_and_data_separate_l1(self):
+        from repro.machine.config import MachineConfig
+
+        m = MachineConfig.flash_ccnuma()
+        h = CacheHierarchy(m.l1i, m.l1d, m.l2)
+        h.access(0x2000, instruction=True)
+        # Same address as data: misses L1D but hits the shared L2.
+        assert h.access(0x2000, instruction=False) == CacheHierarchy.L2
+
+    def test_flush(self):
+        from repro.machine.config import MachineConfig
+
+        m = MachineConfig.flash_ccnuma()
+        h = CacheHierarchy(m.l1i, m.l1d, m.l2)
+        h.access(0x3000)
+        h.flush()
+        assert h.access(0x3000) == CacheHierarchy.MEMORY

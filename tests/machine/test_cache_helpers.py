@@ -1,0 +1,29 @@
+"""Cache characterisation helper."""
+
+from repro.machine.cache import SetAssociativeCache, page_working_set_misses
+from repro.machine.config import CacheConfig
+
+
+def test_page_working_set_misses_cold_then_warm():
+    cache = SetAssociativeCache(CacheConfig(8192, 2, 64, 1.0))
+    pages = {0: 0x0000, 1: 0x1000}
+    misses = page_working_set_misses(cache, pages, page_size=4096, rounds=2)
+    # 4KB page / 64B lines = 64 lines; both pages fit in an 8KB cache, so
+    # only the first round misses.
+    assert misses == {0: 64, 1: 64}
+
+
+def test_page_working_set_misses_thrash():
+    cache = SetAssociativeCache(CacheConfig(4096, 1, 64, 1.0))
+    pages = {i: i * 0x1000 for i in range(4)}   # 16KB over a 4KB cache
+    misses = page_working_set_misses(cache, pages, page_size=4096, rounds=3)
+    # Direct-mapped 4KB cache: all four pages alias; every access misses.
+    assert all(count == 3 * 64 for count in misses.values())
+
+
+def test_lines_per_page_override():
+    cache = SetAssociativeCache(CacheConfig(8192, 2, 64, 1.0))
+    misses = page_working_set_misses(
+        cache, {0: 0}, page_size=4096, rounds=1, lines_per_page=8
+    )
+    assert misses == {0: 8}

@@ -1,0 +1,67 @@
+"""Utilisation-window contention model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.machine.contention import UtilisationWindow
+
+
+def test_idle_resource_has_no_delay():
+    w = UtilisationWindow(window_ns=1000)
+    assert w.offer(0, 100) == 0.0  # first window: previous utilisation 0
+
+
+def test_busy_window_produces_delay_in_next_window():
+    w = UtilisationWindow(window_ns=1000, max_utilisation=0.95)
+    # Fill window 0 to 50% utilisation.
+    w.offer(0, 100, weight=5)
+    # Window 1 sees rho=0.5 -> delay = occupancy * 1.0
+    delay = w.offer(1000, 100)
+    assert delay == pytest.approx(100.0)
+
+
+def test_utilisation_capped(self=None):
+    w = UtilisationWindow(window_ns=1000, max_utilisation=0.9)
+    w.offer(0, 1000, weight=100)      # overload
+    delay = w.offer(1000, 100)
+    assert delay == pytest.approx(100 * 0.9 / 0.1)
+
+
+def test_idle_gap_resets_history():
+    w = UtilisationWindow(window_ns=1000)
+    w.offer(0, 500)                    # busy window 0
+    # Skip windows 1-4 entirely, arrive in window 5.
+    assert w.offer(5000, 100) == 0.0
+
+
+def test_statistics_accumulate():
+    w = UtilisationWindow(window_ns=1000)
+    w.offer(0, 100, weight=3)
+    w.offer(1500, 50)
+    assert w.requests == 4
+    assert w.total_busy_ns == pytest.approx(350.0)
+    assert w.max_utilisation_seen >= 0.3
+
+
+def test_average_queue_length_positive_under_load():
+    w = UtilisationWindow(window_ns=1000)
+    for i in range(10):
+        w.offer(i * 1000, 600)         # 60% utilisation every window
+    assert w.average_queue_length(10_000) > 0.5
+
+
+def test_average_queue_length_zero_when_idle():
+    w = UtilisationWindow(window_ns=1000)
+    assert w.average_queue_length(0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        UtilisationWindow(window_ns=0)
+    with pytest.raises(ConfigurationError):
+        UtilisationWindow(max_utilisation=1.5)
+    w = UtilisationWindow()
+    with pytest.raises(ConfigurationError):
+        w.offer(0, -1)
+    with pytest.raises(ConfigurationError):
+        w.offer(0, 1, weight=0)

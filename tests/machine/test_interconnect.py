@@ -1,0 +1,40 @@
+"""Interconnect model: traversal accounting and queue statistics."""
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.machine.interconnect import Interconnect
+
+
+@pytest.fixture
+def net():
+    return Interconnect(MachineConfig.flash_ccnuma())
+
+
+def test_local_traversal_is_free(net):
+    assert net.traverse(0, 2, 2) == 0.0
+    assert net.remote_requests == 0
+
+
+def test_remote_traversal_counts(net):
+    net.traverse(0, 0, 1, weight=3)
+    assert net.remote_requests == 3
+
+
+def test_queue_length_grows_with_traffic(net):
+    for t in range(0, 20_000_000, 2_000):
+        net.traverse(t, 0, 1, weight=2)
+    assert net.average_queue_length(20_000_000) > 0.0
+    assert net.max_link_utilisation() > 0.0
+
+
+def test_idle_network_stats(net):
+    assert net.average_queue_length(1_000_000) == 0.0
+    assert net.max_link_utilisation() == 0.0
+
+
+def test_delay_appears_after_loaded_window(net):
+    for t in range(0, 1_000_000, 200):
+        net.traverse(t, 0, 1, weight=1)
+    delay = net.traverse(1_000_001, 0, 1)
+    assert delay > 0.0

@@ -1,0 +1,84 @@
+"""NUMA memory system: latencies, locality accounting, contention stats."""
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.machine.memory import NumaMemorySystem
+
+
+@pytest.fixture
+def memory():
+    return NumaMemorySystem(MachineConfig.flash_ccnuma())
+
+
+def test_local_miss_minimum_latency(memory):
+    svc = memory.service_miss(0, cpu=0, home_node=0)
+    assert not svc.is_remote
+    assert svc.latency_ns >= 300
+    assert svc.latency_ns == pytest.approx(300, abs=50)
+
+
+def test_remote_miss_minimum_latency(memory):
+    svc = memory.service_miss(0, cpu=0, home_node=5)
+    assert svc.is_remote
+    assert svc.latency_ns >= 1200
+
+
+def test_miss_counting(memory):
+    memory.service_miss(0, 0, 0, weight=10)
+    memory.service_miss(0, 0, 3, weight=5)
+    assert memory.local_misses == 10
+    assert memory.remote_misses == 5
+    assert memory.total_misses == 15
+    assert memory.local_fraction == pytest.approx(10 / 15)
+
+
+def test_remote_handler_invocations(memory):
+    memory.service_miss(0, 0, 1, weight=7)
+    memory.service_miss(0, 0, 0, weight=3)
+    assert memory.remote_handler_invocations == 7
+
+
+def test_contention_raises_latency():
+    machine = MachineConfig.flash_ccnuma()
+    loaded = NumaMemorySystem(machine)
+    # Load node 0's controller hard for a while.
+    for t in range(0, 10_000_000, 1000):
+        loaded.service_miss(t, cpu=1, home_node=0, weight=4)
+    late = loaded.service_miss(10_000_000, cpu=1, home_node=0)
+    assert late.latency_ns > 1200
+    assert late.queue_delay_ns > 0
+
+
+def test_quiet_node_unaffected_by_busy_node():
+    machine = MachineConfig.flash_ccnuma()
+    memory = NumaMemorySystem(machine)
+    for t in range(0, 5_000_000, 1000):
+        memory.service_miss(t, cpu=1, home_node=0, weight=4)
+    # Node 7 never saw traffic: local miss there is at minimum.
+    svc = memory.service_miss(5_000_000, cpu=7, home_node=7)
+    assert svc.queue_delay_ns == 0.0
+
+
+def test_average_latencies_tracked(memory):
+    memory.service_miss(0, 0, 0, weight=2)
+    memory.service_miss(0, 0, 4, weight=2)
+    assert memory.average_local_latency() >= 300
+    assert memory.average_remote_latency() >= 1200
+
+
+def test_zero_network_config_remote_equals_local_base():
+    machine = MachineConfig.zero_network()
+    memory = NumaMemorySystem(machine)
+    remote = memory.service_miss(0, cpu=0, home_node=5)
+    # Remote minimum collapses to the local latency (only contention differs).
+    assert remote.latency_ns == pytest.approx(300, abs=50)
+
+
+def test_max_controller_occupancy_grows_under_load():
+    machine = MachineConfig.flash_ccnuma()
+    memory = NumaMemorySystem(machine)
+    assert memory.max_controller_occupancy() == 0.0
+    for t in range(0, 3_000_000, 500):
+        memory.service_miss(t, cpu=2, home_node=0, weight=4)
+    assert memory.max_controller_occupancy() > 0.1

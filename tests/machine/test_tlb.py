@@ -1,0 +1,96 @@
+"""TLB model: LRU residency, flushes, the 64-entry reach."""
+
+import pytest
+
+from repro.machine.config import TlbConfig
+from repro.machine.tlb import Tlb, TlbArray
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        t = Tlb()
+        assert t.access(5) is False
+        assert t.access(5) is True
+        assert t.misses == 1
+        assert t.hits == 1
+
+    def test_capacity_is_64_by_default(self):
+        t = Tlb()
+        for vpn in range(64):
+            t.access(vpn)
+        assert t.occupancy == 64
+        for vpn in range(64):
+            assert t.contains(vpn)
+        t.access(64)                    # evicts LRU (vpn 0)
+        assert not t.contains(0)
+        assert t.contains(1)
+
+    def test_lru_promotion(self):
+        t = Tlb(TlbConfig(entries=2))
+        t.access(1)
+        t.access(2)
+        t.access(1)      # promote 1
+        t.access(3)      # evict 2
+        assert t.contains(1)
+        assert not t.contains(2)
+
+    def test_flush_clears_everything(self):
+        t = Tlb(TlbConfig(entries=4))
+        for vpn in range(4):
+            t.access(vpn)
+        t.flush()
+        assert t.occupancy == 0
+        assert t.flushes == 1
+
+    def test_flush_page(self):
+        t = Tlb()
+        t.access(9)
+        assert t.flush_page(9) is True
+        assert t.flush_page(9) is False
+        assert t.page_flushes == 2
+        assert not t.contains(9)
+
+    def test_miss_rate(self):
+        t = Tlb()
+        t.access(1)
+        t.access(1)
+        t.access(2)
+        assert t.miss_rate == pytest.approx(2 / 3)
+
+    def test_empty_miss_rate(self):
+        assert Tlb().miss_rate == 0.0
+
+
+class TestTlbArray:
+    def test_independent_per_cpu(self):
+        array = TlbArray(4)
+        array[0].access(7)
+        assert array[0].contains(7)
+        assert not array[1].contains(7)
+
+    def test_flush_all(self):
+        array = TlbArray(4)
+        for cpu in range(4):
+            array[cpu].access(cpu)
+        assert array.flush_all() == 4
+        assert all(array[c].occupancy == 0 for c in range(4))
+
+    def test_flush_selected_cpus(self):
+        array = TlbArray(4)
+        for cpu in range(4):
+            array[cpu].access(1)
+        assert array.flush_cpus([1, 3]) == 2
+        assert array[0].contains(1)
+        assert not array[1].contains(1)
+        assert array[2].contains(1)
+        assert not array[3].contains(1)
+
+    def test_total_misses(self):
+        array = TlbArray(2)
+        array[0].access(1)
+        array[1].access(1)
+        array[1].access(2)
+        assert array.total_misses() == 3
+
+    def test_len(self):
+        assert len(TlbArray(8)) == 8

@@ -1,0 +1,158 @@
+"""The Figure 1 decision tree, including property-based invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.policy.decision import Action, Reason, decide, is_shared
+from repro.policy.parameters import PolicyParameters
+
+PARAMS = PolicyParameters(
+    trigger_threshold=100,
+    sharing_threshold=25,
+    write_threshold=1,
+    migrate_threshold=1,
+)
+
+
+class TestSharingTest:
+    def test_other_cpu_above_threshold_is_shared(self):
+        assert is_shared([120, 30, 0, 0], cpu=0, sharing_threshold=25)
+
+    def test_own_counter_does_not_count(self):
+        assert not is_shared([120, 10, 0, 0], cpu=0, sharing_threshold=25)
+
+    def test_exactly_at_threshold_counts(self):
+        assert is_shared([120, 25, 0, 0], cpu=0, sharing_threshold=25)
+
+
+class TestBranches:
+    def test_unshared_page_migrates(self):
+        d = decide([120, 0, 0, 0], writes=0, migrates=0, cpu=0, params=PARAMS)
+        assert d.action is Action.MIGRATE
+        assert d.reason is Reason.UNSHARED
+
+    def test_unshared_written_page_still_migrates(self):
+        """Writes only veto replication; private dirty data migrates fine."""
+        d = decide([120, 0, 0, 0], writes=50, migrates=0, cpu=0, params=PARAMS)
+        assert d.action is Action.MIGRATE
+
+    def test_migrate_limit_blocks_second_migration(self):
+        d = decide([120, 0, 0, 0], writes=0, migrates=1, cpu=0, params=PARAMS)
+        assert d.action is Action.NOTHING
+        assert d.reason is Reason.MIGRATE_LIMIT
+
+    def test_shared_read_page_replicates(self):
+        d = decide([120, 80, 0, 0], writes=0, migrates=0, cpu=0, params=PARAMS)
+        assert d.action is Action.REPLICATE
+        assert d.reason is Reason.SHARED_READ
+
+    def test_write_shared_page_left_alone(self):
+        d = decide([120, 80, 0, 0], writes=1, migrates=0, cpu=0, params=PARAMS)
+        assert d.action is Action.NOTHING
+        assert d.reason is Reason.WRITE_SHARED
+
+    def test_memory_pressure_vetoes_replication(self):
+        d = decide(
+            [120, 80, 0, 0], writes=0, migrates=0, cpu=0, params=PARAMS,
+            memory_pressure=True,
+        )
+        assert d.action is Action.NOTHING
+        assert d.reason is Reason.MEMORY_PRESSURE
+
+    def test_migration_disabled(self):
+        p = PARAMS.replace(enable_migration=False)
+        d = decide([120, 0, 0, 0], writes=0, migrates=0, cpu=0, params=p)
+        assert d.action is Action.NOTHING
+        assert d.reason is Reason.MIGRATION_DISABLED
+
+    def test_replication_disabled(self):
+        p = PARAMS.replace(enable_replication=False)
+        d = decide([120, 80, 0, 0], writes=0, migrates=0, cpu=0, params=p)
+        assert d.action is Action.NOTHING
+        assert d.reason is Reason.REPLICATION_DISABLED
+
+
+counts = st.lists(st.integers(0, 10_000), min_size=2, max_size=8)
+
+
+class TestProperties:
+    @given(counts, st.integers(0, 10_000), st.integers(0, 5))
+    def test_write_shared_pages_never_replicate(self, miss, writes, migrates):
+        """Robustness (Section 7.1.1): a written shared page never moves."""
+        d = decide(miss, writes=max(writes, 1), migrates=migrates, cpu=0,
+                   params=PARAMS)
+        assert d.action is not Action.REPLICATE
+
+    @given(counts, st.integers(0, 5))
+    def test_migrate_limit_is_absolute(self, miss, writes):
+        d = decide(miss, writes=writes, migrates=1, cpu=0, params=PARAMS)
+        assert d.action is not Action.MIGRATE
+
+    @given(counts, st.integers(0, 10_000), st.integers(0, 5),
+           st.booleans())
+    def test_decision_is_deterministic(self, miss, writes, migrates, pressure):
+        a = decide(miss, writes, migrates, 0, PARAMS, pressure)
+        b = decide(miss, writes, migrates, 0, PARAMS, pressure)
+        assert a == b
+
+    @given(counts, st.integers(0, 10_000), st.integers(0, 5))
+    def test_static_policy_never_acts(self, miss, writes, migrates):
+        p = PARAMS.replace(enable_migration=False, enable_replication=False)
+        d = decide(miss, writes, migrates, 0, p)
+        assert d.action is Action.NOTHING
+
+    @given(counts)
+    def test_unshared_fresh_page_always_migrates(self, miss):
+        """A hot remote page with no sharers and no history always moves."""
+        quiet = [0] * len(miss)
+        quiet[0] = 10_000
+        d = decide(quiet, writes=0, migrates=0, cpu=0, params=PARAMS)
+        assert d.action is Action.MIGRATE
+
+    @given(counts, st.integers(0, 10_000), st.integers(0, 5),
+           st.booleans())
+    def test_action_implies_consistent_reason(self, miss, writes, migrates,
+                                              pressure):
+        d = decide(miss, writes, migrates, 0, PARAMS, pressure)
+        if d.action is Action.MIGRATE:
+            assert d.reason is Reason.UNSHARED
+        elif d.action is Action.REPLICATE:
+            assert d.reason is Reason.SHARED_READ
+
+
+class TestHotspotMigration:
+    """The Section 7.1.2 future-work extension."""
+
+    HOTSPOT = PARAMS.replace(hotspot_migration=True)
+
+    def test_write_shared_page_migrates_to_dominant_sharer(self):
+        d = decide([120, 500, 80, 0], writes=10, migrates=0, cpu=0,
+                   params=self.HOTSPOT)
+        assert d.action is Action.MIGRATE
+        assert d.reason is Reason.HOTSPOT
+        assert d.target_cpu == 1
+
+    def test_disabled_by_default(self):
+        d = decide([120, 500, 80, 0], writes=10, migrates=0, cpu=0,
+                   params=PARAMS)
+        assert d.action is Action.NOTHING
+        assert d.reason is Reason.WRITE_SHARED
+        assert d.target_cpu is None
+
+    def test_respects_migrate_limit(self):
+        d = decide([120, 500, 80, 0], writes=10, migrates=1, cpu=0,
+                   params=self.HOTSPOT)
+        assert d.action is Action.NOTHING
+        assert d.reason is Reason.MIGRATE_LIMIT
+
+    def test_needs_migration_enabled(self):
+        params = self.HOTSPOT.replace(enable_migration=False)
+        d = decide([120, 500, 80, 0], writes=10, migrates=0, cpu=0,
+                   params=params)
+        assert d.action is Action.NOTHING
+
+    def test_read_shared_pages_still_replicate(self):
+        d = decide([120, 500, 80, 0], writes=0, migrates=0, cpu=0,
+                   params=self.HOTSPOT)
+        assert d.action is Action.REPLICATE

@@ -1,0 +1,47 @@
+"""Metric descriptors (Section 8.3)."""
+
+import pytest
+
+from repro.policy.metrics import (
+    ALL_METRICS,
+    FULL_CACHE,
+    FULL_TLB,
+    SAMPLED_CACHE,
+    SAMPLED_TLB,
+    InformationSource,
+    Metric,
+)
+
+
+def test_labels_match_figure_8():
+    assert FULL_CACHE.label == "FC"
+    assert SAMPLED_CACHE.label == "SC"
+    assert FULL_TLB.label == "FT"
+    assert SAMPLED_TLB.label == "ST"
+
+
+def test_sampling_rates():
+    assert FULL_CACHE.sampling_rate == 1
+    assert SAMPLED_CACHE.sampling_rate == 10
+    assert SAMPLED_TLB.sampling_rate == 10
+
+
+def test_uses_tlb():
+    assert not FULL_CACHE.uses_tlb
+    assert FULL_TLB.uses_tlb
+    assert SAMPLED_TLB.uses_tlb
+
+
+def test_all_metrics_ordering():
+    assert [m.label for m in ALL_METRICS] == ["FC", "SC", "FT", "ST"]
+
+
+def test_custom_metric():
+    m = Metric(InformationSource.CACHE_MISSES, 5)
+    assert m.label == "SC"
+    assert m.sampling_rate == 5
+
+
+def test_bad_rate_rejected():
+    with pytest.raises(ValueError):
+        Metric(InformationSource.CACHE_MISSES, 0)

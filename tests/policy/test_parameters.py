@@ -1,0 +1,87 @@
+"""Policy parameters: canonical policies and validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MS
+from repro.policy.parameters import PolicyParameters
+
+
+class TestCanonicalPolicies:
+    def test_base_policy_matches_paper(self):
+        p = PolicyParameters.base()
+        assert p.trigger_threshold == 128
+        assert p.sharing_threshold == 32       # a quarter of the trigger
+        assert p.write_threshold == 1
+        assert p.migrate_threshold == 1
+        assert p.reset_interval_ns == 100 * MS
+        assert p.enable_migration and p.enable_replication
+
+    def test_engineering_base_uses_96(self):
+        p = PolicyParameters.engineering_base()
+        assert p.trigger_threshold == 96
+        assert p.sharing_threshold == 24
+
+    def test_base_sharing_follows_trigger(self):
+        assert PolicyParameters.base(256).sharing_threshold == 64
+        assert PolicyParameters.base(32).sharing_threshold == 8
+
+    def test_migration_only(self):
+        p = PolicyParameters.migration_only()
+        assert p.enable_migration
+        assert not p.enable_replication
+        assert not p.is_static
+
+    def test_replication_only(self):
+        p = PolicyParameters.replication_only()
+        assert p.enable_replication
+        assert not p.enable_migration
+
+    def test_static_when_both_disabled(self):
+        p = PolicyParameters.base().replace(
+            enable_migration=False, enable_replication=False
+        )
+        assert p.is_static
+
+
+class TestSamplingScaling:
+    def test_thresholds_shrink_with_rate(self):
+        p = PolicyParameters.base().scaled_for_sampling(10)
+        assert p.sampling_rate == 10
+        assert p.trigger_threshold == 12
+        assert p.sharing_threshold == 3
+        assert p.write_threshold == 1     # never below one
+        assert p.migrate_threshold == 1   # counts actions, not misses
+
+    def test_rate_one_is_identity(self):
+        p = PolicyParameters.base().scaled_for_sampling(1)
+        assert p.trigger_threshold == 128
+        assert p.sampling_rate == 1
+
+    def test_thresholds_never_reach_zero(self):
+        p = PolicyParameters.base(trigger_threshold=4).scaled_for_sampling(100)
+        assert p.trigger_threshold >= 1
+        assert p.sharing_threshold >= 1
+
+
+class TestValidation:
+    def test_sharing_cannot_exceed_trigger(self):
+        with pytest.raises(ConfigurationError):
+            PolicyParameters(trigger_threshold=10, sharing_threshold=20)
+
+    def test_positive_trigger(self):
+        with pytest.raises(ConfigurationError):
+            PolicyParameters(trigger_threshold=0)
+
+    def test_positive_reset_interval(self):
+        with pytest.raises(ConfigurationError):
+            PolicyParameters(reset_interval_ns=0)
+
+    def test_positive_sampling(self):
+        with pytest.raises(ConfigurationError):
+            PolicyParameters(sampling_rate=0)
+
+    def test_replace(self):
+        p = PolicyParameters.base().replace(trigger_threshold=64)
+        assert p.trigger_threshold == 64
+        assert p.sharing_threshold == 32

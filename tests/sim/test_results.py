@@ -1,0 +1,73 @@
+"""Simulation result arithmetic."""
+
+import pytest
+
+from repro.sim.results import SimulationResult, StallBreakdown
+
+
+class TestStallBreakdown:
+    def test_categorisation(self):
+        s = StallBreakdown()
+        s.add(100.0, 1, is_kernel=True, is_instr=True, is_remote=False)
+        s.add(200.0, 2, is_kernel=True, is_instr=False, is_remote=True)
+        s.add(300.0, 3, is_kernel=False, is_instr=True, is_remote=True)
+        s.add(400.0, 4, is_kernel=False, is_instr=False, is_remote=False)
+        assert s.kernel_instr_ns == 100.0
+        assert s.kernel_data_ns == 200.0
+        assert s.user_instr_ns == 300.0
+        assert s.user_data_ns == 400.0
+        assert s.total_ns == 1000.0
+        assert s.kernel_ns == 300.0
+        assert s.user_ns == 700.0
+        assert s.local_ns == 500.0
+        assert s.remote_ns == 500.0
+        assert s.local_misses == 5
+        assert s.remote_misses == 5
+        assert s.local_fraction == pytest.approx(0.5)
+
+    def test_empty(self):
+        s = StallBreakdown()
+        assert s.total_ns == 0.0
+        assert s.local_fraction == 0.0
+
+
+class TestSimulationResult:
+    def make(self, stall=1000.0, compute=2000.0, idle=500.0):
+        r = SimulationResult(
+            workload="w", policy="FT", machine="CC-NUMA",
+            compute_time_ns=compute, idle_time_ns=idle,
+        )
+        r.stall.add(stall, 10, is_kernel=False, is_instr=False, is_remote=True)
+        return r
+
+    def test_execution_time_composition(self):
+        r = self.make()
+        assert r.non_idle_ns == 3000.0
+        assert r.execution_time_ns == 3500.0
+
+    def test_improvement_over(self):
+        slow = self.make(stall=2000.0)
+        fast = self.make(stall=1000.0)
+        # (4500 - 3500) / 4500
+        assert fast.improvement_over(slow) == pytest.approx(100 * 1000 / 4500)
+
+    def test_stall_reduction_over(self):
+        slow = self.make(stall=2000.0)
+        fast = self.make(stall=1000.0)
+        assert fast.stall_reduction_over(slow) == pytest.approx(50.0)
+
+    def test_table3_row_sums(self):
+        r = self.make()
+        row = r.table3_row(kernel_compute_share=0.1)
+        assert row["% user"] + row["% kernel"] + row["% idle"] == pytest.approx(100.0)
+        assert row["user data stall %"] == pytest.approx(100 * 1000 / 3000)
+
+    def test_replication_space_overhead(self):
+        r = self.make()
+        r.base_pages = 100
+        r.peak_replica_frames = 32
+        assert r.replication_space_overhead == pytest.approx(0.32)
+
+    def test_replication_overhead_no_pages(self):
+        r = self.make()
+        assert r.replication_space_overhead == 0.0

@@ -1,0 +1,98 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    for name in ("engineering", "raytrace", "splash", "database", "pmake"):
+        assert name in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "--workload", "database", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Mig/Rep" in out
+    assert "stall reduction" in out
+    assert "hot pages" in out
+
+
+def test_run_ccnow(capsys):
+    assert main(
+        ["run", "--workload", "database", "--scale", "0.05",
+         "--machine", "ccnow"]
+    ) == 0
+    assert "ccnow" in capsys.readouterr().out
+
+
+def test_run_with_extensions(capsys):
+    assert main(
+        ["run", "--workload", "database", "--scale", "0.05",
+         "--tracked-flush", "--hotspot"]
+    ) == 0
+
+
+def test_tracesim_policies(capsys):
+    assert main(
+        ["tracesim", "--workload", "database", "--scale", "0.05"]
+    ) == 0
+    out = capsys.readouterr().out
+    for label in ("RR", "FT", "PF", "Migr", "Repl", "Mig/Rep"):
+        assert label in out
+
+
+def test_tracesim_metrics(capsys):
+    assert main(
+        ["tracesim", "--workload", "database", "--scale", "0.05",
+         "--metrics"]
+    ) == 0
+    out = capsys.readouterr().out
+    for label in ("FC", "SC", "FT", "ST"):
+        assert label in out
+
+
+def test_tracesim_kernel(capsys):
+    assert main(
+        ["tracesim", "--workload", "pmake", "--scale", "0.05", "--kernel"]
+    ) == 0
+
+
+def test_chains_command(capsys):
+    assert main(["chains", "--workload", "raytrace", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "512" in out
+
+
+def test_trigger_override(capsys):
+    assert main(
+        ["tracesim", "--workload", "database", "--scale", "0.05",
+         "--trigger", "64"]
+    ) == 0
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--workload", "nope"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_adaptive(capsys):
+    assert main(
+        ["run", "--workload", "database", "--scale", "0.05", "--adaptive"]
+    ) == 0
+    assert "adaptive trigger settled at" in capsys.readouterr().out
+
+
+def test_verify_command(capsys):
+    assert main(["verify", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "FAIL" not in out
+    assert "robustness" in out

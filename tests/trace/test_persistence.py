@@ -1,0 +1,53 @@
+"""Trace save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.record import Trace, TraceBuilder
+
+
+def test_round_trip(tmp_path, tiny_trace):
+    path = tmp_path / "trace.npz"
+    tiny_trace.save(path)
+    loaded = Trace.load(path)
+    assert np.array_equal(loaded.time_ns, tiny_trace.time_ns)
+    assert np.array_equal(loaded.cpu, tiny_trace.cpu)
+    assert np.array_equal(loaded.process, tiny_trace.process)
+    assert np.array_equal(loaded.page, tiny_trace.page)
+    assert np.array_equal(loaded.weight, tiny_trace.weight)
+    assert np.array_equal(loaded.flags, tiny_trace.flags)
+    assert loaded.meta is None
+
+
+def test_round_trip_preserves_semantics(tmp_path, engineering):
+    spec, trace = engineering
+    path = tmp_path / "eng.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.total_misses == trace.total_misses
+    assert loaded.n_pages == trace.n_pages
+    assert loaded.kernel_only().total_misses == trace.kernel_only().total_misses
+
+
+def test_loaded_trace_is_validated(tmp_path):
+    """A corrupted archive must fail validation, not load silently."""
+    b = TraceBuilder()
+    b.append(10, 0, 0, 1, 5)
+    b.append(20, 0, 0, 2, 5)
+    trace = b.build()
+    path = tmp_path / "t.npz"
+    trace.save(path)
+    with np.load(path) as data:
+        arrays = {k: data[k].copy() for k in data.files}
+    arrays["weight"][0] = 0          # invalid weight
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(TraceError):
+        Trace.load(path)
+
+
+def test_empty_trace_round_trip(tmp_path):
+    path = tmp_path / "empty.npz"
+    TraceBuilder().build().save(path)
+    loaded = Trace.load(path)
+    assert len(loaded) == 0

@@ -1,0 +1,87 @@
+"""TLB-miss derivation (Section 8.3)."""
+
+import pytest
+
+from repro.machine.config import TlbConfig
+from repro.trace.record import TraceBuilder
+from repro.trace.tlbsim import derive_tlb_trace
+
+
+def build(rows, meta=None):
+    b = TraceBuilder(meta=meta)
+    for r in rows:
+        b.append(*r)
+    return b.build()
+
+
+def test_resident_page_produces_no_tlb_misses():
+    rows = [(t, 0, 0, 5, 10) for t in range(0, 100, 10)]
+    trace = build(rows)
+    tlb = derive_tlb_trace(trace, n_cpus=1, factor_of_page=lambda p: 1.0)
+    assert len(tlb) == 1          # only the first touch misses
+
+
+def test_capacity_thrash_produces_many_misses():
+    config = TlbConfig(entries=4)
+    # Sweep 8 pages repeatedly through a 4-entry TLB: every touch misses.
+    rows = [(t, 0, 0, t % 8, 10) for t in range(64)]
+    trace = build(rows)
+    tlb = derive_tlb_trace(
+        trace, n_cpus=1, tlb_config=config, factor_of_page=lambda p: 1.0
+    )
+    assert len(tlb) == 64
+
+
+def test_factor_scales_weight():
+    rows = [(0, 0, 0, 5, 100)]
+    trace = build(rows)
+    low = derive_tlb_trace(trace, n_cpus=1, factor_of_page=lambda p: 0.01)
+    high = derive_tlb_trace(trace, n_cpus=1, factor_of_page=lambda p: 1.0)
+    assert low.total_misses == 1          # max(1, 100*0.01)
+    assert high.total_misses == 100
+
+
+def test_code_pages_nearly_invisible_to_tlb():
+    """The engineering-workload mechanism: huge cache-miss weight, tiny
+    TLB-miss weight, because the hot code pages stay TLB-resident."""
+    rows = [(t, 0, 0, 1, 500) for t in range(0, 1000, 10)]
+    trace = build(rows)
+    tlb = derive_tlb_trace(trace, n_cpus=1, factor_of_page=lambda p: 0.01)
+    assert tlb.total_misses <= 5
+    assert trace.total_misses == 50_000
+
+
+def test_write_flag_survives():
+    rows = [(0, 0, 0, 5, 10, True)]
+    trace = build(rows)
+    tlb = derive_tlb_trace(trace, n_cpus=1, factor_of_page=lambda p: 1.0)
+    assert bool(tlb.is_write[0])
+
+
+def test_per_cpu_tlbs_independent():
+    rows = [
+        (0, 0, 0, 5, 10),
+        (1, 1, 0, 5, 10),   # cpu 1's TLB has not seen page 5
+    ]
+    trace = build(rows)
+    tlb = derive_tlb_trace(trace, n_cpus=2, factor_of_page=lambda p: 1.0)
+    assert len(tlb) == 2
+
+
+def test_uses_workload_meta_factors(engineering):
+    spec, trace = engineering
+    sample = trace.select(trace.page == trace.page[0])
+    tlb = derive_tlb_trace(trace, n_cpus=spec.n_cpus)
+    assert len(tlb) > 0
+    # Instruction pages (tlb_factor ~0.01) are under-represented relative
+    # to their cache-miss weight.
+    cache_instr_frac = trace.instr_only().total_misses / trace.total_misses
+    tlb_instr_frac = tlb.instr_only().total_misses / tlb.total_misses
+    assert tlb_instr_frac < cache_instr_frac / 3
+    del sample
+
+
+def test_timestamps_preserved():
+    rows = [(123, 0, 0, 5, 10)]
+    tlb = derive_tlb_trace(build(rows), n_cpus=1, factor_of_page=lambda p: 1.0)
+    assert tlb.time_ns[0] == 123

@@ -1,0 +1,159 @@
+"""Trace synthesis: determinism, structure, calibration properties."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import build_spec, generate_trace
+from repro.workloads.base import TraceGenerator, scaled_duration
+from repro.workloads.spec import SharingClass
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trace(self):
+        a = generate_trace(build_spec("database", scale=0.02, seed=11))
+        b = generate_trace(build_spec("database", scale=0.02, seed=11))
+        assert np.array_equal(a.time_ns, b.time_ns)
+        assert np.array_equal(a.page, b.page)
+        assert np.array_equal(a.weight, b.weight)
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(build_spec("database", scale=0.02, seed=1))
+        b = generate_trace(build_spec("database", scale=0.02, seed=2))
+        assert not np.array_equal(a.page, b.page)
+
+
+class TestStructure:
+    def test_trace_is_sorted(self, engineering):
+        _, trace = engineering
+        assert np.all(np.diff(trace.time_ns) >= 0)
+
+    def test_pages_within_spec_ranges(self, engineering):
+        spec, trace = engineering
+        assert trace.page.min() >= 0
+        assert trace.page.max() < spec.total_pages
+
+    def test_kernel_flag_matches_groups(self, engineering):
+        spec, trace = engineering
+        for i in range(0, len(trace), 997):
+            group = spec.group_of_page(int(trace.page[i]))
+            assert bool(trace.is_kernel[i]) == group.is_kernel
+
+    def test_instr_flag_matches_groups(self, engineering):
+        spec, trace = engineering
+        for i in range(0, len(trace), 997):
+            group = spec.group_of_page(int(trace.page[i]))
+            assert bool(trace.is_instr[i]) == group.is_instr
+
+    def test_private_pages_touched_only_by_owner(self, engineering):
+        spec, trace = engineering
+        for inst in spec.instances:
+            if inst.spec.sharing is not SharingClass.PRIVATE:
+                continue
+            mask = (trace.page >= inst.first_page) & (
+                trace.page <= inst.last_page
+            )
+            owners = set(np.unique(trace.process[mask]))
+            assert owners <= {inst.owner}
+
+    def test_code_pages_never_written(self, engineering):
+        spec, trace = engineering
+        for inst in spec.instances:
+            if inst.spec.sharing is not SharingClass.CODE:
+                continue
+            mask = (trace.page >= inst.first_page) & (
+                trace.page <= inst.last_page
+            )
+            assert not trace.is_write[mask].any()
+
+    def test_records_only_from_scheduled_cpus(self, engineering):
+        spec, trace = engineering
+        for i in range(0, len(trace), 1499):
+            t = int(trace.time_ns[i])
+            pid = int(trace.process[i])
+            cpu = int(trace.cpu[i])
+            if trace.is_kernel[i]:
+                continue
+            assert spec.schedule.cpu_of(pid, t) == cpu
+
+
+class TestCalibration:
+    def test_total_misses_near_expected(self, engineering):
+        spec, trace = engineering
+        expected = spec.expected_user_misses() + spec.expected_kernel_misses()
+        assert trace.total_misses == pytest.approx(expected, rel=0.15)
+
+    def test_write_fraction_respected(self, database):
+        spec, trace = database
+        sync = next(i for i in spec.instances if i.spec.name == "sync-pages")
+        mask = (trace.page >= sync.first_page) & (trace.page <= sync.last_page)
+        writes = int(trace.weight[mask & trace.is_write].sum())
+        total = int(trace.weight[mask].sum())
+        assert writes / total == pytest.approx(0.55, abs=0.05)
+
+    def test_hot_pages_concentrate_weight(self, raytrace):
+        spec, trace = raytrace
+        scene = next(i for i in spec.instances if i.spec.name == "scene")
+        hot_n = max(1, round(scene.spec.hot_fraction * scene.n_pages))
+        mask = (trace.page >= scene.first_page) & (
+            trace.page <= scene.last_page
+        )
+        hot_mask = mask & (trace.page < scene.first_page + hot_n)
+        hot_weight = int(trace.weight[hot_mask].sum())
+        total = int(trace.weight[mask].sum())
+        assert hot_weight / total == pytest.approx(
+            scene.spec.hot_weight, abs=0.08
+        )
+
+
+class TestScaling:
+    def test_scaled_duration(self):
+        assert scaled_duration(1_000_000_000, 0.5) == 500_000_000
+        with pytest.raises(ConfigurationError):
+            scaled_duration(1_000, 0)
+
+    def test_scale_changes_trace_length(self):
+        small = generate_trace(build_spec("database", scale=0.02, seed=0))
+        bigger = generate_trace(build_spec("database", scale=0.04, seed=0))
+        assert len(bigger) > len(small) * 1.5
+
+
+class TestAllFiveWorkloads:
+    @pytest.mark.parametrize(
+        "name", ["engineering", "raytrace", "splash", "database", "pmake"]
+    )
+    def test_builds_and_generates(self, name, small_workloads):
+        spec, trace = small_workloads[name]
+        assert len(trace) > 100
+        assert trace.total_misses > 1000
+        assert spec.total_pages > 100
+
+    def test_database_uses_four_cpus(self, database):
+        spec, trace = database
+        assert spec.n_cpus == 4
+        assert int(trace.cpu.max()) < 4
+
+    def test_pmake_is_kernel_heavy(self, pmake):
+        _, trace = pmake
+        kernel = trace.kernel_only().total_misses
+        assert kernel / trace.total_misses > 0.5
+
+    def test_pmake_kernel_code_share(self, pmake):
+        """~12 % of kernel misses are kernel text (Section 8.2)."""
+        spec, trace = pmake
+        kern = trace.kernel_only()
+        code = kern.instr_only().total_misses
+        assert code / kern.total_misses == pytest.approx(0.12, abs=0.04)
+
+    def test_memory_footprints_roughly_match_table2(self, small_workloads):
+        expected_mb = {
+            "engineering": 27.5,
+            "raytrace": 28.8,
+            "splash": 57.6,
+            "database": 20.8,
+            "pmake": 73.7,
+        }
+        for name, (spec, _) in small_workloads.items():
+            assert spec.memory_mb == pytest.approx(
+                expected_mb[name], rel=0.40
+            ), name

@@ -1,0 +1,50 @@
+"""The workload registry and its cache."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    build_spec,
+    clear_cache,
+    load_workload,
+)
+
+
+def test_registry_lists_all_five():
+    assert set(WORKLOAD_NAMES) == {
+        "engineering", "raytrace", "splash", "database", "pmake"
+    }
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ConfigurationError):
+        build_spec("sybase")
+
+
+def test_load_workload_caches():
+    clear_cache()
+    a = load_workload("database", scale=0.02, seed=3)
+    b = load_workload("database", scale=0.02, seed=3)
+    assert a[0] is b[0]
+    assert a[1] is b[1]
+    clear_cache()
+    c = load_workload("database", scale=0.02, seed=3)
+    assert c[0] is not a[0]
+
+
+def test_cache_keys_include_scale_and_seed():
+    clear_cache()
+    a = load_workload("database", scale=0.02, seed=3)
+    b = load_workload("database", scale=0.02, seed=4)
+    c = load_workload("database", scale=0.03, seed=3)
+    assert a[0] is not b[0]
+    assert a[0] is not c[0]
+    clear_cache()
+
+
+def test_trace_meta_points_at_spec():
+    clear_cache()
+    spec, trace = load_workload("database", scale=0.02)
+    assert trace.meta is spec
+    clear_cache()

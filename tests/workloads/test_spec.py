@@ -1,0 +1,160 @@
+"""Workload specification: page groups, instances, lookups."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import ms, sec
+from repro.kernel.sched.pinned import PinnedScheduler
+from repro.kernel.sched.process import Process
+from repro.workloads.spec import (
+    GroupInstance,
+    PageGroupSpec,
+    SharingClass,
+    WorkloadSpec,
+)
+
+
+def tiny_spec(groups=None):
+    processes = [Process(pid=p, name=f"p{p}") for p in range(2)]
+    schedule = PinnedScheduler(2).build(processes, sec(1), quantum_ns=ms(10))
+    return WorkloadSpec(
+        name="tiny",
+        n_cpus=2,
+        n_nodes=2,
+        duration_ns=sec(1),
+        quantum_ns=ms(10),
+        user_miss_rate=1000,
+        kernel_miss_rate=100,
+        compute_time_ns=sec(1),
+        groups=groups
+        or [
+            PageGroupSpec("code", SharingClass.CODE, 10, 0.5, is_instr=True),
+            PageGroupSpec("data", SharingClass.PRIVATE, 20, 0.5),
+            PageGroupSpec("kpc", SharingClass.KERNEL_PERCPU, 4, 1.0),
+        ],
+        processes=processes,
+        schedule=schedule,
+    )
+
+
+class TestGroupSpec:
+    def test_kernel_classes(self):
+        assert PageGroupSpec("k", SharingClass.KERNEL_CODE, 1, 1.0).is_kernel
+        assert not PageGroupSpec("u", SharingClass.CODE, 1, 1.0).is_kernel
+
+    def test_per_process_classes(self):
+        assert PageGroupSpec("p", SharingClass.PRIVATE, 1, 1.0).per_process
+        assert PageGroupSpec(
+            "kp", SharingClass.KERNEL_PROCESS, 1, 1.0
+        ).per_process
+        assert not PageGroupSpec("c", SharingClass.CODE, 1, 1.0).per_process
+
+    def test_per_cpu_classes(self):
+        assert PageGroupSpec("k", SharingClass.KERNEL_PERCPU, 1, 1.0).per_cpu
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_pages": 0},
+            {"miss_share": 1.5},
+            {"write_fraction": -0.1},
+            {"pages_per_quantum": 0},
+            {"hot_fraction": 0.0},
+            {"hot_weight": 1.5},
+            {"tlb_factor": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            name="g", sharing=SharingClass.CODE, n_pages=4, miss_share=0.5
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            PageGroupSpec(**base)
+
+
+class TestInstances:
+    def test_shared_group_has_one_instance(self):
+        spec = tiny_spec()
+        code = [i for i in spec.instances if i.spec.name == "code"]
+        assert len(code) == 1
+        assert code[0].owner is None
+
+    def test_private_group_instantiated_per_process(self):
+        spec = tiny_spec()
+        data = [i for i in spec.instances if i.spec.name == "data"]
+        assert len(data) == 2
+        assert {i.owner for i in data} == {0, 1}
+
+    def test_percpu_group_instantiated_per_cpu(self):
+        spec = tiny_spec()
+        kernel = [i for i in spec.instances if i.spec.name == "kpc"]
+        assert len(kernel) == 2
+        assert {i.owner for i in kernel} == {0, 1}
+
+    def test_page_ranges_disjoint_and_contiguous(self):
+        spec = tiny_spec()
+        cursor = 0
+        for inst in spec.instances:
+            assert inst.first_page == cursor
+            cursor = inst.last_page + 1
+        assert spec.total_pages == cursor
+
+    def test_instance_of_page(self):
+        spec = tiny_spec()
+        for inst in spec.instances:
+            assert spec.instance_of_page(inst.first_page) is inst
+            assert spec.instance_of_page(inst.last_page) is inst
+
+    def test_instance_of_bad_page(self):
+        spec = tiny_spec()
+        with pytest.raises(ConfigurationError):
+            spec.instance_of_page(spec.total_pages)
+
+    def test_instances_for_process(self):
+        spec = tiny_spec()
+        names = [i.spec.name for i in spec.instances_for_process(0)]
+        assert names == ["code", "data"]
+
+    def test_accessor_restriction(self):
+        groups = [
+            PageGroupSpec(
+                "c0", SharingClass.CODE, 4, 0.5, accessors=(0,), is_instr=True
+            ),
+            PageGroupSpec("shared", SharingClass.READ_SHARED, 4, 0.5),
+        ]
+        spec = tiny_spec(groups=groups)
+        assert [i.spec.name for i in spec.instances_for_process(0)] == [
+            "c0",
+            "shared",
+        ]
+        assert [i.spec.name for i in spec.instances_for_process(1)] == [
+            "shared"
+        ]
+
+    def test_kernel_instances_for_cpu(self):
+        spec = tiny_spec()
+        kernel = spec.kernel_instances_for_cpu(cpu=1, pid=0)
+        assert len(kernel) == 1
+        assert kernel[0].owner == 1
+
+
+class TestSummaries:
+    def test_memory_accounting(self):
+        spec = tiny_spec()
+        # code 10 + data 2x20 + kernel 2x4 = 58 pages
+        assert spec.total_pages == 58
+        assert spec.memory_bytes == 58 * 4096
+
+    def test_tlb_factor_of_page(self):
+        spec = tiny_spec()
+        code_inst = spec.instances[0]
+        assert spec.tlb_factor_of_page(code_inst.first_page) == pytest.approx(
+            code_inst.spec.tlb_factor
+        )
+
+    def test_describe(self):
+        d = tiny_spec().describe()
+        assert d["name"] == "tiny"
+        assert d["cpus"] == 2
+        assert d["pages"] == 58
