@@ -1,0 +1,85 @@
+"""Observability overhead: instrumentation must be free when unused.
+
+The ``repro.obs`` layer promises zero cost when disabled: call sites
+guard event construction behind ``tracer.active`` and metric
+registration is collect-time-only.  This bench holds the promise to a
+number — a full-system Mig/Rep run with a *disabled* tracer (plus an
+attached counting sink and an external metrics registry) must stay
+within 5% of the plain uninstrumented run's wall time, and the sink
+must have seen exactly zero events.
+
+Timing uses best-of-N with alternating order so scheduler noise and
+cache warmup hit both variants evenly.
+"""
+
+import time
+
+from conftest import params_for
+
+from repro.analysis.tables import format_table
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import CountingSink, Tracer
+from repro.sim.simulator import SimulatorOptions, SystemSimulator
+from repro.workloads import build_spec, generate_trace
+
+#: The issue's reference point: the engineering workload at scale 0.25.
+OBS_BENCH_SCALE = 0.25
+ROUNDS = 3
+TOLERANCE = 1.05
+
+
+def _run(spec, trace, tracer=None, metrics=None) -> float:
+    """One full Mig/Rep run; returns wall seconds of the hot loop."""
+    sim = SystemSimulator(
+        spec,
+        params=params_for("engineering"),
+        options=SimulatorOptions(dynamic=True),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    start = time.perf_counter()
+    sim.run(trace)
+    return time.perf_counter() - start
+
+
+def test_disabled_instrumentation_overhead(emit, once):
+    spec = build_spec("engineering", scale=OBS_BENCH_SCALE, seed=0)
+    trace = generate_trace(spec)
+    sink = CountingSink()
+
+    def compute():
+        baseline_times, disabled_times = [], []
+        _run(spec, trace)  # warmup: caches, allocator, JIT-free but fair
+        for round_idx in range(ROUNDS):
+            pair = [
+                ("baseline", None, None),
+                ("disabled", Tracer(sinks=[sink], enabled=False),
+                 MetricsRegistry()),
+            ]
+            if round_idx % 2:
+                pair.reverse()
+            for label, tracer, metrics in pair:
+                elapsed = _run(spec, trace, tracer=tracer, metrics=metrics)
+                (baseline_times if label == "baseline"
+                 else disabled_times).append(elapsed)
+        return min(baseline_times), min(disabled_times)
+
+    baseline, disabled = once(compute)
+    ratio = disabled / baseline
+    emit(
+        "obs_overhead",
+        format_table(
+            "Observability overhead when disabled (engineering, scale "
+            f"{OBS_BENCH_SCALE}; budget {(TOLERANCE - 1) * 100:.0f}%)",
+            ["Variant", "Best wall time (s)", "Ratio"],
+            [
+                ["uninstrumented", baseline, 1.0],
+                ["disabled tracer + registry", disabled, ratio],
+            ],
+        ),
+    )
+    assert sink.count == 0, "a disabled tracer must never reach its sinks"
+    assert ratio <= TOLERANCE, (
+        f"disabled instrumentation cost {100 * (ratio - 1):.1f}% "
+        f"(budget {100 * (TOLERANCE - 1):.0f}%)"
+    )

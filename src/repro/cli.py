@@ -1,33 +1,48 @@
 """Command-line interface to the reproduction.
 
-Four subcommands cover the common flows:
+The subcommands cover the common flows:
 
 * ``repro workloads`` — list the five workloads and their structure;
 * ``repro run`` — a full-system run (Section 7 methodology): one workload,
   one machine, FT or the dynamic policy, summary to stdout;
 * ``repro tracesim`` — the contentionless trace-driven comparison
   (Section 8 methodology) across the six policies or the four metrics;
-* ``repro chains`` — Figure 4's read-chain analysis for one workload.
+* ``repro chains`` — Figure 4's read-chain analysis for one workload;
+* ``repro inspect`` — replay a ``--trace-out`` JSONL log into per-page
+  decision histories, summaries and Chrome trace timelines.
 
 Examples::
 
     repro workloads
     repro run --workload engineering --scale 0.25
     repro run --workload engineering --machine ccnow --tracked-flush
+    repro run --workload splash --trace-out run.jsonl --metrics-out m.json
     repro tracesim --workload raytrace --scale 0.25 --metrics
     repro chains --workload database --scale 0.25
+    repro inspect run.jsonl --page 512
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.readchains import DEFAULT_THRESHOLDS, chain_survival
 from repro.analysis.tables import format_table
+from repro.common.errors import TraceError
 from repro.kernel.vm.shootdown import ShootdownMode
 from repro.machine.config import MachineConfig
+from repro.obs.events import ALL_KINDS, MissServiced
+from repro.obs.export import (
+    JsonlSink,
+    interval_summary,
+    read_events,
+    write_chrome_trace,
+)
+from repro.obs.inspect import format_history, history_for, summarize
+from repro.obs.tracer import Tracer
 from repro.policy.metrics import ALL_METRICS
 from repro.policy.parameters import PolicyParameters
 from repro.sim.simulator import (
@@ -79,6 +94,16 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer(path: str, include_misses: bool) -> Tracer:
+    """A tracer streaming to ``path``.
+
+    Per-miss events are opt-in: a full-scale run services millions of
+    misses and the decision stream is what ``repro inspect`` needs.
+    """
+    kinds = None if include_misses else ALL_KINDS - {MissServiced.KIND}
+    return Tracer(sinks=[JsonlSink(path)], kinds=kinds)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
     machine = _machine_for(args.machine, spec)
@@ -88,22 +113,29 @@ def cmd_run(args: argparse.Namespace) -> int:
     mode = (
         ShootdownMode.TRACKED if args.tracked_flush else ShootdownMode.ALL_CPUS
     )
-    if args.adaptive:
-        ft = SystemSimulator(
-            spec, machine=machine, params=params,
-            options=SimulatorOptions(dynamic=False, shootdown_mode=mode),
-        ).run(trace)
+    # Tracing covers the dynamic (Mig/Rep) run — the one that makes
+    # decisions; the FT baseline has no decision stream to record.
+    tracer = (
+        _make_tracer(args.trace_out, args.trace_misses)
+        if args.trace_out
+        else None
+    )
+    ft = SystemSimulator(
+        spec, machine=machine, params=params,
+        options=SimulatorOptions(dynamic=False, shootdown_mode=mode),
+    ).run(trace)
+    try:
         mr = SystemSimulator(
             spec, machine=machine, params=params,
             options=SimulatorOptions(
-                dynamic=True, shootdown_mode=mode, adaptive_trigger=True
+                dynamic=True, shootdown_mode=mode,
+                adaptive_trigger=args.adaptive,
             ),
+            tracer=tracer,
         ).run(trace)
-    else:
-        results = run_policy_comparison(
-            spec, trace, machine=machine, params=params, shootdown_mode=mode
-        )
-        ft, mr = results["FT"], results["Mig/Rep"]
+    finally:
+        if tracer is not None:
+            tracer.close()
     rows = []
     for label, r in (("FT", ft), ("Mig/Rep", mr)):
         rows.append(
@@ -129,47 +161,71 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if args.adaptive and "final_trigger" in mr.extra:
         print(f"adaptive trigger settled at {mr.extra['final_trigger']:.0f}")
+    if tracer is not None:
+        print(f"wrote {tracer.emitted} events to {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(mr.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(mr.metrics)} metrics to {args.metrics_out}")
     return 0
 
 
 def cmd_tracesim(args: argparse.Namespace) -> int:
     spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
     user = trace.kernel_only() if args.kernel else trace.user_only()
-    sim = TracePolicySimulator(
-        PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    config = PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    sim = TracePolicySimulator(config)
+    # The traced simulator records only the flagship run (the full-cache
+    # Mig/Rep policy) so one log holds one coherent decision stream.
+    tracer = (
+        _make_tracer(args.trace_out, include_misses=False)
+        if args.trace_out
+        else None
+    )
+    traced_sim = (
+        TracePolicySimulator(config, tracer=tracer) if tracer else sim
     )
     params = _params_for(args.workload, args.trigger)
     rows = []
-    if args.metrics:
-        for metric in ALL_METRICS:
-            r = sim.simulate_dynamic(user, params, metric=metric,
-                                     label=metric.label)
-            rows.append(
-                [r.label, r.local_fraction * 100, r.stall_ns / 1e9,
-                 r.overhead_ns / 1e9,
-                 r.migrations + r.replications + r.collapses]
+    try:
+        if args.metrics:
+            for i, metric in enumerate(ALL_METRICS):
+                runner = traced_sim if i == 0 else sim
+                r = runner.simulate_dynamic(user, params, metric=metric,
+                                            label=metric.label)
+                rows.append(
+                    [r.label, r.local_fraction * 100, r.stall_ns / 1e9,
+                     r.overhead_ns / 1e9,
+                     r.migrations + r.replications + r.collapses]
+                )
+            title = (
+                f"{args.workload}: information sources (Figure 8 methodology)"
             )
-        title = f"{args.workload}: information sources (Figure 8 methodology)"
-    else:
-        for policy in StaticPolicy:
-            r = sim.simulate_static(user, policy)
-            rows.append([r.label, r.local_fraction * 100,
-                         r.stall_ns / 1e9, 0.0, 0])
-        for label, factory in (
-            ("Migr", PolicyParameters.migration_only),
-            ("Repl", PolicyParameters.replication_only),
-            ("Mig/Rep", PolicyParameters.base),
-        ):
-            r = sim.simulate_dynamic(
-                user, factory(trigger_threshold=params.trigger_threshold),
-                label=label,
-            )
-            rows.append(
-                [label, r.local_fraction * 100, r.stall_ns / 1e9,
-                 r.overhead_ns / 1e9,
-                 r.migrations + r.replications + r.collapses]
-            )
-        title = f"{args.workload}: six policies (Figure 6 methodology)"
+        else:
+            for policy in StaticPolicy:
+                r = sim.simulate_static(user, policy)
+                rows.append([r.label, r.local_fraction * 100,
+                             r.stall_ns / 1e9, 0.0, 0])
+            for label, factory in (
+                ("Migr", PolicyParameters.migration_only),
+                ("Repl", PolicyParameters.replication_only),
+                ("Mig/Rep", PolicyParameters.base),
+            ):
+                runner = traced_sim if label == "Mig/Rep" else sim
+                r = runner.simulate_dynamic(
+                    user, factory(trigger_threshold=params.trigger_threshold),
+                    label=label,
+                )
+                rows.append(
+                    [label, r.local_fraction * 100, r.stall_ns / 1e9,
+                     r.overhead_ns / 1e9,
+                     r.migrations + r.replications + r.collapses]
+                )
+            title = f"{args.workload}: six policies (Figure 6 methodology)"
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(
         format_table(
             title,
@@ -177,6 +233,8 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if tracer is not None:
+        print(f"wrote {tracer.emitted} events to {args.trace_out}")
     return 0
 
 
@@ -230,6 +288,33 @@ def cmd_verify(args: argparse.Namespace) -> int:
         checks,
     ))
     return 0 if all(v == "PASS" for _, v, _ in checks) else 1
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Replay a JSONL event log: summary, page history or conversions."""
+    try:
+        events = read_events(args.path)
+    except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        if not events:
+            print(f"{args.path}: valid but empty", file=sys.stderr)
+            return 1
+        print(f"{args.path}: {len(events)} events, all schema-valid")
+        return 0
+    if args.chrome:
+        written = write_chrome_trace(events, args.chrome)
+        print(f"wrote {written} trace events to {args.chrome}")
+        return 0
+    if args.page is not None:
+        print(format_history(history_for(events, args.page)))
+        return 0
+    if args.intervals:
+        print(interval_summary(events))
+        return 0
+    print(summarize(events))
+    return 0
 
 
 def cmd_chains(args: argparse.Namespace) -> int:
@@ -301,6 +386,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--adaptive", action="store_true",
         help="pick the trigger threshold adaptively (the 8.4 extension)",
     )
+    p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="stream the Mig/Rep run's decision events to a JSONL log",
+    )
+    p.add_argument(
+        "--trace-misses", action="store_true",
+        help="also record every serviced miss in the log (large!)",
+    )
+    p.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="dump the Mig/Rep run's full metrics registry as JSON",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -315,11 +412,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", action="store_true",
         help="use the kernel-mode miss trace (Figure 7 methodology)",
     )
+    p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="stream the Mig/Rep run's decision events to a JSONL log",
+    )
     p.set_defaults(func=cmd_tracesim)
 
     p = sub.add_parser("chains", help="read-chain analysis (Figure 4)")
     _add_common(p)
     p.set_defaults(func=cmd_chains)
+
+    p = sub.add_parser(
+        "inspect", help="replay a --trace-out JSONL log (histories, summary)"
+    )
+    p.add_argument("path", help="JSONL event log written by --trace-out")
+    p.add_argument(
+        "--page", type=int, default=None,
+        help="print the full decision history of one page",
+    )
+    p.add_argument(
+        "--intervals", action="store_true",
+        help="print the per-reset-interval activity table",
+    )
+    p.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="convert the log to Chrome trace-event JSON at PATH",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="validate only: exit 0 iff the log is non-empty and parses",
+    )
+    p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser(
         "verify", help="quick smoke test of the headline reproductions"

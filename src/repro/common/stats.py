@@ -76,6 +76,22 @@ class OnlineStats:
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
 
+    def combined(self, other: "OnlineStats") -> "OnlineStats":
+        """Non-mutating :meth:`merge`: a fresh accumulator holding both.
+
+        Used when folding per-CPU (or per-label) accumulators into an
+        aggregate view without disturbing the live per-CPU state.
+        """
+        out = OnlineStats()
+        out.merge(self)
+        out.merge(other)
+        return out
+
+    def __add__(self, other: "OnlineStats") -> "OnlineStats":
+        if not isinstance(other, OnlineStats):
+            return NotImplemented
+        return self.combined(other)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"OnlineStats(count={self.count}, mean={self.mean:.3g}, "

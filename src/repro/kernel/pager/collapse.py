@@ -17,9 +17,11 @@ from repro.kernel.pager.costs import (
     KernelCostModel,
     OpType,
 )
-from repro.kernel.vm.shootdown import ShootdownMode, plan_flush
+from repro.kernel.vm.shootdown import ShootdownMode, ShootdownPlanner
 from repro.kernel.vm.system import VmSystem
 from repro.machine.directory import DirectoryArray
+from repro.obs.events import CollapseEvent
+from repro.obs.tracer import as_tracer
 
 
 class CollapseHandler:
@@ -35,6 +37,7 @@ class CollapseHandler:
         node_of_cpu: Callable[[int], int],
         cpu_of_process: Callable[[int], Optional[int]],
         shootdown_mode: ShootdownMode = ShootdownMode.ALL_CPUS,
+        tracer=None,
     ) -> None:
         self.vm = vm
         self.directory = directory
@@ -44,7 +47,18 @@ class CollapseHandler:
         self.node_of_cpu = node_of_cpu
         self.cpu_of_process = cpu_of_process
         self.shootdown_mode = shootdown_mode
+        self.tracer = as_tracer(tracer)
+        self.shootdown = ShootdownPlanner(
+            shootdown_mode, n_cpus, cpu_of_process, tracer=self.tracer
+        )
         self.collapses = 0
+
+    def register_metrics(self, registry) -> None:
+        """Expose collapse activity under ``kernel.collapse``."""
+        registry.register_callback(
+            "kernel.collapse.count", lambda: self.collapses
+        )
+        self.shootdown.register_metrics(registry, "kernel.collapse")
 
     def handle_write_fault(self, now_ns: int, page: int, cpu: int) -> bool:
         """Collapse ``page`` because ``cpu`` wrote to it.
@@ -59,11 +73,7 @@ class CollapseHandler:
         op = OpType.COLLAPSE
         latency = acct.charge(CostCategory.PAGE_FAULT, costs.page_fault_ns, op)
         keep_node = self.node_of_cpu(cpu)
-        # Plan the flush from the pre-collapse mappings: those are the TLB
-        # entries that go stale.
-        cpus = plan_flush(
-            [master], self.shootdown_mode, self.n_cpus, self.cpu_of_process
-        )
+        replicas_dropped = len(master.all_copies()) - 1
         # Mapping updates under the page lock, then bookkeeping.
         wait = self.vm.locks.page_lock(page).acquire(
             now_ns, costs.page_lock_hold_ns
@@ -71,13 +81,11 @@ class CollapseHandler:
         latency += acct.charge(
             CostCategory.LINKS_MAPPING, costs.collapse_ns + wait, op
         )
+        # Every stale mapping must leave the TLBs before the store retries;
+        # the flush is planned from the pre-collapse mappings (those are
+        # the TLB entries that go stale), so it runs before the collapse.
+        flushed = self.shootdown.flush(now_ns, [master], cpu)
         self.vm.collapse(page, keep_node=keep_node)
-        # Every stale mapping must leave the TLBs before the store retries.
-        flushed = (
-            self.n_cpus
-            if self.shootdown_mode is ShootdownMode.ALL_CPUS
-            else max(len(cpus), 1)
-        )
         latency += acct.charge(
             CostCategory.TLB_FLUSH,
             costs.tlb_flush_base_ns + costs.tlb_flush_per_cpu_ns * flushed,
@@ -89,4 +97,15 @@ class CollapseHandler:
         acct.finish_op(op, latency)
         self.collapses += 1
         self.directory.acted_on(page)
+        if self.tracer.active:
+            self.tracer.emit(
+                CollapseEvent(
+                    t=now_ns,
+                    page=page,
+                    cpu=cpu,
+                    keep_node=keep_node,
+                    replicas_dropped=replicas_dropped,
+                    latency_ns=latency,
+                )
+            )
         return True

@@ -146,6 +146,28 @@ class KernelCostAccounting:
         self.op_counts[op] += 1
         self.op_latency[op].add(latency_ns)
 
+    def register_metrics(self, registry) -> None:
+        """Expose the Table 5/6 accounting under ``kernel.costs``.
+
+        Per-category totals and per-operation counts become collect-time
+        callbacks; the per-operation latency accumulators join the
+        registry by reference as a labeled histogram family.
+        """
+        registry.register_callback(
+            "kernel.costs.total_overhead_ns", lambda: self.total_overhead_ns
+        )
+        for category in CostCategory:
+            registry.register_callback(
+                f"kernel.costs.category_ns.{category.name.lower()}",
+                lambda c=category: self.category_ns[c],
+            )
+        family = registry.family("kernel.costs.op_latency_ns")
+        for op in OpType:
+            registry.register_callback(
+                f"kernel.costs.ops.{op.value}", lambda o=op: self.op_counts[o]
+            )
+            family.attach(self.op_latency[op], op=op.value)
+
     # -- table views --------------------------------------------------------------
 
     @property

@@ -26,8 +26,14 @@ from repro.kernel.pager.costs import (
     OpType,
 )
 from repro.kernel.vm.page import PageFrame
-from repro.kernel.vm.shootdown import ShootdownMode, plan_flush
+from repro.kernel.vm.shootdown import ShootdownMode, ShootdownPlanner
 from repro.kernel.vm.system import VmSystem
+from repro.obs.events import (
+    MigrationDecision,
+    NoActionDecision,
+    ReplicationDecision,
+)
+from repro.obs.tracer import as_tracer
 from repro.machine.directory import DirectoryArray, HotBatch
 from repro.policy.decision import Action, Reason, decide
 from repro.policy.parameters import PolicyParameters
@@ -106,6 +112,7 @@ class PagerHandler:
         node_of_process: Callable[[int], int],
         cpu_of_process: Callable[[int], Optional[int]],
         shootdown_mode: ShootdownMode = ShootdownMode.ALL_CPUS,
+        tracer=None,
     ) -> None:
         self.vm = vm
         self.directory = directory
@@ -117,9 +124,41 @@ class PagerHandler:
         self.node_of_process = node_of_process
         self.cpu_of_process = cpu_of_process
         self.shootdown_mode = shootdown_mode
+        self.tracer = as_tracer(tracer)
+        self.shootdown = ShootdownPlanner(
+            shootdown_mode, n_cpus, cpu_of_process, tracer=self.tracer
+        )
         self.tally = ActionTally()
-        self.tlbs_flushed = 0
-        self.flush_operations = 0
+
+    @property
+    def tlbs_flushed(self) -> int:
+        """TLBs flushed across all of this handler's flush rounds."""
+        return self.shootdown.tlbs_flushed
+
+    @property
+    def flush_operations(self) -> int:
+        """Flush rounds issued (one per batch with moved pages)."""
+        return self.shootdown.flush_operations
+
+    def register_metrics(self, registry) -> None:
+        """Expose the Table 4 tally and flush stats under ``kernel.pager``."""
+        tally = self.tally
+        registry.register_callback(
+            "kernel.pager.hot_pages", lambda: tally.hot_pages
+        )
+        registry.register_callback(
+            "kernel.pager.migrated", lambda: tally.migrated
+        )
+        registry.register_callback(
+            "kernel.pager.replicated", lambda: tally.replicated
+        )
+        registry.register_callback(
+            "kernel.pager.no_action", lambda: tally.no_action
+        )
+        registry.register_callback(
+            "kernel.pager.no_page", lambda: tally.no_page
+        )
+        self.shootdown.register_metrics(registry, "kernel.pager")
 
     # -- the interrupt path (Figure 2) ------------------------------------------
 
@@ -157,7 +196,7 @@ class PagerHandler:
         # per-CPU work times the number of CPUs flushed (the Table 6 cost,
         # and the reason flushing dominates that table).
         if moved_frames:
-            flushed = self._flush(now_ns, moved_frames)
+            flushed = self.shootdown.flush(now_ns, moved_frames, batch.cpu)
             system_work = (
                 costs.tlb_flush_base_ns + costs.tlb_flush_per_cpu_ns * flushed
             )
@@ -168,6 +207,13 @@ class PagerHandler:
                 acct.attribute_op(op, CostCategory.TLB_FLUSH, share)
                 acct.finish_op(op, latency + share)
         return results
+
+    def _no_action(self, now_ns: int, page: int, cpu: int, reason: str) -> None:
+        """Trace one deliberate (or race-forced) leave-alone decision."""
+        if self.tracer.active:
+            self.tracer.emit(
+                NoActionDecision(t=now_ns, page=page, cpu=cpu, reason=reason)
+            )
 
     def _handle_page(self, now_ns: int, event, intr_share: float):
         """Steps 3–5, 7–8 for one hot page.
@@ -183,6 +229,7 @@ class PagerHandler:
         counters = self.directory.bank.get(page)
         if master is None or counters is None:
             self.directory.acted_on(page)
+            self._no_action(now_ns, page, cpu, "stale-counters")
             return (
                 PageActionResult(page, cpu, Outcome.NO_ACTION),
                 None,
@@ -223,6 +270,7 @@ class PagerHandler:
         ):
             # Hotspot target already holds the page: nothing to move.
             self.directory.latch(page)
+            self._no_action(now_ns, page, cpu, "target-already-home")
             return (
                 PageActionResult(page, cpu, Outcome.NO_ACTION, decision.reason),
                 None,
@@ -235,6 +283,7 @@ class PagerHandler:
             # just re-point the requester (cheap) and stop.
             self._adopt_replica(event, master)
             self.directory.acted_on(page)
+            self._no_action(now_ns, page, cpu, "adopted-replica")
             return (
                 PageActionResult(page, cpu, Outcome.NO_ACTION, decision.reason),
                 None,
@@ -244,6 +293,7 @@ class PagerHandler:
             )
         if action is Action.NOTHING:
             self.directory.latch(page)
+            self._no_action(now_ns, page, cpu, decision.reason.value)
             return (
                 PageActionResult(page, cpu, Outcome.NO_ACTION, decision.reason),
                 None,
@@ -270,6 +320,8 @@ class PagerHandler:
         acct, costs = self.accounting, self.costs
         page, cpu = event.page, event.cpu
         op = OpType.MIGRATION
+        trace = self.tracer.active
+        src = self.vm.master_of(page).node if trace else -1
         # Step 4: allocate on the target node (memlock protects free lists).
         wait_alloc = self.vm.locks.memlock.acquire(
             now_ns, costs.memlock_hold_alloc_ns
@@ -282,6 +334,14 @@ class PagerHandler:
             # completed operations: keep them out of the Table 5 averages.
             acct.charge(CostCategory.PAGE_ALLOC, alloc_ns)
             self.directory.acted_on(page)
+            if trace:
+                self.tracer.emit(
+                    MigrationDecision(
+                        t=now_ns, page=page, cpu=cpu, src=src, dst=target,
+                        outcome="no-page", reason=reason.value,
+                        latency_ns=latency + alloc_ns,
+                    )
+                )
             return (
                 PageActionResult(page, cpu, Outcome.NO_PAGE),
                 None,
@@ -310,6 +370,14 @@ class PagerHandler:
         acct.charge(CostCategory.PAGE_FAULT, costs.page_fault_ns, op)
         self.directory.bank.note_migration(page)
         self.directory.acted_on(page)
+        if trace:
+            self.tracer.emit(
+                MigrationDecision(
+                    t=now_ns, page=page, cpu=cpu, src=src, dst=target,
+                    outcome="migrated", reason=reason.value,
+                    latency_ns=latency,
+                )
+            )
         return (
             PageActionResult(page, cpu, Outcome.MIGRATED, reason),
             new_frame,
@@ -323,6 +391,8 @@ class PagerHandler:
         page, cpu = event.page, event.cpu
         target = self.node_of_cpu(cpu)
         op = OpType.REPLICATION
+        trace = self.tracer.active
+        src = self.vm.master_of(page).node if trace else -1
         # Step 4: allocation still serialises on memlock for the free list,
         # but the replica chain update needs only the page-level lock.
         wait_alloc = self.vm.locks.memlock.acquire(
@@ -334,6 +404,14 @@ class PagerHandler:
         except AllocationError:
             acct.charge(CostCategory.PAGE_ALLOC, alloc_ns)
             self.directory.acted_on(page)
+            if trace:
+                self.tracer.emit(
+                    ReplicationDecision(
+                        t=now_ns, page=page, cpu=cpu, src=src, dst=target,
+                        outcome="no-page", reason=Reason.SHARED_READ.value,
+                        latency_ns=latency + alloc_ns,
+                    )
+                )
             return (
                 PageActionResult(page, cpu, Outcome.NO_PAGE),
                 None,
@@ -360,6 +438,14 @@ class PagerHandler:
         )
         acct.charge(CostCategory.PAGE_FAULT, costs.page_fault_ns, op)
         self.directory.acted_on(page)
+        if trace:
+            self.tracer.emit(
+                ReplicationDecision(
+                    t=now_ns, page=page, cpu=cpu, src=src, dst=target,
+                    outcome="replicated", reason=Reason.SHARED_READ.value,
+                    latency_ns=latency,
+                )
+            )
         return (
             PageActionResult(page, cpu, Outcome.REPLICATED, Reason.SHARED_READ),
             replica,
@@ -382,15 +468,3 @@ class PagerHandler:
                 CostCategory.LINKS_MAPPING, self.costs.page_lock_hold_ns
             )
 
-    def _flush(self, now_ns: int, frames: List[PageFrame]) -> int:
-        """Step 6: pick the CPU set to flush; returns how many TLBs flush."""
-        cpus = plan_flush(
-            frames, self.shootdown_mode, self.n_cpus, self.cpu_of_process
-        )
-        if self.shootdown_mode is ShootdownMode.ALL_CPUS:
-            flushed = self.n_cpus
-        else:
-            flushed = max(len(cpus), 1)
-        self.tlbs_flushed += flushed
-        self.flush_operations += 1
-        return flushed

@@ -107,3 +107,35 @@ class LockRegistry:
         total += sum(l.wait.total for l in self._region_locks.values())
         total += sum(l.wait.total for l in self._page_locks.values())
         return total
+
+    def register_metrics(self, registry) -> None:
+        """Expose lock contention under ``kernel.locks``.
+
+        memlock (the paper's bottleneck) gets full wait/hold histograms
+        by reference; the dynamically created page/region locks are
+        summarised through collect-time callbacks so taking a lock stays
+        exactly as cheap as before.
+        """
+        registry.register_callback(
+            "kernel.locks.memlock.acquisitions",
+            lambda: self.memlock.acquisitions,
+        )
+        registry.register_callback(
+            "kernel.locks.memlock.contended", lambda: self.memlock.contended
+        )
+        registry.histogram("kernel.locks.memlock.wait_ns", self.memlock.wait)
+        registry.histogram("kernel.locks.memlock.hold_ns", self.memlock.hold)
+        registry.register_callback(
+            "kernel.locks.page_locks", lambda: len(self._page_locks)
+        )
+        registry.register_callback(
+            "kernel.locks.page_lock_wait_ns",
+            lambda: sum(l.wait.total for l in self._page_locks.values()),
+        )
+        registry.register_callback(
+            "kernel.locks.region_lock_wait_ns",
+            lambda: sum(l.wait.total for l in self._region_locks.values()),
+        )
+        registry.register_callback(
+            "kernel.locks.total_wait_ns", self.total_wait_ns
+        )

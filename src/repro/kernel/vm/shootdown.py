@@ -15,9 +15,11 @@ CPU flushed, so the published effect reproduces mechanically.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Callable, Iterable, List, Optional, Sequence, Set
 
 from repro.kernel.vm.page import PageFrame
+from repro.obs.events import ShootdownEvent
+from repro.obs.tracer import as_tracer
 
 
 class ShootdownMode(enum.Enum):
@@ -51,3 +53,68 @@ def plan_flush(
                 if cpu is not None:
                     cpus.add(cpu)
     return sorted(cpus)
+
+
+class ShootdownPlanner:
+    """Plans flush rounds and keeps the flush statistics in one place.
+
+    The pager and the collapse handler used to each reimplement the
+    "how many TLBs does this round flush" arithmetic; the planner owns
+    it, counts flush rounds and TLBs flushed, and (when a tracer is
+    attached) emits one :class:`~repro.obs.events.ShootdownEvent` per
+    round.
+    """
+
+    def __init__(
+        self,
+        mode: ShootdownMode,
+        n_cpus: int,
+        cpu_of_process: Callable[[int], Optional[int]],
+        tracer=None,
+    ) -> None:
+        self.mode = mode
+        self.n_cpus = n_cpus
+        self.cpu_of_process = cpu_of_process
+        self.tracer = as_tracer(tracer)
+        self.tlbs_flushed = 0
+        self.flush_operations = 0
+
+    def flush(
+        self,
+        now_ns: int,
+        frames: Sequence[PageFrame],
+        origin_cpu: int = -1,
+    ) -> int:
+        """Execute one flush round for ``frames``; returns TLBs flushed.
+
+        Under ALL_CPUS every TLB flushes regardless of mappings; under
+        TRACKED only CPUs with live mappings do (minimum one — the
+        handler's own CPU always takes the flush IPI path).
+        """
+        cpus = plan_flush(frames, self.mode, self.n_cpus, self.cpu_of_process)
+        if self.mode is ShootdownMode.ALL_CPUS:
+            flushed = self.n_cpus
+        else:
+            flushed = max(len(cpus), 1)
+        self.tlbs_flushed += flushed
+        self.flush_operations += 1
+        if self.tracer.active:
+            self.tracer.emit(
+                ShootdownEvent(
+                    t=now_ns,
+                    origin_cpu=origin_cpu,
+                    mode=self.mode.value,
+                    cpus_flushed=flushed,
+                    frames=len(frames),
+                )
+            )
+        return flushed
+
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Expose flush-round statistics under ``prefix``."""
+        registry.register_callback(
+            f"{prefix}.tlbs_flushed", lambda: self.tlbs_flushed
+        )
+        registry.register_callback(
+            f"{prefix}.flush_operations", lambda: self.flush_operations
+        )

@@ -92,6 +92,20 @@ class UtilisationWindow:
         """Highest window utilisation observed so far."""
         return self._rho_max
 
+    def register_metrics(self, registry, name: str) -> None:
+        """Expose this resource's statistics under ``name`` in a registry.
+
+        Registration is callback-based, so the hot :meth:`offer` path is
+        untouched; values are read when the registry collects.
+        """
+        registry.register_callback(f"{name}.requests", lambda: self.requests)
+        registry.register_callback(
+            f"{name}.total_busy_ns", lambda: self.total_busy_ns
+        )
+        registry.register_callback(
+            f"{name}.max_utilisation", lambda: self.max_utilisation_seen
+        )
+
     def average_queue_length(self, now: int) -> float:
         """Time-averaged queue length over [0, now]."""
         if now <= 0:

@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.units import PAGE_SIZE
+from repro.obs.events import HotPageTriggered
+from repro.obs.tracer import as_tracer
 
 
 class PageCounters:
@@ -163,6 +165,7 @@ class DirectoryArray:
         trigger_threshold: int = 128,
         sampling_rate: int = 1,
         batch_pages: int = 4,
+        tracer=None,
     ) -> None:
         if trigger_threshold <= 0:
             raise ConfigurationError("trigger threshold must be positive")
@@ -172,11 +175,34 @@ class DirectoryArray:
         self.sampler = SamplingAccumulator(n_cpus, sampling_rate)
         self.trigger_threshold = trigger_threshold
         self.batch_pages = batch_pages
+        self.tracer = as_tracer(tracer)
         self._pending: Dict[int, List[HotPageEvent]] = {}
         self._armed: Dict[int, bool] = {}
         self.triggers = 0
         self.sampled_misses = 0
         self.offered_misses = 0
+
+    def register_metrics(self, registry) -> None:
+        """Expose the controller's counters under ``machine.directory``."""
+        registry.register_callback(
+            "machine.directory.triggers", lambda: self.triggers
+        )
+        registry.register_callback(
+            "machine.directory.offered_misses", lambda: self.offered_misses
+        )
+        registry.register_callback(
+            "machine.directory.sampled_misses", lambda: self.sampled_misses
+        )
+        registry.register_callback(
+            "machine.directory.interval_resets", lambda: self.bank.resets
+        )
+        registry.register_callback(
+            "machine.directory.tracked_pages", lambda: self.bank.tracked_pages
+        )
+        registry.register_callback(
+            "machine.directory.trigger_threshold",
+            lambda: self.trigger_threshold,
+        )
 
     def observe(
         self,
@@ -186,6 +212,7 @@ class DirectoryArray:
         weight: int = 1,
         is_local: bool = False,
         process: int = -1,
+        now_ns: int = 0,
     ) -> Optional[HotBatch]:
         """Count a miss; return a full interrupt batch when one is ready.
 
@@ -207,6 +234,16 @@ class DirectoryArray:
             return None  # hot but already local: nothing to gain
         self._armed[page] = True
         self.triggers += 1
+        if self.tracer.active:
+            self.tracer.emit(
+                HotPageTriggered(
+                    t=now_ns,
+                    page=page,
+                    cpu=cpu,
+                    count=count,
+                    threshold=self.trigger_threshold,
+                )
+            )
         pending = self._pending.setdefault(cpu, [])
         pending.append(
             HotPageEvent(page=page, cpu=cpu, count=count, process=process)

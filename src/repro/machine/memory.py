@@ -81,6 +81,41 @@ class NumaMemorySystem:
         )
         return MissService(latency_ns=latency, is_remote=remote, queue_delay_ns=queue)
 
+    # -- observability -----------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Register the memory system's statistics under ``machine.memory``.
+
+        Counters are exposed as collect-time callbacks over the existing
+        attributes and the live latency accumulators join a labeled
+        histogram family, so servicing misses costs nothing extra.
+        """
+        registry.register_callback(
+            "machine.memory.local_misses", lambda: self.local_misses
+        )
+        registry.register_callback(
+            "machine.memory.remote_misses", lambda: self.remote_misses
+        )
+        registry.register_callback(
+            "machine.memory.total_misses", lambda: self.total_misses
+        )
+        registry.register_callback(
+            "machine.memory.local_fraction", lambda: self.local_fraction
+        )
+        registry.register_callback(
+            "machine.memory.remote_handler_invocations",
+            lambda: self.remote_handler_invocations,
+        )
+        registry.register_callback(
+            "machine.memory.max_controller_occupancy",
+            self.max_controller_occupancy,
+        )
+        family = registry.family("machine.memory.latency_ns")
+        family.attach(self.local_latency, kind="local")
+        family.attach(self.remote_latency, kind="remote")
+        for node, controller in enumerate(self._controllers):
+            controller.register_metrics(registry, f"machine.controller.node{node}")
+
     # -- section 7.1.2 statistics ------------------------------------------
 
     def max_controller_occupancy(self) -> float:

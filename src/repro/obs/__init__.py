@@ -1,0 +1,109 @@
+"""Observability: structured decision tracing, metrics, and exporters.
+
+The paper's evaluation attributes execution time and kernel overhead to
+individual page actions (Figure 2 decisions, Table 4 action breakdowns,
+Table 6 overhead categories); this package gives the reproduction the
+same attribution power at runtime:
+
+* :mod:`repro.obs.events` — the typed event taxonomy;
+* :mod:`repro.obs.tracer` — a zero-cost-when-disabled tracer with a
+  bounded ring buffer and pluggable sinks;
+* :mod:`repro.obs.registry` — the metrics namespace the machine, kernel
+  and policy layers register into;
+* :mod:`repro.obs.export` — JSONL, Chrome trace-event and plain-text
+  exporters;
+* :mod:`repro.obs.inspect` — replay a saved log into per-page decision
+  histories (the ``repro inspect`` subcommand).
+
+See ``docs/OBSERVABILITY.md`` for the full guide.
+"""
+
+from repro.obs.events import (
+    ALL_KINDS,
+    EVENT_TYPES,
+    KIND_TO_TYPE,
+    CollapseEvent,
+    HotPageTriggered,
+    IntervalReset,
+    MigrationDecision,
+    MissServiced,
+    NoActionDecision,
+    ReplicationDecision,
+    ShootdownEvent,
+    TraceEvent,
+    TriggerAdjusted,
+    event_from_dict,
+)
+from repro.obs.export import (
+    JsonlSink,
+    event_to_json,
+    interval_summary,
+    read_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.inspect import (
+    PageHistory,
+    format_history,
+    history_for,
+    kind_counts,
+    page_histories,
+    summarize,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CountingSink,
+    ListSink,
+    NullTracer,
+    Sink,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "EVENT_TYPES",
+    "KIND_TO_TYPE",
+    "CollapseEvent",
+    "HotPageTriggered",
+    "IntervalReset",
+    "MigrationDecision",
+    "MissServiced",
+    "NoActionDecision",
+    "ReplicationDecision",
+    "ShootdownEvent",
+    "TraceEvent",
+    "TriggerAdjusted",
+    "event_from_dict",
+    "JsonlSink",
+    "event_to_json",
+    "interval_summary",
+    "read_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "PageHistory",
+    "format_history",
+    "history_for",
+    "kind_counts",
+    "page_histories",
+    "summarize",
+    "Counter",
+    "Gauge",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "CountingSink",
+    "ListSink",
+    "NullTracer",
+    "Sink",
+    "Tracer",
+    "as_tracer",
+]

@@ -1,0 +1,220 @@
+"""Exporters for the structured event stream.
+
+Three formats, matched to three uses:
+
+* **JSONL** (:class:`JsonlSink`, :func:`read_events`): one compact JSON
+  object per line, the archival format.  Writing is streaming (a sink),
+  reading validates every line, and identical runs produce byte-identical
+  files — which the determinism tests assert.
+* **Chrome trace-event JSON** (:func:`to_chrome_trace`): load the file in
+  ``chrome://tracing`` / Perfetto to see per-interval timelines — each
+  CPU is a track, decisions are instant events, reset intervals are
+  duration slices on a dedicated track.
+* **Plain text** (:func:`interval_summary`): a per-interval table of
+  decision activity for reading in a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import TraceError
+from repro.obs.events import (
+    CollapseEvent,
+    HotPageTriggered,
+    IntervalReset,
+    MigrationDecision,
+    NoActionDecision,
+    ReplicationDecision,
+    TraceEvent,
+    event_from_dict,
+)
+from repro.obs.tracer import Sink
+
+
+def event_to_json(event: TraceEvent) -> str:
+    """One event as a compact, key-order-stable JSON object."""
+    return json.dumps(event.to_dict(), separators=(",", ":"))
+
+
+class JsonlSink(Sink):
+    """Streams every event to a JSONL file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self.written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(event_to_json(event))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write an event sequence to ``path``; returns the number written."""
+    sink = JsonlSink(path)
+    try:
+        for event in events:
+            sink.emit(event)
+    finally:
+        sink.close()
+    return sink.written
+
+
+def read_events(path: str) -> List[TraceEvent]:
+    """Parse a JSONL event log back into typed events.
+
+    Raises :class:`~repro.common.errors.TraceError` on any malformed
+    line, with the line number in the message.
+    """
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(data, dict):
+                raise TraceError(f"{path}:{lineno}: expected a JSON object")
+            try:
+                events.append(event_from_dict(data))
+            except TraceError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from exc
+    return events
+
+
+# -- chrome://tracing ---------------------------------------------------------------
+
+#: Decision-level kinds drawn as instant events on per-CPU tracks.
+_INSTANT_KINDS = (
+    HotPageTriggered,
+    MigrationDecision,
+    ReplicationDecision,
+    NoActionDecision,
+    CollapseEvent,
+)
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, list]:
+    """Convert an event stream to Chrome trace-event JSON (``ts`` in µs).
+
+    Tracks: one per CPU (decision/instant events, ``tid = cpu``), plus a
+    dedicated "intervals" track (``tid = -1``) carrying each reset
+    interval as a duration slice, which is what makes per-interval
+    timelines legible in the viewer.
+    """
+    trace_events: List[dict] = []
+    interval_start_us = 0.0
+    for event in events:
+        ts_us = event.t / 1000.0
+        if isinstance(event, IntervalReset):
+            trace_events.append(
+                {
+                    "name": f"interval {event.index}",
+                    "ph": "X",
+                    "ts": interval_start_us,
+                    "dur": max(ts_us - interval_start_us, 0.0),
+                    "pid": 0,
+                    "tid": -1,
+                    "args": {
+                        "tracked_pages": event.tracked_pages,
+                        "triggers": event.triggers,
+                    },
+                }
+            )
+            interval_start_us = ts_us
+            continue
+        if isinstance(event, _INSTANT_KINDS):
+            args = event.to_dict()
+            args.pop("kind", None)
+            args.pop("t", None)
+            trace_events.append(
+                {
+                    "name": event.KIND,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts_us,
+                    "pid": 0,
+                    "tid": getattr(event, "cpu", 0),
+                    "args": args,
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> int:
+    """Write the Chrome trace JSON for ``events``; returns event count."""
+    payload = to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+    return len(payload["traceEvents"])
+
+
+# -- plain-text per-interval summary ---------------------------------------------------
+
+
+def interval_summary(events: Iterable[TraceEvent]) -> str:
+    """A per-interval table of decision activity.
+
+    Events after the last :class:`IntervalReset` form a final partial
+    interval (the end-of-run drain services its queue there).
+    """
+    rows: List[List[object]] = []
+    counts = {"hot": 0, "migr": 0, "repl": 0, "none": 0, "coll": 0}
+    index: Optional[int] = None
+
+    def flush(label: object, end_ns: int) -> None:
+        rows.append(
+            [
+                label,
+                end_ns,
+                counts["hot"],
+                counts["migr"],
+                counts["repl"],
+                counts["none"],
+                counts["coll"],
+            ]
+        )
+        for key in counts:
+            counts[key] = 0
+
+    last_t = 0
+    for event in events:
+        last_t = max(last_t, event.t)
+        if isinstance(event, IntervalReset):
+            flush(event.index, event.t)
+            index = event.index
+            continue
+        if isinstance(event, HotPageTriggered):
+            counts["hot"] += 1
+        elif isinstance(event, MigrationDecision):
+            counts["migr"] += 1
+        elif isinstance(event, ReplicationDecision):
+            counts["repl"] += 1
+        elif isinstance(event, NoActionDecision):
+            counts["none"] += 1
+        elif isinstance(event, CollapseEvent):
+            counts["coll"] += 1
+    if any(counts.values()):
+        flush("tail" if index is not None else 0, last_t)
+
+    header = f"{'interval':>8} {'end (ms)':>10} {'hot':>6} {'migr':>6} " \
+             f"{'repl':>6} {'none':>6} {'coll':>6}"
+    lines = [header, "-" * len(header)]
+    for label, end_ns, hot, migr, repl, none, coll in rows:
+        lines.append(
+            f"{str(label):>8} {end_ns / 1e6:>10.2f} {hot:>6} {migr:>6} "
+            f"{repl:>6} {none:>6} {coll:>6}"
+        )
+    if not rows:
+        lines.append("(no decision activity)")
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Replay a saved event log into per-page decision histories.
+
+This is the analysis half of the observability layer: given the JSONL
+log a traced run wrote, reconstruct *why* each page ended up where it
+did — the sequence of hot-page triggers, decision-tree verdicts,
+migrations, replications and collapses that touched it — and summarise
+the log as a whole.  The ``repro inspect`` CLI subcommand is a thin
+wrapper over these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.obs.events import (
+    CollapseEvent,
+    HotPageTriggered,
+    MigrationDecision,
+    MissServiced,
+    NoActionDecision,
+    ReplicationDecision,
+    TraceEvent,
+)
+
+#: Kinds that constitute a page's *decision* history (misses excluded —
+#: they describe cost, not choice, and would swamp the history).
+DECISION_KINDS = (
+    HotPageTriggered,
+    MigrationDecision,
+    ReplicationDecision,
+    NoActionDecision,
+    CollapseEvent,
+)
+
+
+@dataclass
+class PageHistory:
+    """Everything that was decided about one page, in time order."""
+
+    page: int
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def migrations(self) -> int:
+        return sum(
+            1
+            for e in self.events
+            if isinstance(e, MigrationDecision) and e.outcome == "migrated"
+        )
+
+    @property
+    def replications(self) -> int:
+        return sum(
+            1
+            for e in self.events
+            if isinstance(e, ReplicationDecision) and e.outcome == "replicated"
+        )
+
+    @property
+    def collapses(self) -> int:
+        return sum(1 for e in self.events if isinstance(e, CollapseEvent))
+
+
+def page_histories(events: Iterable[TraceEvent]) -> Dict[int, PageHistory]:
+    """Group the log's decision events by page."""
+    histories: Dict[int, PageHistory] = {}
+    for event in events:
+        if not isinstance(event, DECISION_KINDS):
+            continue
+        page = getattr(event, "page", None)
+        if page is None:
+            continue
+        history = histories.get(page)
+        if history is None:
+            history = histories[page] = PageHistory(page=page)
+        history.events.append(event)
+    return histories
+
+
+def history_for(events: Iterable[TraceEvent], page: int) -> PageHistory:
+    """The decision history of one page (empty if the log never saw it)."""
+    return page_histories(events).get(page, PageHistory(page=page))
+
+
+def describe_event(event: TraceEvent) -> str:
+    """One human-readable line for a decision event."""
+    t_ms = event.t / 1e6
+    if isinstance(event, HotPageTriggered):
+        return (
+            f"{t_ms:>10.2f}ms  hot-page       cpu {event.cpu} hit "
+            f"{event.count} misses (trigger {event.threshold})"
+        )
+    if isinstance(event, MigrationDecision):
+        where = f"node {event.src} -> {event.dst}"
+        if event.outcome != "migrated":
+            where += f" [{event.outcome}]"
+        return (
+            f"{t_ms:>10.2f}ms  migration      {where} for cpu {event.cpu} "
+            f"({event.reason}, {event.latency_ns / 1e3:.0f}us)"
+        )
+    if isinstance(event, ReplicationDecision):
+        where = f"copy on node {event.dst}"
+        if event.outcome != "replicated":
+            where += f" [{event.outcome}]"
+        return (
+            f"{t_ms:>10.2f}ms  replication    {where} for cpu {event.cpu} "
+            f"({event.reason}, {event.latency_ns / 1e3:.0f}us)"
+        )
+    if isinstance(event, NoActionDecision):
+        return (
+            f"{t_ms:>10.2f}ms  no action      cpu {event.cpu} ({event.reason})"
+        )
+    if isinstance(event, CollapseEvent):
+        return (
+            f"{t_ms:>10.2f}ms  collapse       write from cpu {event.cpu}, "
+            f"kept node {event.keep_node}, dropped "
+            f"{event.replicas_dropped} replica(s)"
+        )
+    return f"{t_ms:>10.2f}ms  {event.KIND}"
+
+
+def format_history(history: PageHistory) -> str:
+    """Render one page's full decision history."""
+    lines = [
+        f"page {history.page}: {len(history.events)} decision event(s), "
+        f"{history.migrations} migration(s), {history.replications} "
+        f"replication(s), {history.collapses} collapse(s)"
+    ]
+    for event in history.events:
+        lines.append("  " + describe_event(event))
+    if not history.events:
+        lines.append("  (no decision events recorded for this page)")
+    return "\n".join(lines)
+
+
+def kind_counts(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Event count per kind tag."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.KIND] = counts.get(event.KIND, 0) + 1
+    return counts
+
+
+def summarize(events: List[TraceEvent], top: int = 10) -> str:
+    """Whole-log overview: kind counts plus the most-acted-on pages."""
+    counts = kind_counts(events)
+    lines = [f"{len(events)} events"]
+    for kind in sorted(counts):
+        lines.append(f"  {kind:<18} {counts[kind]}")
+    histories = page_histories(events)
+    busy = sorted(
+        histories.values(),
+        key=lambda h: (-(h.migrations + h.replications + h.collapses), h.page),
+    )
+    busy = [h for h in busy if h.migrations + h.replications + h.collapses][:top]
+    if busy:
+        lines.append(f"most-acted-on pages (top {len(busy)}):")
+        for history in busy:
+            lines.append(
+                f"  page {history.page:<8} {history.migrations} migr, "
+                f"{history.replications} repl, {history.collapses} coll"
+            )
+    miss_weight = sum(
+        e.weight for e in events if isinstance(e, MissServiced)
+    )
+    if miss_weight:
+        lines.append(f"misses recorded: {miss_weight}")
+    return "\n".join(lines)

@@ -101,3 +101,15 @@ class AdaptiveTriggerController:
     def settled(self) -> bool:
         """True once the last three intervals used the same trigger."""
         return len(self.history) >= 3 and len(set(self.history[-3:])) == 1
+
+    def register_metrics(self, registry) -> None:
+        """Expose the controller's state under ``policy.adaptive``."""
+        registry.register_callback(
+            "policy.adaptive.trigger", lambda: self.trigger
+        )
+        registry.register_callback(
+            "policy.adaptive.history_len", lambda: len(self.history)
+        )
+        registry.register_callback(
+            "policy.adaptive.settled", lambda: float(self.settled)
+        )

@@ -60,6 +60,13 @@ class Decision:
     reason: Reason
     target_cpu: Optional[int] = None
 
+    def rationale(self) -> str:
+        """Compact ``action:reason`` tag used by trace events and logs."""
+        tag = f"{self.action.value}:{self.reason.value}"
+        if self.target_cpu is not None:
+            tag += f"->cpu{self.target_cpu}"
+        return tag
+
 
 def is_shared(
     miss_counts: Sequence[int], cpu: int, sharing_threshold: int

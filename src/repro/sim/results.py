@@ -115,6 +115,9 @@ class SimulationResult:
     base_pages: int = 0
     peak_replica_frames: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Flattened snapshot of the run's :class:`MetricsRegistry` — every
+    #: machine/kernel/vm/policy counter under one queryable namespace.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     # -- headline quantities ---------------------------------------------------
 

@@ -34,12 +34,32 @@ from repro.kernel.vm.system import VmSystem
 from repro.machine.config import MachineConfig
 from repro.machine.directory import DirectoryArray
 from repro.machine.memory import NumaMemorySystem
+from repro.obs.events import IntervalReset, MissServiced, TriggerAdjusted
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import as_tracer
 from repro.policy.adaptive import AdaptiveTriggerController, IntervalFeedback
 from repro.policy.parameters import PolicyParameters
 from repro.sim.results import ContentionStats, SimulationResult
 from repro.trace.record import Trace
 from repro.workloads.base import generate_trace
 from repro.workloads.spec import WorkloadSpec
+
+#: Legacy ``result.extra`` keys, served from the metrics namespace so old
+#: consumers keep working while the registry is the single source of truth.
+_LEGACY_EXTRA = {
+    "tlbs_flushed": "kernel.pager.tlbs_flushed",
+    "flush_operations": "kernel.pager.flush_operations",
+    "memlock_wait_ns": "kernel.locks.memlock.wait_ns.total",
+    "vm_migrations": "vm.migrations",
+    "vm_replications": "vm.replications",
+    "vm_faults": "vm.faults",
+    "replicas_reclaimed": "vm.replicas_reclaimed",
+}
+
+_LEGACY_EXTRA_ADAPTIVE = {
+    "final_trigger": "policy.adaptive.trigger",
+    "trigger_history_len": "policy.adaptive.history_len",
+}
 
 
 class Placement(enum.Enum):
@@ -76,8 +96,12 @@ class SystemSimulator:
         params: Optional[PolicyParameters] = None,
         options: Optional[SimulatorOptions] = None,
         costs: Optional[KernelCostModel] = None,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.spec = spec
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics
         if machine is None:
             machine = MachineConfig.flash_ccnuma(
                 n_cpus=spec.n_cpus, n_nodes=spec.n_nodes
@@ -103,6 +127,38 @@ class SystemSimulator:
             return "zero-network"
         return "CC-NUMA"
 
+    # -- metrics wiring ----------------------------------------------------------
+
+    @staticmethod
+    def _register_metrics(
+        registry, memory, directory, pager, collapser, vm, accounting
+    ) -> None:
+        """Attach every layer's counters to one queryable namespace.
+
+        Registration is collect-time only (callbacks and by-reference
+        histograms), so the hot loop pays nothing for it.
+        """
+        memory.register_metrics(registry)
+        directory.register_metrics(registry)
+        pager.register_metrics(registry)
+        collapser.register_metrics(registry)
+        vm.locks.register_metrics(registry)
+        accounting.register_metrics(registry)
+        stats = vm.stats
+        registry.register_callback("vm.migrations", lambda: stats.migrations)
+        registry.register_callback(
+            "vm.replications", lambda: stats.replications
+        )
+        registry.register_callback("vm.faults", lambda: stats.faults)
+        registry.register_callback(
+            "vm.replicas_reclaimed", lambda: stats.replicas_reclaimed
+        )
+        registry.register_callback("vm.base_pages", lambda: stats.base_pages)
+        registry.register_callback(
+            "vm.peak_replica_frames",
+            lambda: vm.allocator.peak_replica_frames,
+        )
+
     # -- the run --------------------------------------------------------------------
 
     def run(self, trace: Optional[Trace] = None) -> SimulationResult:
@@ -115,6 +171,8 @@ class SystemSimulator:
         )
         if trace is None:
             trace = generate_trace(spec)
+        tracer = self.tracer
+        registry = self.metrics if self.metrics is not None else MetricsRegistry()
         frames_per_node = spec.frames_per_node or machine.memory.frames_per_node
         vm = VmSystem(machine.n_nodes, frames_per_node)
         memory = NumaMemorySystem(machine)
@@ -123,6 +181,7 @@ class SystemSimulator:
             trigger_threshold=params.trigger_threshold,
             sampling_rate=params.sampling_rate,
             batch_pages=params.batch_pages,
+            tracer=tracer,
         )
         accounting = KernelCostAccounting()
         last_cpu: Dict[int, int] = {}
@@ -147,6 +206,7 @@ class SystemSimulator:
             node_of_process=node_of_process,
             cpu_of_process=cpu_of_process,
             shootdown_mode=options.shootdown_mode,
+            tracer=tracer,
         )
         collapser = CollapseHandler(
             vm=vm,
@@ -157,6 +217,10 @@ class SystemSimulator:
             node_of_cpu=node_of_cpu,
             cpu_of_process=cpu_of_process,
             shootdown_mode=options.shootdown_mode,
+            tracer=tracer,
+        )
+        self._register_metrics(
+            registry, memory, directory, pager, collapser, vm, accounting
         )
         result = SimulationResult(
             workload=spec.name,
@@ -171,13 +235,17 @@ class SystemSimulator:
         next_reset = params.reset_interval_ns
         adaptive: Optional[AdaptiveTriggerController] = None
         interval_marks = (0.0, 0, 0)      # overhead/remote/total at interval start
+        interval_index = 0
         if options.adaptive_trigger and options.dynamic:
             adaptive = AdaptiveTriggerController(
                 initial_trigger=params.trigger_threshold
             )
+            adaptive.register_metrics(registry)
         dynamic = options.dynamic
         round_robin = options.placement is Placement.ROUND_ROBIN
         n_nodes = machine.n_nodes
+        emit_miss = tracer.wants(MissServiced.KIND)
+        trace_on = tracer.active
 
         times = trace.time_ns
         cpus = trace.cpu
@@ -212,6 +280,16 @@ class SystemSimulator:
                 while pending:
                     _, _, batch = heapq.heappop(pending)
                     pager.handle_batch(t, batch)
+                if trace_on:
+                    tracer.emit(
+                        IntervalReset(
+                            t=t,
+                            index=interval_index,
+                            tracked_pages=directory.bank.tracked_pages,
+                            triggers=directory.triggers,
+                        )
+                    )
+                interval_index += 1
                 directory.interval_reset()
                 if adaptive is not None:
                     feedback = IntervalFeedback(
@@ -224,6 +302,7 @@ class SystemSimulator:
                         total_misses=memory.total_misses
                         - interval_marks[2],
                     )
+                    old_trigger = directory.trigger_threshold
                     new_trigger = adaptive.update(feedback)
                     directory.trigger_threshold = new_trigger
                     tuned = params.replace(
@@ -231,12 +310,21 @@ class SystemSimulator:
                         sharing_threshold=max(1, new_trigger // 4),
                     )
                     pager.params = tuned
-                if adaptive is not None or True:
-                    interval_marks = (
-                        accounting.total_overhead_ns,
-                        memory.remote_misses,
-                        memory.total_misses,
-                    )
+                    if trace_on and new_trigger != old_trigger:
+                        tracer.emit(
+                            TriggerAdjusted(
+                                t=t,
+                                old_trigger=old_trigger,
+                                new_trigger=new_trigger,
+                                overhead_fraction=feedback.overhead_fraction,
+                                remote_fraction=feedback.remote_fraction,
+                            )
+                        )
+                interval_marks = (
+                    accounting.total_overhead_ns,
+                    memory.remote_misses,
+                    memory.total_misses,
+                )
                 while next_reset <= t:
                     next_reset += params.reset_interval_ns
 
@@ -256,6 +344,19 @@ class SystemSimulator:
                     is_instr=instr,
                     is_remote=service.is_remote,
                 )
+                if emit_miss:
+                    tracer.emit(
+                        MissServiced(
+                            t=t,
+                            cpu=cpu,
+                            page=page,
+                            node=node,
+                            weight=weight,
+                            latency_ns=service.latency_ns,
+                            remote=service.is_remote,
+                            kernel=True,
+                        )
+                    )
                 continue
 
             # User pages go through the VM system.
@@ -273,6 +374,19 @@ class SystemSimulator:
                 is_instr=instr,
                 is_remote=service.is_remote,
             )
+            if emit_miss:
+                tracer.emit(
+                    MissServiced(
+                        t=t,
+                        cpu=cpu,
+                        page=page,
+                        node=frame.node,
+                        weight=weight,
+                        latency_ns=service.latency_ns,
+                        remote=service.is_remote,
+                        kernel=False,
+                    )
+                )
             if dynamic:
                 batch = directory.observe(
                     page,
@@ -281,6 +395,7 @@ class SystemSimulator:
                     weight,
                     is_local=not service.is_remote,
                     process=pid,
+                    now_ns=t,
                 )
                 if batch is not None:
                     # Small per-CPU skew so simultaneous interrupts from
@@ -316,16 +431,14 @@ class SystemSimulator:
             average_local_latency_ns=memory.average_local_latency(),
             average_remote_latency_ns=memory.average_remote_latency(),
         )
-        result.extra["tlbs_flushed"] = float(pager.tlbs_flushed)
-        result.extra["flush_operations"] = float(pager.flush_operations)
-        result.extra["memlock_wait_ns"] = vm.locks.memlock.wait.total
-        result.extra["vm_migrations"] = float(vm.stats.migrations)
-        result.extra["vm_replications"] = float(vm.stats.replications)
-        result.extra["vm_faults"] = float(vm.stats.faults)
-        result.extra["replicas_reclaimed"] = float(vm.stats.replicas_reclaimed)
+        # The registry is the source of truth; the legacy ``extra`` keys are
+        # served from it so pre-registry consumers keep working unchanged.
+        result.metrics = registry.collect()
+        legacy = dict(_LEGACY_EXTRA)
         if adaptive is not None:
-            result.extra["final_trigger"] = float(adaptive.trigger)
-            result.extra["trigger_history_len"] = float(len(adaptive.history))
+            legacy.update(_LEGACY_EXTRA_ADAPTIVE)
+        for extra_key, metric_name in legacy.items():
+            result.extra[extra_key] = float(result.metrics[metric_name])
         vm.check_invariants()
         return result
 

@@ -25,6 +25,15 @@ import numpy as np
 from repro.common.errors import ConfigurationError, TraceError
 from repro.common.units import US
 from repro.machine.directory import MissCounterBank, SamplingAccumulator
+from repro.obs.events import (
+    CollapseEvent,
+    HotPageTriggered,
+    IntervalReset,
+    MigrationDecision,
+    NoActionDecision,
+    ReplicationDecision,
+)
+from repro.obs.tracer import as_tracer
 from repro.policy.decision import Action, decide
 from repro.policy.metrics import FULL_CACHE, Metric
 from repro.policy.parameters import PolicyParameters
@@ -130,8 +139,11 @@ class PolicySimResult:
 class TracePolicySimulator:
     """Replay traces under static and dynamic placement policies."""
 
-    def __init__(self, config: Optional[PolicySimConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[PolicySimConfig] = None, tracer=None
+    ) -> None:
         self.config = config or PolicySimConfig()
+        self.tracer = as_tracer(tracer)
         self._cpu_nodes = np.asarray(
             [self.config.node_of_cpu(c) for c in range(self.config.n_cpus)],
             dtype=np.int64,
@@ -209,8 +221,11 @@ class TracePolicySimulator:
         next_reset = params.reset_interval_ns
         local_stall = 0.0
         pending: deque = deque()   # (due_time, page, cpu) awaiting the pager
+        tracer = self.tracer
+        trace_on = tracer.active
+        interval_index = 0
 
-        def act(page: int, cpu: int) -> None:
+        def act(now: int, page: int, cpu: int) -> None:
             """Pager action once the hot page's interrupt is serviced."""
             page_copies = copies[page]
             node = int(cpu_nodes[cpu])
@@ -237,7 +252,15 @@ class TracePolicySimulator:
                 )
                 if dest in page_copies:
                     result.no_actions += 1
+                    if trace_on:
+                        tracer.emit(
+                            NoActionDecision(
+                                t=now, page=page, cpu=cpu,
+                                reason="target-already-home",
+                            )
+                        )
                     return
+                src = next(iter(page_copies))
                 page_copies.clear()
                 page_copies.add(dest)
                 result.migrations += 1
@@ -245,27 +268,61 @@ class TracePolicySimulator:
                 bank.note_migration(page)
                 bank.clear_page(page)
                 armed.discard(page)
+                if trace_on:
+                    tracer.emit(
+                        MigrationDecision(
+                            t=now, page=page, cpu=cpu, src=src, dst=dest,
+                            outcome="migrated", reason=decision.reason.value,
+                            latency_ns=float(op_cost),
+                        )
+                    )
             elif decision.action is Action.REPLICATE:
+                src = min(page_copies)
                 page_copies.add(node)
                 result.replications += 1
                 result.overhead_ns += op_cost
                 bank.clear_page(page)
                 armed.discard(page)
+                if trace_on:
+                    tracer.emit(
+                        ReplicationDecision(
+                            t=now, page=page, cpu=cpu, src=src, dst=node,
+                            outcome="replicated", reason=decision.reason.value,
+                            latency_ns=float(op_cost),
+                        )
+                    )
             else:
                 # No action: the page stays latched until the next reset so
                 # the pager is not re-interrupted for it every miss.
                 result.no_actions += 1
+                if trace_on:
+                    tracer.emit(
+                        NoActionDecision(
+                            t=now, page=page, cpu=cpu,
+                            reason=decision.reason.value,
+                        )
+                    )
 
         for time, cpu, page, weight, is_write, costs, counts in events:
             while pending and pending[0][0] <= time:
-                _, hot_page, hot_cpu = pending.popleft()
-                act(hot_page, hot_cpu)
+                due, hot_page, hot_cpu = pending.popleft()
+                act(due, hot_page, hot_cpu)
             if time >= next_reset:
                 # Flush in-flight interrupts against pre-reset counters,
                 # then start the new interval.
                 while pending:
-                    _, hot_page, hot_cpu = pending.popleft()
-                    act(hot_page, hot_cpu)
+                    due, hot_page, hot_cpu = pending.popleft()
+                    act(due, hot_page, hot_cpu)
+                if trace_on:
+                    tracer.emit(
+                        IntervalReset(
+                            t=time,
+                            index=interval_index,
+                            tracked_pages=bank.tracked_pages,
+                            triggers=result.hot_events,
+                        )
+                    )
+                interval_index += 1
                 bank.reset()
                 armed.clear()
                 while next_reset <= time:
@@ -278,10 +335,20 @@ class TracePolicySimulator:
                 if is_write and len(page_copies) > 1:
                     # A store to a replicated page: collapse (pfault path).
                     keep = node if node in page_copies else min(page_copies)
+                    dropped = len(page_copies) - 1
                     page_copies.clear()
                     page_copies.add(int(keep))
                     result.collapses += 1
                     result.overhead_ns += op_cost
+                    if trace_on:
+                        tracer.emit(
+                            CollapseEvent(
+                                t=time, page=page, cpu=cpu,
+                                keep_node=int(keep),
+                                replicas_dropped=dropped,
+                                latency_ns=float(op_cost),
+                            )
+                        )
                 local = node in page_copies
                 result.total_misses += weight
                 if local:
@@ -302,10 +369,17 @@ class TracePolicySimulator:
                 continue  # hot but already local
             result.hot_events += 1
             armed.add(page)
+            if trace_on:
+                tracer.emit(
+                    HotPageTriggered(
+                        t=time, page=page, cpu=cpu, count=count,
+                        threshold=trigger,
+                    )
+                )
             pending.append((time + cfg.decision_delay_ns, page, cpu))
         while pending:
-            _, hot_page, hot_cpu = pending.popleft()
-            act(hot_page, hot_cpu)
+            due, hot_page, hot_cpu = pending.popleft()
+            act(due, hot_page, hot_cpu)
         result.extra["local_stall_ns"] = local_stall
         return result
 

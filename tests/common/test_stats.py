@@ -86,6 +86,65 @@ class TestOnlineStats:
         assert s.count == 1
         assert s.mean == 3.0
 
+    def test_combined_empty_empty(self):
+        out = OnlineStats().combined(OnlineStats())
+        assert out.count == 0
+        assert out.mean == 0.0
+
+    def test_combined_empty_nonempty(self):
+        right = OnlineStats()
+        right.add(7.0)
+        right.add(9.0)
+        out = OnlineStats() + right
+        assert out.count == 2
+        assert out.mean == pytest.approx(8.0)
+        # And the other way round.
+        back = right + OnlineStats()
+        assert back.count == 2
+        assert back.mean == pytest.approx(8.0)
+
+    def test_combined_does_not_mutate_operands(self):
+        left, right = OnlineStats(), OnlineStats()
+        left.add(1.0)
+        right.add(5.0, weight=3)
+        out = left + right
+        assert out.count == 4
+        assert left.count == 1 and left.mean == 1.0
+        assert right.count == 3 and right.mean == 5.0
+
+    @given(
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=30),
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=30),
+    )
+    def test_add_matches_sequential(self, a, b):
+        left, right, sequential = OnlineStats(), OnlineStats(), OnlineStats()
+        for v in a:
+            left.add(v)
+            sequential.add(v)
+        for v in b:
+            right.add(v)
+            sequential.add(v)
+        out = left + right
+        assert out.count == sequential.count
+        assert out.mean == pytest.approx(sequential.mean, rel=1e-6, abs=1e-6)
+        assert out.variance == pytest.approx(
+            sequential.variance, rel=1e-4, abs=1e-3
+        )
+        assert out.minimum == sequential.minimum
+        assert out.maximum == sequential.maximum
+
+    def test_weighted_combined(self):
+        left, right = OnlineStats(), OnlineStats()
+        left.add(2.0, weight=3)
+        right.add(10.0, weight=1)
+        out = left + right
+        assert out.count == 4
+        assert out.mean == pytest.approx(4.0)
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            OnlineStats() + 3
+
 
 class TestTimeWeightedValue:
     def test_constant_value(self):

@@ -1,0 +1,198 @@
+"""Exporters and the inspect analysis: round-trips and renderings."""
+
+import json
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.obs.events import (
+    EVENT_TYPES,
+    CollapseEvent,
+    HotPageTriggered,
+    IntervalReset,
+    MigrationDecision,
+    MissServiced,
+    NoActionDecision,
+    ReplicationDecision,
+    ShootdownEvent,
+    TriggerAdjusted,
+    event_from_dict,
+)
+from repro.obs.export import (
+    JsonlSink,
+    event_to_json,
+    interval_summary,
+    read_events,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.inspect import (
+    format_history,
+    history_for,
+    kind_counts,
+    page_histories,
+    summarize,
+)
+
+#: One instance of every event type, exercising non-default fields.
+SAMPLE_EVENTS = [
+    MissServiced(t=100, cpu=1, page=7, node=0, weight=3,
+                 latency_ns=1200.0, remote=True, kernel=False),
+    HotPageTriggered(t=200, page=7, cpu=1, count=130, threshold=128),
+    MigrationDecision(t=300, page=7, cpu=1, src=0, dst=1,
+                      outcome="migrated", reason="unshared",
+                      latency_ns=250_000.0),
+    ReplicationDecision(t=400, page=9, cpu=2, src=0, dst=2,
+                        outcome="replicated", reason="shared-read",
+                        latency_ns=280_000.0),
+    NoActionDecision(t=500, page=11, cpu=3, reason="write-shared"),
+    CollapseEvent(t=600, page=9, cpu=0, keep_node=0, replicas_dropped=1,
+                  latency_ns=90_000.0),
+    ShootdownEvent(t=700, origin_cpu=1, mode="all", cpus_flushed=8, frames=2),
+    IntervalReset(t=800, index=0, tracked_pages=5, triggers=2),
+    TriggerAdjusted(t=900, old_trigger=128, new_trigger=64,
+                    overhead_fraction=0.01, remote_fraction=0.4),
+]
+
+
+class TestDictRoundTrip:
+    def test_every_type_round_trips(self):
+        for event in SAMPLE_EVENTS:
+            assert event_from_dict(event.to_dict()) == event
+
+    def test_sample_covers_taxonomy(self):
+        assert {type(e) for e in SAMPLE_EVENTS} == set(EVENT_TYPES)
+
+    def test_kind_comes_first(self):
+        data = json.loads(event_to_json(SAMPLE_EVENTS[0]))
+        assert next(iter(data)) == "kind"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError):
+            event_from_dict({"kind": "bogus", "t": 0})
+
+    def test_bad_field_rejected(self):
+        with pytest.raises(TraceError):
+            event_from_dict({"kind": "hot-page", "t": 0, "nope": 1})
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        written = write_jsonl(SAMPLE_EVENTS, path)
+        assert written == len(SAMPLE_EVENTS)
+        assert read_events(path) == SAMPLE_EVENTS
+
+    def test_sink_streams_and_counts(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        sink = JsonlSink(path)
+        for event in SAMPLE_EVENTS[:3]:
+            sink.emit(event)
+        sink.close()
+        assert sink.written == 3
+        assert read_events(path) == SAMPLE_EVENTS[:3]
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"hot-page","t":1}\nnot json\n')
+        with pytest.raises(TraceError, match="bad.jsonl:2"):
+            read_events(str(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(TraceError, match="expected a JSON object"):
+            read_events(str(path))
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('\n{"kind":"hot-page","t":1}\n\n')
+        assert len(read_events(str(path))) == 1
+
+
+class TestChromeTrace:
+    def test_structure(self, tmp_path):
+        payload = to_chrome_trace(SAMPLE_EVENTS)
+        events = payload["traceEvents"]
+        # 5 instant kinds + 1 interval slice (miss/shootdown/trigger skipped).
+        assert len(events) == 6
+        instants = [e for e in events if e["ph"] == "i"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(instants) == 5
+        assert len(slices) == 1
+        assert slices[0]["tid"] == -1
+        assert slices[0]["ts"] == 0.0
+        assert slices[0]["dur"] == pytest.approx(0.8)  # 800 ns in us
+        # Decisions land on the acting CPU's track, ts in microseconds.
+        migr = next(e for e in instants if e["name"] == "migration")
+        assert migr["tid"] == 1
+        assert migr["ts"] == pytest.approx(0.3)
+        assert migr["args"]["outcome"] == "migrated"
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        written = write_chrome_trace(SAMPLE_EVENTS, path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert written == len(payload["traceEvents"]) == 6
+
+
+class TestIntervalSummary:
+    def test_rows_per_interval_plus_tail(self):
+        events = [
+            HotPageTriggered(t=10, page=1, cpu=0, count=128, threshold=128),
+            MigrationDecision(t=20, page=1, cpu=0, outcome="migrated"),
+            IntervalReset(t=100, index=0, tracked_pages=1, triggers=1),
+            ReplicationDecision(t=150, page=2, cpu=1, outcome="replicated"),
+        ]
+        text = interval_summary(events)
+        lines = text.splitlines()
+        assert "interval" in lines[0]
+        assert len(lines) == 4  # header, rule, interval 0, tail
+        assert lines[3].startswith("    tail")
+
+    def test_empty_log(self):
+        assert "(no decision activity)" in interval_summary([])
+
+
+class TestInspect:
+    def test_page_histories_group_decision_events(self):
+        histories = page_histories(SAMPLE_EVENTS)
+        assert set(histories) == {7, 9, 11}
+        seven = histories[7]
+        assert seven.migrations == 1
+        assert seven.replications == 0
+        nine = histories[9]
+        assert nine.replications == 1
+        assert nine.collapses == 1
+
+    def test_failed_operations_not_counted_as_moves(self):
+        events = [
+            MigrationDecision(t=0, page=1, cpu=0, outcome="no-page"),
+            ReplicationDecision(t=1, page=1, cpu=0, outcome="no-page"),
+        ]
+        history = history_for(events, 1)
+        assert history.migrations == 0
+        assert history.replications == 0
+        assert len(history.events) == 2
+
+    def test_history_for_unknown_page_is_empty(self):
+        history = history_for(SAMPLE_EVENTS, 999)
+        assert history.events == []
+        assert "(no decision events recorded" in format_history(history)
+
+    def test_format_history_mentions_every_event(self):
+        text = format_history(history_for(SAMPLE_EVENTS, 7))
+        assert "page 7" in text
+        assert "hot-page" in text
+        assert "migration" in text
+
+    def test_kind_counts_and_summary(self):
+        counts = kind_counts(SAMPLE_EVENTS)
+        assert counts["migration"] == 1
+        assert sum(counts.values()) == len(SAMPLE_EVENTS)
+        text = summarize(SAMPLE_EVENTS)
+        assert f"{len(SAMPLE_EVENTS)} events" in text
+        assert "most-acted-on pages" in text
+        assert "misses recorded: 3" in text

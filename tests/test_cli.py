@@ -1,8 +1,11 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.export import read_events
 
 
 def test_workloads_command(capsys):
@@ -96,3 +99,110 @@ def test_verify_command(capsys):
     assert "PASS" in out
     assert "FAIL" not in out
     assert "robustness" in out
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced run shared by the trace/metrics/inspect CLI tests."""
+    tmp = tmp_path_factory.mktemp("cli-trace")
+    trace_path = str(tmp / "run.jsonl")
+    metrics_path = str(tmp / "metrics.json")
+    code = main(
+        ["run", "--workload", "database", "--scale", "0.05",
+         "--trace-out", trace_path, "--metrics-out", metrics_path]
+    )
+    assert code == 0
+    return trace_path, metrics_path
+
+
+def test_run_trace_out_writes_valid_jsonl(traced_run):
+    trace_path, _ = traced_run
+    events = read_events(trace_path)
+    assert events
+    # Misses are excluded by default; decision kinds are present.
+    kinds = {e.KIND for e in events}
+    assert "miss" not in kinds
+    assert "hot-page" in kinds
+
+
+def test_run_metrics_out_dumps_registry(traced_run):
+    _, metrics_path = traced_run
+    with open(metrics_path) as fh:
+        metrics = json.load(fh)
+    assert metrics["kernel.pager.hot_pages"] > 0
+    assert "machine.memory.local_fraction" in metrics
+
+
+def test_run_trace_misses_includes_miss_events(tmp_path, capsys):
+    path = str(tmp_path / "miss.jsonl")
+    assert main(
+        ["run", "--workload", "database", "--scale", "0.02",
+         "--trace-out", path, "--trace-misses"]
+    ) == 0
+    assert any(e.KIND == "miss" for e in read_events(path))
+
+
+def test_inspect_summary(traced_run, capsys):
+    trace_path, _ = traced_run
+    assert main(["inspect", trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    assert "hot-page" in out
+
+
+def test_inspect_check(traced_run, capsys):
+    trace_path, _ = traced_run
+    assert main(["inspect", trace_path, "--check"]) == 0
+    assert "schema-valid" in capsys.readouterr().out
+
+
+def test_inspect_check_fails_on_empty(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["inspect", str(path), "--check"]) == 1
+
+
+def test_inspect_rejects_corrupt_log(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    assert main(["inspect", str(path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_inspect_page_history(traced_run, capsys):
+    trace_path, _ = traced_run
+    events = read_events(trace_path)
+    page = next(e.page for e in events if e.KIND == "hot-page")
+    assert main(["inspect", trace_path, "--page", str(page)]) == 0
+    out = capsys.readouterr().out
+    assert f"page {page}:" in out
+    assert "hot-page" in out
+
+
+def test_inspect_intervals(traced_run, capsys):
+    trace_path, _ = traced_run
+    assert main(["inspect", trace_path, "--intervals"]) == 0
+    assert "interval" in capsys.readouterr().out
+
+
+def test_inspect_chrome_export(traced_run, tmp_path, capsys):
+    trace_path, _ = traced_run
+    chrome_path = str(tmp_path / "chrome.json")
+    assert main(["inspect", trace_path, "--chrome", chrome_path]) == 0
+    with open(chrome_path) as fh:
+        payload = json.load(fh)
+    assert payload["traceEvents"]
+
+
+def test_tracesim_trace_out(tmp_path, capsys):
+    path = str(tmp_path / "policysim.jsonl")
+    assert main(
+        ["tracesim", "--workload", "database", "--scale", "0.05",
+         "--trace-out", path]
+    ) == 0
+    events = read_events(path)
+    assert events
+    assert {e.KIND for e in events} <= {
+        "hot-page", "migration", "replication", "no-action",
+        "collapse", "interval-reset",
+    }
