@@ -4,8 +4,18 @@ Every bench regenerates one of the paper's tables or figures.  The heavy
 inputs — the five workload traces and the FT / Mig/Rep full-system runs —
 are produced once per session and shared.
 
+The full-system runs additionally go through the :mod:`repro.exp` result
+cache (same directory ``repro sweep`` uses — ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro/exp``), so a ``repro sweep --grid fig3`` warmed cache
+makes ``pytest benchmarks/`` skip the simulations entirely, and vice
+versa.  The cache is content-addressed on spec + code version, so it can
+never serve results from an older checkout; set ``REPRO_BENCH_NO_CACHE=1``
+to bypass it entirely.
+
 Scale defaults to 1.0 (the paper's full run lengths); set the environment
 variable ``REPRO_BENCH_SCALE`` to a smaller value for quick passes.
+``REPRO_BENCH_JOBS`` (default 1) runs cache-missing FT/Mig/Rep pairs in
+parallel worker processes.
 
 Each bench prints its table and also writes it to
 ``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
@@ -19,15 +29,19 @@ from typing import Dict, Tuple
 
 import pytest
 
+from repro.exp.cache import ResultCache
+from repro.exp.runner import SweepRunner
+from repro.exp.spec import ExperimentSpec
 from repro.policy.parameters import PolicyParameters
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import run_policy_comparison
 from repro.trace.record import Trace
-from repro.workloads import build_spec, generate_trace
+from repro.workloads import load_workload
 from repro.workloads.spec import WorkloadSpec
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_NO_CACHE = os.environ.get("REPRO_BENCH_NO_CACHE", "") not in ("", "0")
 RESULTS_DIR = Path(__file__).parent / "results"
 
 USER_WORKLOADS = ("engineering", "raytrace", "splash", "database")
@@ -42,25 +56,40 @@ def params_for(name: str) -> PolicyParameters:
 
 
 class WorkloadStore:
-    """Lazy, memoised workload and full-system-run store."""
+    """Lazy, memoised workload and full-system-run store.
+
+    Workload traces are shared with the library's ``load_workload`` memo;
+    the FT / Mig/Rep comparisons delegate to the :mod:`repro.exp` sweep
+    runner, which consults the shared content-addressed result cache
+    before simulating anything.
+    """
 
     def __init__(self) -> None:
-        self._workloads: Dict[str, Tuple[WorkloadSpec, Trace]] = {}
         self._fig3: Dict[str, Dict[str, SimulationResult]] = {}
+        self._cache = None if BENCH_NO_CACHE else ResultCache()
+        self._runner = SweepRunner(cache=self._cache, jobs=BENCH_JOBS)
 
     def workload(self, name: str) -> Tuple[WorkloadSpec, Trace]:
-        if name not in self._workloads:
-            spec = build_spec(name, scale=BENCH_SCALE, seed=BENCH_SEED)
-            self._workloads[name] = (spec, generate_trace(spec))
-        return self._workloads[name]
+        return load_workload(name, scale=BENCH_SCALE, seed=BENCH_SEED)
 
     def fig3(self, name: str) -> Dict[str, SimulationResult]:
         """FT and Mig/Rep full-system runs (cached; reused by Tables 4-6)."""
         if name not in self._fig3:
-            spec, trace = self.workload(name)
-            self._fig3[name] = run_policy_comparison(
-                spec, trace, params=params_for(name)
-            )
+            specs = [
+                ExperimentSpec(
+                    workload=name, scale=BENCH_SCALE, seed=BENCH_SEED,
+                    kind="system", policy=policy,
+                )
+                for policy in ("ft", "migrep")
+            ]
+            report = self._runner.run(specs)
+            failed = report.failures
+            if failed:
+                raise RuntimeError(
+                    f"full-system run failed for {name}: {failed[0].error}"
+                )
+            ft, mr = report.results
+            self._fig3[name] = {"FT": ft, "Mig/Rep": mr}
         return self._fig3[name]
 
 

@@ -9,7 +9,10 @@ The subcommands cover the common flows:
   (Section 8 methodology) across the six policies or the four metrics;
 * ``repro chains`` — Figure 4's read-chain analysis for one workload;
 * ``repro inspect`` — replay a ``--trace-out`` JSONL log into per-page
-  decision histories, summaries and Chrome trace timelines.
+  decision histories, summaries and Chrome trace timelines;
+* ``repro sweep`` — run a grid of experiments in parallel through the
+  content-addressed result cache (``docs/SWEEPS.md``);
+* ``repro figures`` — regenerate figure tables from (cached) sweeps.
 
 Examples::
 
@@ -20,6 +23,8 @@ Examples::
     repro tracesim --workload raytrace --scale 0.25 --metrics
     repro chains --workload database --scale 0.25
     repro inspect run.jsonl --page 512
+    repro sweep --grid fig9 --jobs 4 --scale 0.25
+    repro figures --figure fig9 --jobs 4
 """
 
 from __future__ import annotations
@@ -27,13 +32,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.readchains import DEFAULT_THRESHOLDS, chain_survival
 from repro.analysis.tables import format_table
-from repro.common.errors import TraceError
+from repro.common.errors import ConfigurationError, TraceError
+from repro.exp.cache import ResultCache
+from repro.exp.figures import FIGURE_ARTIFACTS, FIGURE_TABLES, timing_summary
+from repro.exp.runner import SweepOutcome, SweepReport, SweepRunner
+from repro.exp.spec import (
+    NAMED_GRIDS,
+    USER_WORKLOADS,
+    machine_for,
+    params_for,
+    sweep,
+)
 from repro.kernel.vm.shootdown import ShootdownMode
-from repro.machine.config import MachineConfig
 from repro.obs.events import ALL_KINDS, MissServiced
 from repro.obs.export import (
     JsonlSink,
@@ -56,23 +71,6 @@ from repro.trace.policysim import (
     TracePolicySimulator,
 )
 from repro.workloads import WORKLOAD_NAMES, load_workload
-
-
-def _params_for(name: str, trigger: Optional[int]) -> PolicyParameters:
-    if trigger is not None:
-        return PolicyParameters.base(trigger_threshold=trigger)
-    if name == "engineering":
-        return PolicyParameters.engineering_base()
-    return PolicyParameters.base()
-
-
-def _machine_for(label: str, spec) -> MachineConfig:
-    factory = {
-        "ccnuma": MachineConfig.flash_ccnuma,
-        "ccnow": MachineConfig.flash_ccnow,
-        "zeronet": MachineConfig.zero_network,
-    }[label]
-    return factory(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
@@ -106,8 +104,8 @@ def _make_tracer(path: str, include_misses: bool) -> Tracer:
 
 def cmd_run(args: argparse.Namespace) -> int:
     spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
-    machine = _machine_for(args.machine, spec)
-    params = _params_for(args.workload, args.trigger)
+    machine = machine_for(args.machine, spec)
+    params = params_for(args.workload, args.trigger)
     if args.hotspot:
         params = params.replace(hotspot_migration=True)
     mode = (
@@ -120,22 +118,31 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.trace_out
         else None
     )
-    ft = SystemSimulator(
-        spec, machine=machine, params=params,
-        options=SimulatorOptions(dynamic=False, shootdown_mode=mode),
-    ).run(trace)
-    try:
-        mr = SystemSimulator(
+    if tracer is None and args.jobs > 1:
+        # The two legs are independent: run them in worker processes.
+        results = run_policy_comparison(
+            spec, trace, machine=machine, params=params,
+            shootdown_mode=mode, adaptive_trigger=args.adaptive,
+            jobs=args.jobs,
+        )
+        ft, mr = results["FT"], results["Mig/Rep"]
+    else:
+        ft = SystemSimulator(
             spec, machine=machine, params=params,
-            options=SimulatorOptions(
-                dynamic=True, shootdown_mode=mode,
-                adaptive_trigger=args.adaptive,
-            ),
-            tracer=tracer,
+            options=SimulatorOptions(dynamic=False, shootdown_mode=mode),
         ).run(trace)
-    finally:
-        if tracer is not None:
-            tracer.close()
+        try:
+            mr = SystemSimulator(
+                spec, machine=machine, params=params,
+                options=SimulatorOptions(
+                    dynamic=True, shootdown_mode=mode,
+                    adaptive_trigger=args.adaptive,
+                ),
+                tracer=tracer,
+            ).run(trace)
+        finally:
+            if tracer is not None:
+                tracer.close()
     rows = []
     for label, r in (("FT", ft), ("Mig/Rep", mr)):
         rows.append(
@@ -186,7 +193,7 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
     traced_sim = (
         TracePolicySimulator(config, tracer=tracer) if tracer else sim
     )
-    params = _params_for(args.workload, args.trigger)
+    params = params_for(args.workload, args.trigger)
     rows = []
     try:
         if args.metrics:
@@ -249,7 +256,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     spec, trace = load_workload("engineering", scale=args.scale,
                                 seed=args.seed)
     results = run_policy_comparison(
-        spec, trace, params=_params_for("engineering", None)
+        spec, trace, params=params_for("engineering", None), jobs=args.jobs
     )
     ft, mr = results["FT"], results["Mig/Rep"]
     red = mr.stall_reduction_over(ft)
@@ -261,7 +268,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     spec, trace = load_workload("database", scale=args.scale, seed=args.seed)
     results = run_policy_comparison(
-        spec, trace, params=_params_for("database", None)
+        spec, trace, params=params_for("database", None), jobs=args.jobs
     )
     ft, mr = results["FT"], results["Mig/Rep"]
     pct = mr.tally.percentages()
@@ -336,20 +343,226 @@ def cmd_chains(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(text: str) -> List[str]:
+    """Split a comma-separated option value, dropping empties."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _specs_for(args: argparse.Namespace):
+    """The grid a ``repro sweep`` invocation names."""
+    if args.grid:
+        return NAMED_GRIDS[args.grid](scale=args.scale, seed=args.seed)
+    if not args.workloads:
+        raise ConfigurationError(
+            "pick a grid with --grid or workloads with --workloads"
+        )
+    triggers: List[Optional[int]] = [None]
+    if args.triggers:
+        triggers = [
+            None if t in ("paper", "default") else int(t)
+            for t in _csv(args.triggers)
+        ]
+    return sweep(
+        _csv(args.workloads),
+        scales=(args.scale,),
+        seeds=(args.seed,),
+        machines=tuple(_csv(args.machines)),
+        kinds=(args.kind,),
+        policies=tuple(_csv(args.policies)),
+        triggers=tuple(triggers),
+        metrics=tuple(_csv(args.metrics)),
+    )
+
+
+def _make_sweep_runner(args: argparse.Namespace):
+    """(runner, cache) configured from the shared sweep options."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is not None and getattr(args, "clear_cache", False):
+        dropped = cache.clear()
+        print(f"cleared {dropped} cache entries", file=sys.stderr)
+
+    def progress(outcome: SweepOutcome, done: int, total: int) -> None:
+        if outcome.cached:
+            status = "cache"
+        elif outcome.ok:
+            status = f"ran {outcome.duration_s:.2f}s"
+        else:
+            status = f"FAILED: {outcome.error}"
+        print(
+            f"[{done}/{total}] {outcome.spec.label()} ({status})",
+            file=sys.stderr,
+        )
+
+    runner = SweepRunner(
+        cache=cache,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+    return runner, cache
+
+
+def _sweep_stats(report: SweepReport, cache: Optional[ResultCache]) -> dict:
+    """JSON-safe sweep accounting (``--stats-out``, CI assertions)."""
+    return {
+        "specs": len(report.outcomes),
+        "jobs": report.jobs,
+        "wall_s": report.wall_s,
+        "executed": report.executed,
+        "from_cache": report.from_cache,
+        "failures": len(report.failures),
+        "cache": cache.stats() if cache is not None else None,
+    }
+
+
+def _write_artifact(out_dir: Optional[str], stem: str, text: str) -> None:
+    if not out_dir:
+        return
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{stem}.txt").write_text(text + "\n")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        specs = _specs_for(args)
+    except (ValueError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner, cache = _make_sweep_runner(args)
+    report = runner.run(specs)
+    rows = []
+    for outcome in report.outcomes:
+        r = outcome.result
+        if r is None:
+            rows.append([outcome.spec.label(), "-", "-", "-", "FAILED"])
+            continue
+        if outcome.spec.kind == "system":
+            local, stall, ovhd = (
+                r.local_miss_fraction, r.stall.total_ns, r.kernel_overhead_ns
+            )
+        else:
+            local, stall, ovhd = r.local_fraction, r.stall_ns, r.overhead_ns
+        rows.append(
+            [outcome.spec.label(), local * 100, stall / 1e9, ovhd / 1e9,
+             "cache" if outcome.cached else f"{outcome.duration_s:.2f}s"]
+        )
+    grid_name = args.grid or "custom"
+    print(
+        format_table(
+            f"Sweep {grid_name} (scale {args.scale}, seed {args.seed}, "
+            f"jobs {report.jobs})",
+            ["Spec", "Local %", "Stall (s)", "Overhead (s)", "Source"],
+            rows,
+        )
+    )
+    print(
+        f"\n{len(report.outcomes)} specs in {report.wall_s:.2f} s: "
+        f"{report.executed} executed, {report.from_cache} from cache, "
+        f"{len(report.failures)} failed"
+    )
+    stem, text = timing_summary(grid_name, report, args.scale, args.seed)
+    _write_artifact(args.out, stem, text)
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as fh:
+            json.dump(_sweep_stats(report, cache), fh, indent=2)
+            fh.write("\n")
+    for outcome in report.failures:
+        print(
+            f"error: {outcome.spec.label()}: {outcome.error}",
+            file=sys.stderr,
+        )
+    return 1 if report.failures else 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    figures = (
+        list(FIGURE_TABLES) if args.figure == "all" else [args.figure]
+    )
+    runner, cache = _make_sweep_runner(args)
+    status = 0
+    for figure in figures:
+        specs = NAMED_GRIDS[figure](scale=args.scale, seed=args.seed)
+        report = runner.run(specs)
+        if report.failures:
+            for outcome in report.failures:
+                print(
+                    f"error: {outcome.spec.label()}: {outcome.error}",
+                    file=sys.stderr,
+                )
+            status = 1
+            continue
+        table = FIGURE_TABLES[figure](report.outcomes)
+        print(table)
+        print(
+            f"\n{figure}: {report.executed} executed, "
+            f"{report.from_cache} from cache in {report.wall_s:.2f} s"
+        )
+        _write_artifact(args.out, FIGURE_ARTIFACTS[figure], table)
+        stem, text = timing_summary(figure, report, args.scale, args.seed)
+        _write_artifact(args.out, stem, text)
+    return status
+
+
+def _add_scale_seed(
+    parser: argparse.ArgumentParser, default_scale: float = 0.25
+) -> None:
+    """The workload-shaping pair every run-like subcommand shares."""
+    parser.add_argument(
+        "--scale", type=float, default=default_scale,
+        help=(
+            "fraction of the paper's run length "
+            f"(default {default_scale})"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
 def _add_common(parser: argparse.ArgumentParser, workload: bool = True) -> None:
     if workload:
         parser.add_argument(
             "--workload", required=True, choices=WORKLOAD_NAMES,
             help="which of the paper's five workloads to use",
         )
-    parser.add_argument(
-        "--scale", type=float, default=0.25,
-        help="fraction of the paper's run length (default 0.25)",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    _add_scale_seed(parser)
     parser.add_argument(
         "--trigger", type=int, default=None,
         help="trigger threshold (default: the paper's per-workload value)",
+    )
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``repro sweep`` and ``repro figures``."""
+    _add_scale_seed(parser)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = in-process serial execution)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout before the task is retried serially",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="retries per failed task (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="run everything fresh; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro/exp)",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="drop every cache entry before running",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default="benchmarks/results",
+        help="artifact directory ('' disables writing; default "
+        "benchmarks/results)",
     )
 
 
@@ -364,12 +577,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("workloads", help="list the synthetic workloads")
-    p.add_argument("--scale", type=float, default=0.1)
-    p.add_argument("--seed", type=int, default=0)
+    _add_scale_seed(p, default_scale=0.1)
     p.set_defaults(func=cmd_workloads)
 
     p = sub.add_parser("run", help="full-system FT vs Mig/Rep comparison")
     _add_common(p)
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="run the FT and Mig/Rep legs in parallel worker processes "
+        "(ignored when --trace-out needs the in-process tracer)",
+    )
     p.add_argument(
         "--machine", choices=("ccnuma", "ccnow", "zeronet"),
         default="ccnuma", help="machine configuration",
@@ -448,7 +665,61 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="quick smoke test of the headline reproductions"
     )
     _add_common(p, workload=False)
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the policy comparisons",
+    )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an experiment grid in parallel through the result cache",
+    )
+    p.add_argument(
+        "--grid", choices=sorted(NAMED_GRIDS), default=None,
+        help="a named figure grid (fig3, fig6, fig9)",
+    )
+    p.add_argument(
+        "--workloads", metavar="A,B,...", default=None,
+        help=f"custom grid: comma-separated workloads {WORKLOAD_NAMES}",
+    )
+    p.add_argument(
+        "--kind", choices=("system", "trace"), default="trace",
+        help="custom grid: simulator kind (default trace)",
+    )
+    p.add_argument(
+        "--policies", metavar="A,B,...", default="migrep",
+        help="custom grid: policies (rr,ft,pf,migr,repl,migrep)",
+    )
+    p.add_argument(
+        "--triggers", metavar="N,N,...", default=None,
+        help="custom grid: trigger thresholds ('paper' = per-workload)",
+    )
+    p.add_argument(
+        "--machines", metavar="A,B,...", default="ccnuma",
+        help="custom grid: machine configurations",
+    )
+    p.add_argument(
+        "--metrics", metavar="A,B,...", default="FC",
+        help="custom grid: information sources (FC,SC,FT,ST)",
+    )
+    p.add_argument(
+        "--stats-out", metavar="PATH", default=None,
+        help="write sweep/cache accounting as JSON to PATH",
+    )
+    _add_sweep_options(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "figures",
+        help="regenerate figure tables from (cached) parallel sweeps",
+    )
+    p.add_argument(
+        "--figure", choices=sorted(FIGURE_TABLES) + ["all"], default="all",
+        help="which figure to regenerate (default all)",
+    )
+    _add_sweep_options(p)
+    p.set_defaults(func=cmd_figures)
 
     return parser
 

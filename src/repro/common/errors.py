@@ -41,3 +41,17 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
+
+
+class ResultSchemaError(ReproError):
+    """A serialized result does not match the schema this code expects.
+
+    Raised when deserializing a result dict whose ``schema_version`` (or
+    result kind) differs from the running code's — e.g. a stale experiment
+    cache entry written by an older checkout.  Callers such as the
+    :mod:`repro.exp` cache treat this as a miss and re-run.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep could not be completed (worker failures)."""

@@ -92,6 +92,30 @@ class OnlineStats:
             return NotImplemented
         return self.combined(other)
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (``min``/``max`` are ``None`` when empty)."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if empty else self.minimum,
+            "max": None if empty else self.maximum,
+            "mean": self._mean,
+            "m2": self._m2,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OnlineStats":
+        """Rebuild an accumulator from :meth:`to_dict` output."""
+        out = cls()
+        out.count = int(data["count"])
+        out.total = float(data["total"])
+        out.minimum = math.inf if data["min"] is None else float(data["min"])
+        out.maximum = -math.inf if data["max"] is None else float(data["max"])
+        out._mean = float(data["mean"])
+        out._m2 = float(data["m2"])
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"OnlineStats(count={self.count}, mean={self.mean:.3g}, "

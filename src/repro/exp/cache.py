@@ -1,0 +1,239 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Each entry is keyed by SHA-256 over two things:
+
+* the **canonical spec JSON** — so any change to any field of the
+  :class:`~repro.exp.spec.ExperimentSpec` produces a different key; and
+* a **code-version token** — a digest of every ``repro`` source file, so
+  results computed by an older checkout can never be served after the
+  simulator changes.  Editing any ``.py`` under the package invalidates
+  the whole cache implicitly, with no manual versioning to forget.
+
+Entries are JSON envelopes (spec + serialized result) written atomically
+(temp file + ``os.replace``), so a killed sweep never leaves a torn
+entry.  Hit/miss/store/invalidation counts are surfaced through a
+:class:`repro.obs.registry.MetricsRegistry` under ``exp.cache.*``.
+
+Stale or corrupt entries — unparseable JSON, schema-version mismatches —
+are treated as misses and dropped, never as errors: the cache must be
+safe to point at a directory written by any past or future version of
+this code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.common.errors import ResultSchemaError
+from repro.exp.spec import ExperimentSpec
+from repro.obs.registry import MetricsRegistry
+from repro.sim.results import SimulationResult
+from repro.trace.policysim import PolicySimResult
+
+#: Environment variable naming the shared cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the code-version token (tests use it
+#: to simulate a code change without editing source files).
+CODE_TOKEN_ENV = "REPRO_CODE_TOKEN"
+
+ResultType = Union[SimulationResult, PolicySimResult]
+
+_code_token_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """The shared cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache``.
+
+    The CLI's ``repro sweep`` and the benchmark harness both use this
+    default, which is what lets ``pytest benchmarks/`` transparently
+    reuse sweep results.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "exp"
+
+
+def code_version_token(refresh: bool = False) -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Folding this token into every cache key makes the cache
+    self-invalidating: any edit to the simulator, policies, workload
+    generators or this subsystem changes the token, so stale results are
+    simply never found.
+    """
+    global _code_token_cache
+    env = os.environ.get(CODE_TOKEN_ENV)
+    if env:
+        return env
+    if _code_token_cache is not None and not refresh:
+        return _code_token_cache
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _code_token_cache = digest.hexdigest()
+    return _code_token_cache
+
+
+def cache_key(spec: ExperimentSpec, token: Optional[str] = None) -> str:
+    """SHA-256 key of one spec under one code version."""
+    if token is None:
+        token = code_version_token()
+    payload = spec.canonical_json() + "\n" + token
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _load_result(data: Dict) -> ResultType:
+    """Dispatch a serialized result dict to the right ``from_dict``."""
+    kind = data.get("kind")
+    if kind == "system":
+        return SimulationResult.from_dict(data)
+    if kind == "trace":
+        return PolicySimResult.from_dict(data)
+    raise ResultSchemaError(f"unknown result kind {kind!r}")
+
+
+class ResultCache:
+    """Content-addressed store of experiment results.
+
+    ``get`` returns ``None`` on any miss — absent, torn, or written by a
+    different code version — and ``put`` is atomic, so concurrent sweep
+    workers and pytest sessions can share one directory safely (last
+    writer wins on the identical content).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        token: Optional[str] = None,
+    ) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.token = token if token is not None else code_version_token()
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        self._hits = registry.counter("exp.cache.hits")
+        self._misses = registry.counter("exp.cache.misses")
+        self._stores = registry.counter("exp.cache.stores")
+        self._invalidations = registry.counter("exp.cache.invalidations")
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Entries served from disk."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing usable."""
+        return int(self._misses.value)
+
+    @property
+    def stores(self) -> int:
+        """Entries written."""
+        return int(self._stores.value)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store/invalidation counts for reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": int(self._invalidations.value),
+        }
+
+    # -- paths ----------------------------------------------------------------
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        """Where ``spec``'s entry lives (two-level fan-out by key prefix)."""
+        key = cache_key(spec, self.token)
+        return self.directory / key[:2] / f"{key}.json"
+
+    # -- operations -----------------------------------------------------------
+
+    def get(self, spec: ExperimentSpec) -> Optional[ResultType]:
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                envelope = json.load(fh)
+            result = _load_result(envelope["result"])
+        except FileNotFoundError:
+            self._misses.inc()
+            return None
+        except (OSError, ValueError, KeyError, TypeError, ResultSchemaError):
+            # Torn write, hand-edited file, or a schema bump without a
+            # code change (e.g. REPRO_CODE_TOKEN pinned): drop and rerun.
+            self._misses.inc()
+            self._invalidations.inc()
+            self._remove(path)
+            return None
+        self._hits.inc()
+        return result
+
+    def put(self, spec: ExperimentSpec, result: ResultType) -> Path:
+        """Atomically persist ``result`` under ``spec``'s key."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "key": path.stem,
+            "code_token": self.token,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(envelope, fh, sort_keys=True, separators=(",", ":"))
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            self._remove(Path(tmp))
+            raise
+        self._stores.inc()
+        return path
+
+    def invalidate(self, spec: ExperimentSpec) -> bool:
+        """Drop one entry; returns whether anything was removed."""
+        removed = self._remove(self.path_for(spec))
+        if removed:
+            self._invalidations.inc()
+        return removed
+
+    def clear(self) -> int:
+        """Drop every entry in the cache directory; returns the count."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*/*.json"):
+                removed += self._remove(path)
+        if removed:
+            self._invalidations.inc(removed)
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    @staticmethod
+    def _remove(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False

@@ -1,0 +1,151 @@
+"""Figure tables regenerated from sweep results.
+
+Each builder takes the results of one named grid (see
+:data:`repro.exp.spec.NAMED_GRIDS`) and renders the same summary table
+the corresponding benchmark writes under ``benchmarks/results/`` — so
+``repro figures --figure fig9 --jobs 4`` reproduces ``fig9_trigger.txt``
+from a parallel (and cache-warm) sweep instead of a serial pytest pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.exp.runner import POLICY_LABELS, SweepOutcome
+from repro.exp.spec import (
+    FIG9_TRIGGERS,
+    TRACE_POLICIES,
+    USER_WORKLOADS,
+    ExperimentSpec,
+)
+
+#: (artifact file stem, figure title) per named grid.
+FIGURE_ARTIFACTS = {
+    "fig3": "fig3_summary",
+    "fig6": "fig6_summary",
+    "fig9": "fig9_trigger",
+}
+
+
+def _index(outcomes: Sequence[SweepOutcome]) -> Dict[ExperimentSpec, object]:
+    out = {}
+    for outcome in outcomes:
+        if outcome.result is None:
+            raise ValueError(
+                f"spec {outcome.spec.label()} has no result: {outcome.error}"
+            )
+        out[outcome.spec] = outcome.result
+    return out
+
+
+def fig9_table(outcomes: Sequence[SweepOutcome]) -> str:
+    """Figure 9: the trigger-threshold sweep table."""
+    results = _index(outcomes)
+    rows: List[List[object]] = []
+    for spec, r in results.items():
+        rows.append(
+            [
+                spec.workload,
+                spec.trigger,
+                r.local_fraction * 100,
+                (r.stall_ns + r.overhead_ns) / 1e9,
+                r.overhead_ns / 1e9,
+                r.migrations + r.replications,
+            ]
+        )
+    order = {w: i for i, w in enumerate(USER_WORKLOADS)}
+    trigger_order = {t: i for i, t in enumerate(FIG9_TRIGGERS)}
+    rows.sort(key=lambda row: (order[row[0]], trigger_order[row[1]]))
+    return format_table(
+        "Figure 9: trigger-threshold sweep (smaller trigger -> more "
+        "locality, more overhead)",
+        ["Workload", "Trigger", "Local %", "Stall+Ovhd (s)",
+         "Overhead (s)", "Operations"],
+        rows,
+    )
+
+
+def fig3_table(outcomes: Sequence[SweepOutcome]) -> str:
+    """Figure 3: FT vs Mig/Rep full-system summary table."""
+    results = _index(outcomes)
+    by_workload: Dict[str, Dict[str, object]] = {}
+    for spec, r in results.items():
+        by_workload.setdefault(spec.workload, {})[spec.policy] = r
+    rows = []
+    for name in USER_WORKLOADS:
+        pair = by_workload.get(name, {})
+        if "ft" not in pair or "migrep" not in pair:
+            continue
+        ft, mr = pair["ft"], pair["migrep"]
+        rows.append(
+            [
+                name,
+                mr.stall_reduction_over(ft),
+                mr.improvement_over(ft),
+                ft.local_miss_fraction * 100,
+                mr.local_miss_fraction * 100,
+            ]
+        )
+    return format_table(
+        "Figure 3 summary (paper: stall red. 52/36/24/10 %, "
+        "exec imp. 29/15/4/5 %)",
+        ["Workload", "Stall red. %", "Exec imp. %", "FT local %",
+         "Mig/Rep local %"],
+        rows,
+    )
+
+
+def fig6_table(outcomes: Sequence[SweepOutcome]) -> str:
+    """Figure 6: six-policy run times normalised to round-robin."""
+    results = _index(outcomes)
+    by_workload: Dict[str, Dict[str, object]] = {}
+    for spec, r in results.items():
+        by_workload.setdefault(spec.workload, {})[spec.policy] = r
+    rows = []
+    for name in USER_WORKLOADS:
+        policies = by_workload.get(name, {})
+        if set(TRACE_POLICIES) - set(policies):
+            continue
+        baseline = policies["rr"].run_time_ns()
+        rows.append(
+            [name]
+            + [
+                policies[p].run_time_ns() / baseline
+                for p in TRACE_POLICIES
+            ]
+        )
+    return format_table(
+        "Figure 6 summary: run time normalised to RR",
+        ["Workload"] + [POLICY_LABELS[p] for p in TRACE_POLICIES],
+        rows,
+        float_format="{:.3f}",
+    )
+
+
+FIGURE_TABLES = {
+    "fig3": fig3_table,
+    "fig6": fig6_table,
+    "fig9": fig9_table,
+}
+
+
+def timing_summary(
+    grid: str, report, scale: float, seed: int
+) -> Tuple[str, str]:
+    """(artifact stem, text) recording a sweep's wall-clock and cache use.
+
+    Written next to the figure artifacts so the speed-up of the parallel
+    path is documented alongside the tables it regenerates.
+    """
+    stats = report  # SweepReport
+    lines = [
+        f"sweep {grid} (scale {scale}, seed {seed})",
+        f"  specs:      {len(stats.outcomes)}",
+        f"  jobs:       {stats.jobs}",
+        f"  wall clock: {stats.wall_s:.2f} s",
+        f"  executed:   {stats.executed}",
+        f"  from cache: {stats.from_cache}",
+        f"  failures:   {len(stats.failures)}",
+    ]
+    return f"sweep_{grid}_timing", "\n".join(lines)

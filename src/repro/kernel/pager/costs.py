@@ -146,6 +146,43 @@ class KernelCostAccounting:
         self.op_counts[op] += 1
         self.op_latency[op].add(latency_ns)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the full accounting state."""
+        return {
+            "category_ns": {
+                c.name: v for c, v in self.category_ns.items()
+            },
+            "op_category_ns": {
+                f"{op.value}/{cat.name}": v
+                for (op, cat), v in sorted(
+                    self.op_category_ns.items(),
+                    key=lambda kv: (kv[0][0].value, kv[0][1].name),
+                )
+            },
+            "op_counts": {op.value: n for op, n in self.op_counts.items()},
+            "op_latency": {
+                op.value: stats.to_dict()
+                for op, stats in self.op_latency.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KernelCostAccounting":
+        """Rebuild the accounting from :meth:`to_dict` output."""
+        out = cls()
+        for name, v in data["category_ns"].items():
+            out.category_ns[CostCategory[name]] = float(v)
+        for key, v in data["op_category_ns"].items():
+            op_value, cat_name = key.split("/", 1)
+            out.op_category_ns[(OpType(op_value), CostCategory[cat_name])] = (
+                float(v)
+            )
+        for op_value, n in data["op_counts"].items():
+            out.op_counts[OpType(op_value)] = int(n)
+        for op_value, stats in data["op_latency"].items():
+            out.op_latency[OpType(op_value)] = OnlineStats.from_dict(stats)
+        return out
+
     def register_metrics(self, registry) -> None:
         """Expose the Table 5/6 accounting under ``kernel.costs``.
 

@@ -86,6 +86,41 @@ class ActionTally:
         page_counts = self.by_page.setdefault(result.page, {})
         page_counts[result.outcome] = page_counts.get(result.outcome, 0) + 1
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (enum keys become their string values)."""
+        return {
+            "hot_pages": self.hot_pages,
+            "migrated": self.migrated,
+            "replicated": self.replicated,
+            "no_action": self.no_action,
+            "no_page": self.no_page,
+            "reasons": {r.value: n for r, n in sorted(
+                self.reasons.items(), key=lambda kv: kv[0].value
+            )},
+            "by_page": {
+                str(page): {o.value: n for o, n in counts.items()}
+                for page, counts in sorted(self.by_page.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ActionTally":
+        """Rebuild a tally from :meth:`to_dict` output."""
+        out = cls(
+            hot_pages=int(data["hot_pages"]),
+            migrated=int(data["migrated"]),
+            replicated=int(data["replicated"]),
+            no_action=int(data["no_action"]),
+            no_page=int(data["no_page"]),
+        )
+        for value, n in data["reasons"].items():
+            out.reasons[Reason(value)] = int(n)
+        for page, counts in data["by_page"].items():
+            out.by_page[int(page)] = {
+                Outcome(o): int(n) for o, n in counts.items()
+            }
+        return out
+
     def percentages(self) -> Dict[str, float]:
         """Table 4 row: percentage per outcome."""
         total = max(self.hot_pages, 1)

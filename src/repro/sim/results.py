@@ -9,12 +9,40 @@ cost accounting (Tables 5/6), the memory system's contention statistics
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.common.errors import ResultSchemaError
 from repro.common.stats import percent_change
 from repro.kernel.pager.costs import KernelCostAccounting
 from repro.kernel.pager.handler import ActionTally
+
+#: Version of the serialized-result schema.  Bump on any incompatible
+#: change to :meth:`SimulationResult.to_dict`; mismatches raise
+#: :class:`~repro.common.errors.ResultSchemaError` on load.
+RESULT_SCHEMA_VERSION = 1
+
+
+def check_schema(data: Dict, kind: str) -> None:
+    """Validate a serialized result's kind and schema version.
+
+    Raises :class:`ResultSchemaError` with an actionable message when the
+    payload was written by an incompatible version of this code (or is not
+    a result dict at all).
+    """
+    got_kind = data.get("kind")
+    if got_kind != kind:
+        raise ResultSchemaError(
+            f"expected a {kind!r} result, got kind={got_kind!r}"
+        )
+    version = data.get("schema_version")
+    if version != RESULT_SCHEMA_VERSION:
+        raise ResultSchemaError(
+            f"serialized {kind} result has schema_version={version!r}; "
+            f"this code reads version {RESULT_SCHEMA_VERSION} — "
+            "regenerate the artifact (or clear the experiment cache)"
+        )
 
 
 @dataclass
@@ -172,6 +200,60 @@ class SimulationResult:
             "user instr stall %": 100.0 * self.stall.user_instr_ns / non_idle,
             "user data stall %": 100.0 * self.stall.user_data_ns / non_idle,
         }
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Versioned, JSON-safe snapshot of the whole result.
+
+        Everything the tables and figures read — the stall breakdown, the
+        action tally, the cost accounting, contention and the metrics
+        namespace — round-trips through :meth:`from_dict`, which is what
+        lets the experiment cache persist full-system runs.
+        """
+        return {
+            "kind": "system",
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "workload": self.workload,
+            "policy": self.policy,
+            "machine": self.machine,
+            "compute_time_ns": self.compute_time_ns,
+            "idle_time_ns": self.idle_time_ns,
+            "stall": dataclasses.asdict(self.stall),
+            "accounting": self.accounting.to_dict(),
+            "tally": self.tally.to_dict(),
+            "contention": dataclasses.asdict(self.contention),
+            "collapses": self.collapses,
+            "base_pages": self.base_pages,
+            "peak_replica_frames": self.peak_replica_frames,
+            "extra": dict(self.extra),
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises :class:`~repro.common.errors.ResultSchemaError` when the
+        payload's kind or schema version does not match this code.
+        """
+        check_schema(data, "system")
+        return cls(
+            workload=data["workload"],
+            policy=data["policy"],
+            machine=data["machine"],
+            compute_time_ns=float(data["compute_time_ns"]),
+            idle_time_ns=float(data["idle_time_ns"]),
+            stall=StallBreakdown(**data["stall"]),
+            accounting=KernelCostAccounting.from_dict(data["accounting"]),
+            tally=ActionTally.from_dict(data["tally"]),
+            contention=ContentionStats(**data["contention"]),
+            collapses=int(data["collapses"]),
+            base_pages=int(data["base_pages"]),
+            peak_replica_frames=int(data["peak_replica_frames"]),
+            extra={k: float(v) for k, v in data["extra"].items()},
+            metrics={k: float(v) for k, v in data["metrics"].items()},
+        )
 
     # -- Section 7.2.3 view ----------------------------------------------------------
 

@@ -43,6 +43,7 @@ from repro.policy.placement import (
     round_robin_placement,
     static_stall_ns,
 )
+from repro.sim.results import RESULT_SCHEMA_VERSION, check_schema
 from repro.trace.record import Trace
 from repro.trace.tlbsim import derive_tlb_trace
 
@@ -134,6 +135,48 @@ class PolicySimResult:
         """Run time normalised to another policy's (Figure 6 style)."""
         base = baseline.run_time_ns(other_ns)
         return self.run_time_ns(other_ns) / base if base else 0.0
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Versioned, JSON-safe snapshot (see :meth:`from_dict`)."""
+        return {
+            "kind": "trace",
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "label": self.label,
+            "total_misses": self.total_misses,
+            "local_misses": self.local_misses,
+            "stall_ns": self.stall_ns,
+            "overhead_ns": self.overhead_ns,
+            "migrations": self.migrations,
+            "replications": self.replications,
+            "collapses": self.collapses,
+            "hot_events": self.hot_events,
+            "no_actions": self.no_actions,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PolicySimResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises :class:`~repro.common.errors.ResultSchemaError` on a kind
+        or schema-version mismatch.
+        """
+        check_schema(data, "trace")
+        return cls(
+            label=data["label"],
+            total_misses=int(data["total_misses"]),
+            local_misses=int(data["local_misses"]),
+            stall_ns=float(data["stall_ns"]),
+            overhead_ns=float(data["overhead_ns"]),
+            migrations=int(data["migrations"]),
+            replications=int(data["replications"]),
+            collapses=int(data["collapses"]),
+            hot_events=int(data["hot_events"]),
+            no_actions=int(data["no_actions"]),
+            extra={k: float(v) for k, v in data["extra"].items()},
+        )
 
 
 class TracePolicySimulator:

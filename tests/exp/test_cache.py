@@ -1,0 +1,167 @@
+"""The content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.exp.cache import (
+    CODE_TOKEN_ENV,
+    ResultCache,
+    cache_key,
+    code_version_token,
+    default_cache_dir,
+)
+from repro.exp.spec import ExperimentSpec
+from repro.kernel.pager.costs import CostCategory, KernelCostAccounting, OpType
+from repro.policy.decision import Reason
+from repro.sim.results import SimulationResult
+from repro.trace.policysim import PolicySimResult
+
+
+def make_system_result() -> SimulationResult:
+    r = SimulationResult(
+        workload="database", policy="Mig/Rep", machine="CC-NUMA",
+        compute_time_ns=2000.0, idle_time_ns=500.0,
+    )
+    r.stall.add(1000.0, 10, is_kernel=False, is_instr=False, is_remote=True)
+    r.stall.add(300.0, 3, is_kernel=True, is_instr=True, is_remote=False)
+    r.accounting.charge(CostCategory.PAGE_COPY, 4000.0, op=OpType.MIGRATION)
+    r.accounting.finish_op(OpType.MIGRATION, 4100.0)
+    r.tally.hot_pages = 2
+    r.tally.migrated = 1
+    r.tally.no_action = 1
+    r.tally.reasons[Reason.UNSHARED] = 1
+    r.metrics["machine.cache.misses"] = 13.0
+    return r
+
+
+def make_trace_result() -> PolicySimResult:
+    return PolicySimResult(
+        label="Mig/Rep", total_misses=100, local_misses=60,
+        stall_ns=66_000.0, overhead_ns=700_000.0,
+        migrations=2, replications=1, extra={"local_stall_ns": 18_000.0},
+    )
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec(workload="database", scale=0.05)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(directory=tmp_path, token="test-token")
+
+
+class TestKeys:
+    def test_key_depends_on_spec_and_token(self, spec):
+        other = spec.replace(seed=1)
+        assert cache_key(spec, "t") != cache_key(other, "t")
+        assert cache_key(spec, "t1") != cache_key(spec, "t2")
+
+    def test_token_env_override(self, monkeypatch):
+        monkeypatch.setenv(CODE_TOKEN_ENV, "pinned")
+        assert code_version_token() == "pinned"
+
+    def test_token_hashes_sources(self, monkeypatch):
+        monkeypatch.delenv(CODE_TOKEN_ENV, raising=False)
+        token = code_version_token(refresh=True)
+        assert len(token) == 64
+        assert token == code_version_token()
+
+    def test_default_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert default_cache_dir() == tmp_path / "c"
+
+
+class TestHitMiss:
+    def test_miss_on_empty(self, cache, spec):
+        assert cache.get(spec) is None
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "stores": 0, "invalidations": 0,
+        }
+
+    def test_system_result_round_trip(self, cache, spec):
+        stored = make_system_result()
+        cache.put(spec, stored)
+        got = cache.get(spec)
+        assert got is not None
+        assert got.to_dict() == stored.to_dict()
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_trace_result_round_trip(self, cache):
+        spec = ExperimentSpec(
+            workload="splash", kind="trace", policy="migrep", trigger=64
+        )
+        stored = make_trace_result()
+        cache.put(spec, stored)
+        got = cache.get(spec)
+        assert got.to_dict() == stored.to_dict()
+
+    def test_entries_keyed_separately(self, cache, spec):
+        cache.put(spec, make_system_result())
+        assert cache.get(spec.replace(seed=9)) is None
+        assert len(cache) == 1
+
+    def test_token_change_invalidates(self, tmp_path, spec):
+        ResultCache(directory=tmp_path, token="a").put(
+            spec, make_system_result()
+        )
+        assert ResultCache(directory=tmp_path, token="b").get(spec) is None
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_miss_and_dropped(self, cache, spec):
+        cache.put(spec, make_system_result())
+        path = cache.path_for(spec)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(spec) is None
+        assert not path.exists()
+        assert cache.stats()["invalidations"] == 1
+
+    def test_schema_version_mismatch_is_miss(self, cache, spec):
+        cache.put(spec, make_system_result())
+        path = cache.path_for(spec)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["result"]["schema_version"] = 999
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(spec) is None
+        assert not path.exists()
+
+    def test_unknown_result_kind_is_miss(self, cache, spec):
+        cache.put(spec, make_system_result())
+        path = cache.path_for(spec)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["result"]["kind"] = "quantum"
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(spec) is None
+
+
+class TestMaintenance:
+    def test_atomic_put_leaves_no_temp_files(self, cache, spec):
+        cache.put(spec, make_system_result())
+        leftovers = list(cache.directory.rglob(".tmp-*"))
+        assert leftovers == []
+
+    def test_invalidate(self, cache, spec):
+        cache.put(spec, make_system_result())
+        assert cache.invalidate(spec)
+        assert not cache.invalidate(spec)
+        assert cache.get(spec) is None
+
+    def test_clear_and_len(self, cache, spec):
+        cache.put(spec, make_system_result())
+        cache.put(spec.replace(seed=1), make_system_result())
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_shared_metrics_registry(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResultCache(
+            directory=tmp_path, metrics=registry, token="t"
+        )
+        cache.get(ExperimentSpec(workload="database"))
+        assert registry.counter("exp.cache.misses").value == 1

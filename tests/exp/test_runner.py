@@ -1,0 +1,161 @@
+"""The sweep runner: determinism, parallelism, retries, timeouts.
+
+The fault hooks live at module level so they stay picklable for the
+process-pool path.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.runner import SweepRunner, derive_seed, execute_spec
+from repro.exp.spec import ExperimentSpec, sweep
+
+SCALE = 0.02
+
+
+def trace_specs(n=4):
+    """Small, cheap trace-driven specs (one per workload)."""
+    return sweep(
+        ("database", "splash", "raytrace", "engineering")[:n],
+        kinds=("trace",), policies=("ft",), scales=(SCALE,),
+    )
+
+
+def canonical(results):
+    return [
+        json.dumps(r.to_dict(), sort_keys=True, separators=(",", ":"))
+        for r in results
+    ]
+
+
+def fail_first(spec, attempt):
+    if attempt == 0:
+        raise RuntimeError("injected fault")
+
+
+def always_fail(spec, attempt):
+    raise RuntimeError("persistent fault")
+
+
+def hang_first(spec, attempt):
+    if attempt == 0:
+        time.sleep(1.0)
+
+
+class TestExecuteSpec:
+    def test_system_and_trace_kinds(self):
+        system = execute_spec(
+            ExperimentSpec(workload="database", scale=SCALE, policy="ft")
+        )
+        assert system.to_dict()["kind"] == "system"
+        trace = execute_spec(
+            ExperimentSpec(
+                workload="database", scale=SCALE, kind="trace", policy="ft"
+            )
+        )
+        assert trace.to_dict()["kind"] == "trace"
+        assert trace.total_misses > 0
+
+    def test_deterministic(self):
+        spec = ExperimentSpec(
+            workload="database", scale=SCALE, kind="trace", policy="migrep"
+        )
+        assert canonical([execute_spec(spec)]) == canonical([execute_spec(spec)])
+
+    def test_derive_seed_is_per_spec(self):
+        a = ExperimentSpec(workload="database")
+        assert derive_seed(a) == derive_seed(a)
+        assert derive_seed(a) != derive_seed(a.replace(seed=1))
+
+
+class TestSerial:
+    def test_runs_all_specs_in_order(self):
+        specs = trace_specs(2)
+        report = SweepRunner(jobs=1).run(specs)
+        assert [o.spec for o in report.outcomes] == specs
+        assert report.failures == []
+        assert report.executed == 2
+        assert report.from_cache == 0
+        assert all(o.attempts == 1 for o in report.outcomes)
+
+    def test_progress_callback(self):
+        seen = []
+        runner = SweepRunner(
+            jobs=1, progress=lambda o, done, total: seen.append((done, total))
+        )
+        runner.run(trace_specs(2))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_retry_recovers(self):
+        report = SweepRunner(jobs=1, retries=1, fault_hook=fail_first).run(
+            trace_specs(1)
+        )
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.error is None
+
+    def test_retries_exhausted(self):
+        report = SweepRunner(jobs=1, retries=1, fault_hook=always_fail).run(
+            trace_specs(1)
+        )
+        outcome = report.outcomes[0]
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert "persistent fault" in outcome.error
+        assert report.failures == [outcome]
+
+
+class TestCacheIntegration:
+    def test_second_run_fully_cached(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, token="t")
+        specs = trace_specs(2)
+        cold = SweepRunner(cache=cache, jobs=1).run(specs)
+        assert cold.executed == 2 and cold.from_cache == 0
+
+        warm = SweepRunner(
+            cache=ResultCache(directory=tmp_path, token="t"), jobs=1
+        ).run(specs)
+        assert warm.executed == 0 and warm.from_cache == 2
+        assert canonical(warm.results) == canonical(cold.results)
+
+    def test_failed_specs_not_cached(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, token="t")
+        SweepRunner(
+            cache=cache, jobs=1, retries=0, fault_hook=always_fail
+        ).run(trace_specs(1))
+        assert len(cache) == 0
+
+
+class TestParallel:
+    def test_matches_serial_byte_for_byte(self):
+        specs = trace_specs(4)
+        serial = SweepRunner(jobs=1).run(specs)
+        parallel = SweepRunner(jobs=4).run(specs)
+        assert parallel.failures == []
+        assert parallel.jobs == 4
+        assert canonical(parallel.results) == canonical(serial.results)
+
+    def test_pool_failure_retried_serially(self):
+        report = SweepRunner(jobs=2, retries=1, fault_hook=fail_first).run(
+            trace_specs(2)
+        )
+        assert report.failures == []
+        assert all(o.attempts == 2 for o in report.outcomes)
+
+    def test_timeout_retried_serially(self):
+        report = SweepRunner(
+            jobs=2, timeout_s=0.05, retries=1, fault_hook=hang_first
+        ).run(trace_specs(2))
+        assert report.failures == []
+        assert all(o.attempts >= 2 for o in report.outcomes)
+
+    def test_parallel_populates_shared_cache(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, token="t")
+        specs = trace_specs(2)
+        report = SweepRunner(cache=cache, jobs=2).run(specs)
+        assert report.failures == []
+        assert len(cache) == 2

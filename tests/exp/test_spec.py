@@ -1,0 +1,206 @@
+"""Experiment specs: validation, hashing, round-trips, grid expansion."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.exp.spec import (
+    FIG9_TRIGGERS,
+    SPEC_SCHEMA_VERSION,
+    TRACE_POLICIES,
+    USER_WORKLOADS,
+    ExperimentSpec,
+    figure3_grid,
+    figure6_grid,
+    figure9_grid,
+    machine_for,
+    params_for,
+    sweep,
+)
+from repro.kernel.vm.shootdown import ShootdownMode
+from repro.policy.parameters import PolicyParameters
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = ExperimentSpec(workload="database")
+        assert spec.kind == "system"
+        assert spec.policy == "migrep"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="nope")
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", scale=1.5)
+
+    def test_bad_machine(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", machine="sgi")
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", kind="hardware")
+
+    def test_policy_kind_mismatch(self):
+        # rr is trace-only; the full-system simulator has no RR placement.
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", kind="system", policy="rr")
+        ExperimentSpec(workload="database", kind="trace", policy="rr")
+
+    def test_bad_trigger(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", trigger=0)
+
+    def test_bad_shootdown(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", shootdown="none")
+
+    def test_bad_metric(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(workload="database", metric="TLB")
+
+
+class TestDerived:
+    def test_dynamic(self):
+        assert ExperimentSpec(workload="database", policy="migrep").dynamic
+        assert ExperimentSpec(
+            workload="database", kind="trace", policy="migr"
+        ).dynamic
+        assert not ExperimentSpec(workload="database", policy="ft").dynamic
+
+    def test_params_per_workload_default(self):
+        assert (
+            params_for("engineering", None).trigger_threshold
+            == PolicyParameters.engineering_base().trigger_threshold
+        )
+        assert (
+            params_for("database", None).trigger_threshold
+            == PolicyParameters.base().trigger_threshold
+        )
+
+    def test_params_trigger_override(self):
+        spec = ExperimentSpec(workload="engineering", trigger=32)
+        assert spec.params().trigger_threshold == 32
+
+    def test_params_single_mechanism(self):
+        migr = ExperimentSpec(workload="database", kind="trace", policy="migr")
+        assert migr.params().enable_migration
+        assert not migr.params().enable_replication
+        repl = ExperimentSpec(workload="database", kind="trace", policy="repl")
+        assert not repl.params().enable_migration
+        assert repl.params().enable_replication
+
+    def test_params_hotspot(self):
+        spec = ExperimentSpec(workload="database", hotspot=True)
+        assert spec.params().hotspot_migration
+
+    def test_shootdown_mode(self):
+        assert (
+            ExperimentSpec(workload="database").shootdown_mode()
+            is ShootdownMode.ALL_CPUS
+        )
+        assert (
+            ExperimentSpec(
+                workload="database", shootdown="tracked"
+            ).shootdown_mode()
+            is ShootdownMode.TRACKED
+        )
+
+    def test_machine_for(self):
+        spec = ExperimentSpec(workload="database")
+        from repro.workloads import build_spec
+
+        wspec = build_spec("database", scale=0.02)
+        machine = machine_for(spec.machine, wspec)
+        assert machine.n_cpus == wspec.n_cpus
+
+    def test_label(self):
+        spec = ExperimentSpec(
+            workload="splash", kind="trace", policy="migrep", trigger=64
+        )
+        assert spec.label() == "trace:splash:migrep:t64"
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = ExperimentSpec(
+            workload="raytrace", scale=0.1, seed=3, kind="trace",
+            policy="migrep", trigger=64, metric="SC",
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = ExperimentSpec(workload="database", shootdown="tracked")
+        restored = ExperimentSpec.from_dict(
+            json.loads(spec.canonical_json())
+        )
+        assert restored == spec
+
+    def test_hash_stable_across_dict_ordering(self):
+        spec = ExperimentSpec(workload="database", kind="trace", policy="ft")
+        data = spec.to_dict()
+        shuffled = dict(reversed(list(data.items())))
+        assert list(shuffled) != list(data)
+        assert ExperimentSpec.from_dict(shuffled).spec_hash() == spec.spec_hash()
+
+    def test_hash_differs_across_fields(self):
+        base = ExperimentSpec(workload="database")
+        assert base.spec_hash() != base.replace(seed=1).spec_hash()
+        assert base.spec_hash() != base.replace(scale=0.5).spec_hash()
+        assert base.spec_hash() != base.replace(policy="ft").spec_hash()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = ExperimentSpec(workload="database").to_dict()
+        data["frobnicate"] = True
+        with pytest.raises(ConfigurationError, match="unknown spec fields"):
+            ExperimentSpec.from_dict(data)
+
+    def test_from_dict_rejects_other_version(self):
+        data = ExperimentSpec(workload="database").to_dict()
+        data["spec_version"] = SPEC_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError, match="spec_version"):
+            ExperimentSpec.from_dict(data)
+
+    def test_replace_revalidates(self):
+        spec = ExperimentSpec(workload="database")
+        with pytest.raises(ConfigurationError):
+            spec.replace(scale=2.0)
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        specs = sweep(
+            ("database", "splash"), kinds=("trace",),
+            policies=("ft", "migrep"), triggers=(None, 64),
+        )
+        assert len(specs) == 8
+        # Workloads vary outermost.
+        assert [s.workload for s in specs[:4]] == ["database"] * 4
+
+    def test_common_kwargs(self):
+        specs = sweep(("database",), shootdown="tracked")
+        assert all(s.shootdown == "tracked" for s in specs)
+
+    def test_invalid_combination_raises(self):
+        with pytest.raises(ConfigurationError):
+            sweep(("database",), kinds=("system",), policies=("rr",))
+
+    def test_figure_grids(self):
+        fig3 = figure3_grid(scale=0.1, seed=2)
+        assert len(fig3) == len(USER_WORKLOADS) * 2
+        assert all(s.kind == "system" for s in fig3)
+        assert all(s.scale == 0.1 and s.seed == 2 for s in fig3)
+
+        fig6 = figure6_grid()
+        assert len(fig6) == len(USER_WORKLOADS) * len(TRACE_POLICIES)
+        assert all(s.kind == "trace" for s in fig6)
+
+        fig9 = figure9_grid()
+        assert len(fig9) == len(USER_WORKLOADS) * len(FIG9_TRIGGERS)
+        assert all(s.policy == "migrep" for s in fig9)
+        assert {s.trigger for s in fig9} == set(FIG9_TRIGGERS)

@@ -71,3 +71,65 @@ class TestSimulationResult:
     def test_replication_overhead_no_pages(self):
         r = self.make()
         assert r.replication_space_overhead == 0.0
+
+
+class TestSerialization:
+    def make(self):
+        from repro.kernel.pager.costs import CostCategory, OpType
+        from repro.policy.decision import Reason
+
+        r = SimulationResult(
+            workload="database", policy="Mig/Rep", machine="CC-NUMA",
+            compute_time_ns=2000.0, idle_time_ns=500.0,
+            collapses=2, base_pages=100, peak_replica_frames=8,
+        )
+        r.stall.add(1000.0, 10, is_kernel=False, is_instr=False, is_remote=True)
+        r.stall.add(250.0, 2, is_kernel=True, is_instr=True, is_remote=False)
+        r.accounting.charge(
+            CostCategory.PAGE_COPY, 4000.0, op=OpType.MIGRATION
+        )
+        r.accounting.finish_op(OpType.MIGRATION, 4200.0)
+        r.tally.hot_pages = 3
+        r.tally.migrated = 1
+        r.tally.no_action = 2
+        r.tally.reasons[Reason.UNSHARED] = 1
+        r.contention.remote_handler_invocations = 7
+        r.extra["interval_count"] = 4.0
+        r.metrics["machine.cache.misses"] = 12.0
+        return r
+
+    def test_round_trip(self):
+        original = self.make()
+        data = original.to_dict()
+        assert data["kind"] == "system"
+        restored = SimulationResult.from_dict(data)
+        assert restored.to_dict() == data
+        assert restored.execution_time_ns == original.execution_time_ns
+        assert restored.local_miss_fraction == original.local_miss_fraction
+        assert restored.kernel_overhead_ns == original.kernel_overhead_ns
+        assert restored.tally.reasons == original.tally.reasons
+
+    def test_json_safe(self):
+        import json
+
+        data = json.loads(json.dumps(self.make().to_dict()))
+        assert SimulationResult.from_dict(data).to_dict() == self.make().to_dict()
+
+    def test_wrong_kind_raises(self):
+        from repro.common.errors import ResultSchemaError
+        from repro.sim.results import check_schema
+
+        data = self.make().to_dict()
+        data["kind"] = "trace"
+        with pytest.raises(ResultSchemaError, match="expected a 'system'"):
+            SimulationResult.from_dict(data)
+        with pytest.raises(ResultSchemaError):
+            check_schema({}, "system")
+
+    def test_wrong_version_raises(self):
+        from repro.common.errors import ResultSchemaError
+
+        data = self.make().to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(ResultSchemaError, match="schema_version=999"):
+            SimulationResult.from_dict(data)

@@ -206,3 +206,92 @@ def test_tracesim_trace_out(tmp_path, capsys):
         "hot-page", "migration", "replication", "no-action",
         "collapse", "interval-reset",
     }
+
+
+def _sweep_args(tmp_path, *extra):
+    return [
+        "sweep", "--scale", "0.02",
+        "--cache-dir", str(tmp_path / "cache"), "--out", "",
+        *extra,
+    ]
+
+
+def test_sweep_custom_grid_cold_then_warm(tmp_path, capsys):
+    stats_path = tmp_path / "stats.json"
+    args = _sweep_args(
+        tmp_path, "--workloads", "database", "--kind", "trace",
+        "--policies", "ft,migrep", "--stats-out", str(stats_path),
+    )
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "trace:database:ft" in out
+    assert "trace:database:migrep" in out
+    with open(stats_path) as fh:
+        cold = json.load(fh)
+    assert cold["specs"] == 2
+    assert cold["executed"] == 2
+    assert cold["from_cache"] == 0
+
+    assert main(args) == 0
+    assert "cache" in capsys.readouterr().out
+    with open(stats_path) as fh:
+        warm = json.load(fh)
+    assert warm["executed"] == 0
+    assert warm["from_cache"] == 2
+    assert warm["cache"]["hits"] == 2
+
+
+def test_sweep_no_cache(tmp_path, capsys):
+    stats_path = tmp_path / "stats.json"
+    assert main(_sweep_args(
+        tmp_path, "--workloads", "database", "--kind", "trace",
+        "--policies", "ft", "--no-cache", "--stats-out", str(stats_path),
+    )) == 0
+    with open(stats_path) as fh:
+        stats = json.load(fh)
+    assert stats["cache"] is None
+    assert stats["executed"] == 1
+
+
+def test_sweep_trigger_list(tmp_path, capsys):
+    assert main(_sweep_args(
+        tmp_path, "--workloads", "database", "--kind", "trace",
+        "--triggers", "paper,64",
+    )) == 0
+    out = capsys.readouterr().out
+    assert "trace:database:migrep:t64" in out
+
+
+def test_sweep_writes_timing_artifact(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    assert main([
+        "sweep", "--workloads", "database", "--kind", "trace",
+        "--policies", "ft", "--scale", "0.02",
+        "--cache-dir", str(tmp_path / "cache"), "--out", str(out_dir),
+    ]) == 0
+    timing = (out_dir / "sweep_custom_timing.txt").read_text()
+    assert "specs:      1" in timing
+    assert "wall clock:" in timing
+
+
+def test_sweep_without_grid_or_workloads_errors(tmp_path, capsys):
+    assert main(_sweep_args(tmp_path)) == 2
+    assert "pick a grid" in capsys.readouterr().err
+
+
+def test_figures_fig9_cold_then_warm(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    args = [
+        "figures", "--figure", "fig9", "--scale", "0.02",
+        "--cache-dir", str(tmp_path / "cache"), "--out", str(out_dir),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9" in out
+    assert (out_dir / "fig9_trigger.txt").exists()
+    assert (out_dir / "sweep_fig9_timing.txt").exists()
+    cold_table = (out_dir / "fig9_trigger.txt").read_text()
+
+    assert main(args) == 0
+    assert "16 from cache" in capsys.readouterr().out
+    assert (out_dir / "fig9_trigger.txt").read_text() == cold_table

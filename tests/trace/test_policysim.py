@@ -233,3 +233,39 @@ class TestCompetitiveBaseline:
             ours.migrations + ours.replications + ours.collapses
             <= competitive.migrations + competitive.collapses
         )
+
+
+class TestSerialization:
+    def test_round_trip_from_real_run(self, sim):
+        trace = build(
+            [(t, t % 4, t % 4, t % 3, 10 + t) for t in range(40)]
+        )
+        original = sim.simulate_dynamic(trace, fast_params(), FULL_TLB)
+        data = original.to_dict()
+        assert data["kind"] == "trace"
+        restored = PolicySimResult.from_dict(data)
+        assert restored.to_dict() == data
+        assert restored.local_fraction == original.local_fraction
+        assert restored.run_time_ns() == original.run_time_ns()
+
+    def test_json_safe(self):
+        import json
+
+        original = PolicySimResult(
+            label="FT", total_misses=10, local_misses=4,
+            stall_ns=9000.0, extra={"local_stall_ns": 1200.0},
+        )
+        data = json.loads(json.dumps(original.to_dict()))
+        assert PolicySimResult.from_dict(data).to_dict() == original.to_dict()
+
+    def test_schema_mismatch_raises(self):
+        from repro.common.errors import ResultSchemaError
+
+        data = PolicySimResult(label="FT").to_dict()
+        data["schema_version"] = 0
+        with pytest.raises(ResultSchemaError):
+            PolicySimResult.from_dict(data)
+        data = PolicySimResult(label="FT").to_dict()
+        data["kind"] = "system"
+        with pytest.raises(ResultSchemaError):
+            PolicySimResult.from_dict(data)
