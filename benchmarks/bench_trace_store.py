@@ -1,0 +1,114 @@
+"""Trace store economics: what record-once/replay-many actually buys.
+
+Two measurements back docs/TRACESTORE.md's performance claims:
+
+* **wall clock** — generating each workload trace from its spec versus
+  replaying the recorded container (zlib decode + validation).  The
+  ratio is what every warm sweep worker and repeat bench session saves.
+* **peak memory** — materialising the container in one go
+  (``read_trace``) versus streaming it chunk by chunk (``iter_chunks``),
+  measured with ``tracemalloc`` on the largest workload trace.
+"""
+
+import time
+import tracemalloc
+
+from conftest import ALL_WORKLOADS, BENCH_SCALE, BENCH_SEED
+
+from repro.analysis.tables import format_table
+from repro.store import TraceStore
+from repro.store.format import ContainerReader, write_container
+from repro.workloads import build_spec, generate_trace
+
+
+def test_trace_store_cold_vs_warm(tmp_path_factory, emit, once):
+    root = tmp_path_factory.mktemp("bench-traces")
+    store = TraceStore(root / "store", token="bench")
+
+    def compute():
+        measured = []
+        for name in ALL_WORKLOADS:
+            spec = build_spec(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+
+            t0 = time.perf_counter()
+            trace = generate_trace(spec)
+            generate_s = time.perf_counter() - t0
+
+            store.put(spec.identity(), trace)
+            t0 = time.perf_counter()
+            replayed = store.get(spec.identity(), meta=spec)
+            replay_s = time.perf_counter() - t0
+            assert replayed is not None and len(replayed) == len(trace)
+            measured.append((name, trace, generate_s, replay_s))
+        return measured
+
+    measured = once(compute)
+
+    rows = []
+    total_generate = total_replay = 0.0
+    for name, trace, generate_s, replay_s in measured:
+        total_generate += generate_s
+        total_replay += replay_s
+        rows.append([
+            name, len(trace), generate_s, replay_s,
+            generate_s / replay_s,
+        ])
+    speedup = total_generate / total_replay
+    rows.append(["(all)", sum(len(t) for _, t, _, _ in measured),
+                 total_generate, total_replay, speedup])
+
+    # Peak memory: stream vs materialize the largest trace, re-chunked
+    # small enough that the container is genuinely multi-chunk at any
+    # REPRO_BENCH_SCALE.
+    biggest = max(measured, key=lambda m: len(m[1]))[1]
+    path = root / "biggest.rptc"
+    write_container(path, biggest, chunk_records=max(4096, len(biggest) // 16))
+
+    def peak_of(fn):
+        tracemalloc.start()
+        try:
+            fn()
+            return tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    def materialize():
+        with ContainerReader(path) as reader:
+            reader.read_trace()
+
+    def stream():
+        with ContainerReader(path) as reader:
+            total = 0
+            for chunk in reader.iter_chunks():
+                total += chunk.total_misses
+            assert total == biggest.total_misses
+
+    materialized_peak = peak_of(materialize)
+    streaming_peak = peak_of(stream)
+
+    emit(
+        "trace_store",
+        format_table(
+            f"Trace store: cold generate vs warm replay "
+            f"(scale {BENCH_SCALE}, seed {BENCH_SEED})",
+            ["Workload", "Records", "Generate (s)", "Replay (s)", "Speedup"],
+            rows,
+            float_format="{:.3f}",
+        )
+        + "\n\n"
+        + format_table(
+            f"Streaming replay peak memory ({len(biggest)} records)",
+            ["Reader", "Peak (MB)", "vs materialized"],
+            [
+                ["read_trace", materialized_peak / 1e6, 1.0],
+                ["iter_chunks", streaming_peak / 1e6,
+                 streaming_peak / materialized_peak],
+            ],
+            float_format="{:.2f}",
+        ),
+    )
+
+    # Replay must beat regeneration, and streaming must bound memory.
+    assert speedup > 1.0, f"replay slower than generation: {speedup:.2f}x"
+    assert streaming_peak < materialized_peak, (streaming_peak,
+                                                materialized_peak)

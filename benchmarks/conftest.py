@@ -4,13 +4,21 @@ Every bench regenerates one of the paper's tables or figures.  The heavy
 inputs — the five workload traces and the FT / Mig/Rep full-system runs —
 are produced once per session and shared.
 
+The workload traces come through the shared
+:class:`repro.store.TraceStore` (``$REPRO_TRACE_DIR`` or
+``~/.cache/repro/traces``; see ``docs/TRACESTORE.md``): the first bench
+session records each trace once and every later session — and every
+``repro sweep`` / ``repro trace replay`` against the same store —
+replays the recording instead of regenerating it.  Set
+``REPRO_TRACE_STORE=0`` to force in-process regeneration.
+
 The full-system runs additionally go through the :mod:`repro.exp` result
 cache (same directory ``repro sweep`` uses — ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro/exp``), so a ``repro sweep --grid fig3`` warmed cache
 makes ``pytest benchmarks/`` skip the simulations entirely, and vice
-versa.  The cache is content-addressed on spec + code version, so it can
-never serve results from an older checkout; set ``REPRO_BENCH_NO_CACHE=1``
-to bypass it entirely.
+versa.  Both stores are content-addressed on identity + code version, so
+they can never serve results from an older checkout; set
+``REPRO_BENCH_NO_CACHE=1`` to bypass the result cache entirely.
 
 Scale defaults to 1.0 (the paper's full run lengths); set the environment
 variable ``REPRO_BENCH_SCALE`` to a smaller value for quick passes.

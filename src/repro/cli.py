@@ -12,7 +12,10 @@ The subcommands cover the common flows:
   decision histories, summaries and Chrome trace timelines;
 * ``repro sweep`` — run a grid of experiments in parallel through the
   content-addressed result cache (``docs/SWEEPS.md``);
-* ``repro figures`` — regenerate figure tables from (cached) sweeps.
+* ``repro figures`` — regenerate figure tables from (cached) sweeps;
+* ``repro trace`` — manage the record-once/replay-many trace store
+  (``docs/TRACESTORE.md``): ``record``, ``info``, ``verify``,
+  ``replay``.
 
 Examples::
 
@@ -25,6 +28,9 @@ Examples::
     repro inspect run.jsonl --page 512
     repro sweep --grid fig9 --jobs 4 --scale 0.25
     repro figures --figure fig9 --jobs 4
+    repro trace record --scale 0.25
+    repro trace verify --scale 0.25
+    repro trace replay --workload engineering --scale 0.25
 """
 
 from __future__ import annotations
@@ -70,7 +76,13 @@ from repro.trace.policysim import (
     StaticPolicy,
     TracePolicySimulator,
 )
-from repro.workloads import WORKLOAD_NAMES, load_workload
+from repro.trace.record import Trace
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    build_spec,
+    load_workload,
+    record_workload,
+)
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
@@ -405,6 +417,9 @@ def _make_sweep_runner(args: argparse.Namespace):
 
 def _sweep_stats(report: SweepReport, cache: Optional[ResultCache]) -> dict:
     """JSON-safe sweep accounting (``--stats-out``, CI assertions)."""
+    from repro.store import default_store
+
+    store = default_store()
     return {
         "specs": len(report.outcomes),
         "jobs": report.jobs,
@@ -413,6 +428,7 @@ def _sweep_stats(report: SweepReport, cache: Optional[ResultCache]) -> dict:
         "from_cache": report.from_cache,
         "failures": len(report.failures),
         "cache": cache.stats() if cache is not None else None,
+        "trace_store": store.stats() if store is not None else None,
     }
 
 
@@ -503,6 +519,187 @@ def cmd_figures(args: argparse.Namespace) -> int:
         stem, text = timing_summary(figure, report, args.scale, args.seed)
         _write_artifact(args.out, stem, text)
     return status
+
+
+def _trace_store_or_fail():
+    """The default trace store, or ``None`` (with a message) if disabled."""
+    from repro.store import default_store
+
+    store = default_store()
+    if store is None:
+        print(
+            "error: the trace store is disabled (REPRO_TRACE_STORE=0)",
+            file=sys.stderr,
+        )
+    return store
+
+
+def _trace_workload_names(args: argparse.Namespace) -> List[str]:
+    return [args.workload] if args.workload else list(WORKLOAD_NAMES)
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    """Record workload traces into the store (skip what is recorded)."""
+    from repro.store import ContainerReader
+
+    store = _trace_store_or_fail()
+    if store is None:
+        return 2
+    rows = []
+    for name in _trace_workload_names(args):
+        spec = build_spec(name, scale=args.scale, seed=args.seed)
+        if args.force:
+            store.invalidate(spec.identity())
+        _, already = record_workload(
+            name, scale=args.scale, seed=args.seed, store=store
+        )
+        path = store.path_for(spec.identity())
+        with ContainerReader(path) as reader:
+            rows.append(
+                [name, "recorded" if not already else "kept",
+                 reader.n_records, len(reader.chunks),
+                 path.stat().st_size / 1e6]
+            )
+    print(
+        format_table(
+            f"Trace store {store.directory} (scale {args.scale}, "
+            f"seed {args.seed})",
+            ["Workload", "Status", "Records", "Chunks", "MB"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    """Describe the store: location, code token, recorded containers."""
+    from repro.common.errors import TraceError as _TraceError
+    from repro.store import ContainerReader
+
+    store = _trace_store_or_fail()
+    if store is None:
+        return 2
+    print(f"directory: {store.directory}")
+    print(f"generator code token: {store.token[:16]}...")
+    rows = []
+    for path in store.containers():
+        try:
+            with ContainerReader(path) as reader:
+                ident = reader.identity or {}
+                rows.append(
+                    [ident.get("name", "?"), str(ident.get("scale", "?")),
+                     ident.get("seed", "?"), reader.n_records,
+                     len(reader.chunks), path.stat().st_size / 1e6,
+                     "current" if path == store.path_for(ident) else "stale"]
+                )
+        except (_TraceError, OSError) as exc:
+            rows.append([path.name[:12], "?", "?", "?", "?", "?",
+                         f"unreadable: {exc}"])
+    if not rows:
+        print("no recorded traces")
+        return 0
+    print(
+        format_table(
+            f"{len(rows)} recorded trace(s)",
+            ["Workload", "Scale", "Seed", "Records", "Chunks", "MB",
+             "Status"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_trace_verify(args: argparse.Namespace) -> int:
+    """Checksum-verify recorded containers; exit 1 on any failure."""
+    from repro.common.errors import TraceError as _TraceError
+    from repro.store import ContainerReader
+
+    store = _trace_store_or_fail()
+    if store is None:
+        return 2
+    rows = []
+    failed = False
+    for name in _trace_workload_names(args):
+        spec = build_spec(name, scale=args.scale, seed=args.seed)
+        path = store.path_for(spec.identity())
+        if not path.is_file():
+            rows.append([name, "MISSING", "not recorded"])
+            failed = True
+            continue
+        try:
+            with ContainerReader(path) as reader:
+                report = reader.verify()
+        except _TraceError as exc:
+            rows.append([name, "FAIL", str(exc)])
+            failed = True
+            continue
+        rows.append(
+            [name, "PASS",
+             f"{report['records']} records / {report['chunks']} chunks"]
+        )
+    print(
+        format_table(
+            f"Trace verification (scale {args.scale}, seed {args.seed})",
+            ["Workload", "Verdict", "Detail"],
+            rows,
+        )
+    )
+    return 1 if failed else 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Stream a recorded trace through the dynamic policy simulator.
+
+    Chunks are decoded one at a time (peak memory is bounded by one
+    chunk, not the trace), which is the point: a recorded trace replays
+    under any policy without regenerating or materializing it.
+    """
+    from repro.common.errors import TraceStoreError
+
+    store = _trace_store_or_fail()
+    if store is None:
+        return 2
+    spec = build_spec(args.workload, scale=args.scale, seed=args.seed)
+    sim = TracePolicySimulator(
+        PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    )
+    factories = {
+        "migr": PolicyParameters.migration_only,
+        "repl": PolicyParameters.replication_only,
+        "migrep": PolicyParameters.base,
+    }
+    trigger = params_for(args.workload, args.trigger).trigger_threshold
+    params = factories[args.policy](trigger_threshold=trigger)
+    select = Trace.kernel_only if args.kernel else Trace.user_only
+    try:
+        chunks = (
+            select(chunk)
+            for chunk in store.iter_chunks(spec.identity(), meta=spec)
+        )
+        result = sim.simulate_dynamic_chunks(chunks, params)
+    except TraceStoreError as exc:
+        print(
+            f"error: {exc}\nrecord it first: repro trace record "
+            f"--workload {args.workload} --scale {args.scale} "
+            f"--seed {args.seed}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        format_table(
+            f"{args.workload} (scale {args.scale}): streamed replay",
+            ["Policy", "Local %", "Stall (s)", "Overhead (s)", "Ops"],
+            [[result.label, result.local_fraction * 100,
+              result.stall_ns / 1e9, result.overhead_ns / 1e9,
+              result.migrations + result.replications + result.collapses]],
+        )
+    )
+    stats = store.stats()
+    print(
+        f"\nstore: {stats['hits']} hit(s), {stats['bytes_read']} bytes "
+        f"read, {stats['decode_seconds']:.3f} s decoding"
+    )
+    return 0
 
 
 def _add_scale_seed(
@@ -709,6 +906,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_options(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="manage the record-once/replay-many trace store",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = trace_sub.add_parser(
+        "record", help="record workload traces into the store"
+    )
+    tp.add_argument(
+        "--workload", choices=WORKLOAD_NAMES, default=None,
+        help="one workload (default: all five)",
+    )
+    _add_scale_seed(tp)
+    tp.add_argument(
+        "--force", action="store_true",
+        help="re-record even when a current recording exists",
+    )
+    tp.set_defaults(func=cmd_trace_record)
+
+    tp = trace_sub.add_parser(
+        "info", help="show the store location and recorded containers"
+    )
+    tp.set_defaults(func=cmd_trace_info)
+
+    tp = trace_sub.add_parser(
+        "verify", help="checksum-verify recorded containers"
+    )
+    tp.add_argument(
+        "--workload", choices=WORKLOAD_NAMES, default=None,
+        help="one workload (default: all five)",
+    )
+    _add_scale_seed(tp)
+    tp.set_defaults(func=cmd_trace_verify)
+
+    tp = trace_sub.add_parser(
+        "replay",
+        help="stream a recorded trace through the policy simulator",
+    )
+    tp.add_argument(
+        "--workload", required=True, choices=WORKLOAD_NAMES,
+        help="which recorded workload to replay",
+    )
+    _add_scale_seed(tp)
+    tp.add_argument(
+        "--policy", choices=("migr", "repl", "migrep"), default="migrep",
+        help="dynamic policy to replay under (default migrep)",
+    )
+    tp.add_argument(
+        "--trigger", type=int, default=None,
+        help="trigger threshold (default: the paper's per-workload value)",
+    )
+    tp.add_argument(
+        "--kernel", action="store_true",
+        help="replay the kernel-mode records instead of user-mode",
+    )
+    tp.set_defaults(func=cmd_trace_replay)
 
     p = sub.add_parser(
         "figures",

@@ -39,6 +39,17 @@ class TraceError(ReproError):
     """A trace is malformed (unsorted timestamps, bad column, ...)."""
 
 
+class TraceStoreError(TraceError):
+    """A stored trace container is unusable.
+
+    Raised by the :mod:`repro.store` container reader for bad magic,
+    unsupported format versions, truncated payloads, and checksum
+    failures.  The :class:`~repro.store.tracestore.TraceStore` catches
+    it and degrades to a regenerate-and-rewrite miss; only direct
+    container access (``repro trace verify``) surfaces it to callers.
+    """
+
+
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
 

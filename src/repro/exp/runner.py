@@ -13,9 +13,15 @@ builds the machine and policy, and runs the right simulator.
 * **process pool** — misses run under a ``ProcessPoolExecutor`` with a
   configurable per-task timeout, degrading gracefully to in-process
   serial execution when ``jobs <= 1`` or a pool cannot be created; tasks
-  are submitted in chunks grouped by workload so each worker generates a
+  are submitted in chunks grouped by workload so each worker loads a
   workload's trace at most once (``load_workload`` memoises per
   process);
+* **record once, replay many** — before fanning out, each distinct
+  workload trace is recorded into the shared
+  :class:`~repro.store.TraceStore` (skipped when already recorded for
+  this generator code version), so pool workers *replay* traces instead
+  of regenerating them per process; with the store disabled
+  (``REPRO_TRACE_STORE=0``) workers regenerate as before;
 * **bounded retries** — a task that times out, crashes its worker, or
   raises is retried serially in-process up to ``retries`` times, so one
   flaky worker never sinks a long sweep;
@@ -255,6 +261,7 @@ class SweepRunner:
 
         if to_run:
             if self.jobs > 1 and len(to_run) > 1:
+                self._prewarm_traces([outcomes[i].spec for i in to_run])
                 retry = self._run_pool(outcomes, to_run, report)
             else:
                 retry = to_run
@@ -268,6 +275,32 @@ class SweepRunner:
         return report_obj
 
     # -- execution phases ------------------------------------------------------
+
+    @staticmethod
+    def _prewarm_traces(specs: Sequence[ExperimentSpec]) -> None:
+        """Record each distinct workload trace once before fanning out.
+
+        Pool workers then replay the recording from the shared
+        :class:`~repro.store.TraceStore` instead of regenerating the
+        trace in every worker process.  A no-op when the store is
+        disabled; a workload that fails to record is left for the
+        worker to surface (the sweep reports it per spec).
+        """
+        from repro.store import default_store
+        from repro.workloads import record_workload
+
+        if default_store() is None:
+            return
+        seen = set()
+        for spec in specs:
+            key = (spec.workload, spec.scale, spec.seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                record_workload(spec.workload, scale=spec.scale, seed=spec.seed)
+            except Exception:
+                pass
 
     def _finish(self, outcome: SweepOutcome, result: ResultType) -> None:
         outcome.result = result

@@ -1,0 +1,58 @@
+"""Versioned trace store: record once, replay many (docs/TRACESTORE.md).
+
+Two layers:
+
+* :mod:`repro.store.format` — the on-disk container: versioned header,
+  workload identity, column dtypes, per-chunk offsets and checksums,
+  zlib-compressed time-ordered chunk segments, and a streaming reader;
+* :mod:`repro.store.tracestore` — the content-addressed
+  :class:`TraceStore` keyed on canonical workload identity plus a
+  generator code-version token, with ``store.*`` metrics and
+  regenerate-on-corruption semantics.
+"""
+
+from repro.store.format import (
+    DEFAULT_CHUNK_RECORDS,
+    FORMAT_VERSION,
+    MAGIC,
+    ContainerReader,
+    read_container,
+    write_container,
+)
+from repro.store.tracestore import (
+    CONTAINER_SUFFIX,
+    GENERATOR_SOURCES,
+    TRACE_DIR_ENV,
+    TRACE_STORE_ENV,
+    TRACE_TOKEN_ENV,
+    TraceStore,
+    canonical_identity,
+    default_store,
+    default_store_dir,
+    generator_code_token,
+    reset_default_store,
+    store_enabled,
+    trace_key,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_RECORDS",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "ContainerReader",
+    "read_container",
+    "write_container",
+    "CONTAINER_SUFFIX",
+    "GENERATOR_SOURCES",
+    "TRACE_DIR_ENV",
+    "TRACE_STORE_ENV",
+    "TRACE_TOKEN_ENV",
+    "TraceStore",
+    "canonical_identity",
+    "default_store",
+    "default_store_dir",
+    "generator_code_token",
+    "reset_default_store",
+    "store_enabled",
+    "trace_key",
+]

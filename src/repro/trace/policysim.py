@@ -247,16 +247,90 @@ class TracePolicySimulator:
             params = params.scaled_for_sampling(metric.sampling_rate)
         result = PolicySimResult(label=label or self._default_label(params, metric))
         placement = self.placement_for(trace, initial)
-        copies: Dict[int, Set[int]] = {}
-        bank = MissCounterBank(cfg.n_cpus)
-        sampler = SamplingAccumulator(cfg.n_cpus, metric.sampling_rate)
-        armed: Set[int] = set()
+
+        def initial_node(page: int, cpu: int) -> int:
+            return int(placement[page])
 
         if driver_trace is None:
             events = self._single_stream_events(trace)
         else:
             events = self._merged_events(trace, driver_trace)
+        self._replay_dynamic(
+            events, params, result, initial_node,
+            sampling_rate=metric.sampling_rate,
+        )
+        return result
 
+    def simulate_dynamic_chunks(
+        self,
+        chunks,
+        params: PolicyParameters,
+        metric: Metric = FULL_CACHE,
+        label: Optional[str] = None,
+        initial: StaticPolicy = StaticPolicy.FIRST_TOUCH,
+    ) -> PolicySimResult:
+        """Streaming dynamic replay over time-ordered trace chunks.
+
+        ``chunks`` is any iterator of time-ordered sub-traces — most
+        usefully a :meth:`repro.store.ContainerReader.iter_chunks`
+        stream, so a stored trace replays with peak memory bounded by
+        one chunk instead of the whole trace.  For a first-touch or
+        round-robin initial placement the streamed result is
+        byte-identical to :meth:`simulate_dynamic` over the
+        concatenated trace (first-touch placement only ever consults a
+        page's first toucher, which streaming observes directly);
+        post-facto initial placement and TLB-driven metrics need the
+        whole trace up front and raise.
+        """
+        cfg = self.config
+        if metric.uses_tlb:
+            raise ConfigurationError(
+                "streaming replay drives counters from the cache-miss "
+                "stream (FC/SC); TLB-driven metrics need the whole "
+                "trace — use simulate_dynamic"
+            )
+        if metric.sampling_rate > 1:
+            params = params.scaled_for_sampling(metric.sampling_rate)
+        result = PolicySimResult(label=label or self._default_label(params, metric))
+        cpu_nodes = self._cpu_nodes
+        if initial is StaticPolicy.FIRST_TOUCH:
+            def initial_node(page: int, cpu: int) -> int:
+                return int(cpu_nodes[cpu])
+        elif initial is StaticPolicy.ROUND_ROBIN:
+            n_nodes = cfg.n_nodes
+
+            def initial_node(page: int, cpu: int) -> int:
+                return int(page % n_nodes)
+        else:
+            raise ConfigurationError(
+                "post-facto initial placement needs the whole trace; "
+                "use simulate_dynamic"
+            )
+        self._replay_dynamic(
+            self._chunk_stream_events(chunks), params, result, initial_node,
+            sampling_rate=metric.sampling_rate,
+        )
+        return result
+
+    def _replay_dynamic(
+        self,
+        events,
+        params: PolicyParameters,
+        result: PolicySimResult,
+        initial_node,
+        sampling_rate: int = 1,
+    ) -> None:
+        """The shared dynamic replay core.
+
+        ``events`` yields ``(time, cpu, page, weight, is_write, costs,
+        counts)`` tuples in time order; ``initial_node(page, cpu)``
+        supplies a page's placement the first time it is touched.
+        """
+        cfg = self.config
+        copies: Dict[int, Set[int]] = {}
+        bank = MissCounterBank(cfg.n_cpus)
+        sampler = SamplingAccumulator(cfg.n_cpus, sampling_rate)
+        armed: Set[int] = set()
         cpu_nodes = self._cpu_nodes
         local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
         op_cost = cfg.op_cost_ns
@@ -372,7 +446,7 @@ class TracePolicySimulator:
                     next_reset += params.reset_interval_ns
             page_copies = copies.get(page)
             if page_copies is None:
-                page_copies = copies[page] = {int(placement[page])}
+                page_copies = copies[page] = {initial_node(page, cpu)}
             node = cpu_nodes[cpu]
             if costs:
                 if is_write and len(page_copies) > 1:
@@ -424,7 +498,6 @@ class TracePolicySimulator:
             due, hot_page, hot_cpu = pending.popleft()
             act(due, hot_page, hot_cpu)
         result.extra["local_stall_ns"] = local_stall
-        return result
 
     # -- event stream helpers ------------------------------------------------------------
 
@@ -446,6 +519,30 @@ class TracePolicySimulator:
                 True,
                 True,
             )
+
+    @staticmethod
+    def _chunk_stream_events(chunks):
+        """Single-stream events over an iterator of time-ordered chunks.
+
+        Equivalent to :meth:`_single_stream_events` on the concatenated
+        trace, but only one chunk's columns are live at a time.
+        """
+        for chunk in chunks:
+            times = chunk.time_ns
+            cpus = chunk.cpu
+            pages = chunk.page
+            weights = chunk.weight
+            writes = chunk.is_write
+            for i in range(len(chunk)):
+                yield (
+                    int(times[i]),
+                    int(cpus[i]),
+                    int(pages[i]),
+                    int(weights[i]),
+                    bool(writes[i]),
+                    True,
+                    True,
+                )
 
     @staticmethod
     def _merged_events(cost: Trace, driver: Trace):

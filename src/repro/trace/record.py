@@ -12,7 +12,9 @@ Flags encode write/instruction/kernel status as a bitfield.
 
 from __future__ import annotations
 
+import json
 import os
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional, Union
 
@@ -184,29 +186,50 @@ class Trace:
 
     # -- persistence --------------------------------------------------------------
 
+    def meta_identity(self) -> Optional[dict]:
+        """The workload identity of ``meta`` (name/scale/seed), if any."""
+        identity = getattr(self.meta, "identity", None)
+        if not callable(identity):
+            return None
+        try:
+            return identity()
+        except Exception:
+            return None
+
     def save(self, path: Union[str, "os.PathLike"]) -> None:
         """Persist the trace as a compressed ``.npz`` archive.
 
-        Workload metadata (``meta``) is a live object graph and is *not*
-        persisted; a loaded trace carries ``meta=None``.  Use
-        :func:`repro.workloads.build_spec` with the same name/scale/seed
-        to re-attach it.
+        The workload spec's *identity* (name/scale/seed) travels with
+        the archive, so :meth:`load` re-attaches a freshly built
+        ``meta`` for named workloads; hand-built specs (no identity, or
+        a name :func:`repro.workloads.build_spec` does not know) load
+        with ``meta=None``.
         """
-        np.savez_compressed(
-            path,
-            time_ns=self.time_ns,
-            cpu=self.cpu,
-            process=self.process,
-            page=self.page,
-            weight=self.weight,
-            flags=self.flags,
-        )
+        arrays = {
+            "time_ns": self.time_ns,
+            "cpu": self.cpu,
+            "process": self.process,
+            "page": self.page,
+            "weight": self.weight,
+            "flags": self.flags,
+        }
+        identity = self.meta_identity()
+        if identity is not None:
+            arrays["meta_identity"] = np.array(
+                json.dumps(identity, sort_keys=True)
+            )
+        np.savez_compressed(path, **arrays)
 
     @classmethod
     def load(cls, path: Union[str, "os.PathLike"]) -> "Trace":
-        """Load a trace previously written by :meth:`save`."""
+        """Load a trace previously written by :meth:`save`.
+
+        A persisted workload identity is rebuilt into a live ``meta``
+        via :func:`repro.workloads.build_spec`; unknown or unreadable
+        identities degrade to ``meta=None`` rather than failing.
+        """
         with np.load(path) as data:
-            return cls(
+            trace = cls(
                 data["time_ns"],
                 data["cpu"],
                 data["process"],
@@ -214,6 +237,9 @@ class Trace:
                 data["weight"],
                 data["flags"],
             )
+            if "meta_identity" in data.files:
+                trace.meta = _rebuild_meta(str(data["meta_identity"][()]))
+        return trace
 
 
 class TraceBuilder:
@@ -270,14 +296,68 @@ class TraceBuilder:
         return Trace(time, cpu, process, page, weight, flags, meta=self.meta)
 
 
+def _rebuild_meta(payload: str):
+    """Rebuild a workload spec from a persisted identity JSON string.
+
+    Returns ``None`` for anything unparseable or unknown — a loaded
+    trace must never fail because its metadata aged out.
+    """
+    try:
+        identity = json.loads(payload)
+        name = identity["name"]
+    except (ValueError, TypeError, KeyError):
+        return None
+    from repro.workloads import WORKLOAD_NAMES, build_spec
+
+    if name not in WORKLOAD_NAMES:
+        return None
+    try:
+        return build_spec(
+            name,
+            scale=float(identity.get("scale", 1.0)),
+            seed=int(identity.get("seed", 0)),
+        )
+    except Exception:
+        return None
+
+
+def _merged_meta(traces: list):
+    """The common ``meta`` of several traces, or ``None`` with a warning.
+
+    Traces from the same workload (same object, or equal identities)
+    keep their metadata; anything mixed drops it rather than silently
+    stamping the merge with the first input's spec.
+    """
+    metas = [t.meta for t in traces]
+    first = metas[0]
+    if all(m is first for m in metas):
+        return first
+    identities = [t.meta_identity() for t in traces]
+    if identities[0] is not None and all(
+        ident == identities[0] for ident in identities
+    ):
+        return first
+    warnings.warn(
+        "merging traces with differing workload metadata; "
+        "the merged trace carries meta=None",
+        stacklevel=3,
+    )
+    return None
+
+
 def merge_traces(traces: list) -> Trace:
-    """Merge several traces into one time-sorted trace."""
+    """Merge several traces into one time-sorted trace.
+
+    The merged trace keeps its inputs' workload metadata only when they
+    agree (same spec object or equal identities); mixed-workload merges
+    carry ``meta=None`` and emit a warning.
+    """
     traces = [t for t in traces if len(t)]
     if not traces:
         raise TraceError("nothing to merge")
     time = np.concatenate([t.time_ns for t in traces])
     order = np.argsort(time, kind="stable")
-    meta = traces[0].meta
+    meta = _merged_meta(traces)
     return Trace(
         time[order],
         np.concatenate([t.cpu for t in traces])[order],

@@ -22,7 +22,7 @@ between the two streams.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.common.errors import TraceError
 from repro.machine.config import TlbConfig
@@ -30,6 +30,81 @@ from repro.machine.tlb import Tlb
 from repro.trace.record import FLAG_INSTR, FLAG_KERNEL, Trace, TraceBuilder
 
 DEFAULT_TLB_FACTOR = 0.3
+
+
+class TlbTraceDeriver:
+    """Stateful TLB-miss derivation, one chunk of cache misses at a time.
+
+    The per-CPU TLB contents and the per-page factor cache survive
+    across :meth:`feed` calls, so feeding a trace chunk by chunk (for
+    example from :meth:`repro.store.ContainerReader.iter_chunks`)
+    produces exactly the records :func:`derive_tlb_trace` would emit
+    for the concatenated trace — with only one chunk's cache-miss
+    columns live at a time.
+    """
+
+    def __init__(
+        self,
+        n_cpus: int,
+        tlb_config: Optional[TlbConfig] = None,
+        factor_of_page: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        self.n_cpus = int(n_cpus)
+        self._tlbs = [Tlb(tlb_config) for _ in range(self.n_cpus)]
+        self._factor_of_page = factor_of_page
+        self._factor_cache: dict = {}
+
+    def _resolve_factor(self, chunk: Trace) -> Callable[[int], float]:
+        if self._factor_of_page is None:
+            if chunk.meta is not None:
+                self._factor_of_page = chunk.meta.tlb_factor_of_page
+            else:
+                self._factor_of_page = lambda page: DEFAULT_TLB_FACTOR
+        return self._factor_of_page
+
+    def feed(self, chunk: Trace) -> Trace:
+        """The TLB-miss sub-trace this chunk of cache misses produces.
+
+        Timestamps are preserved; the result may be empty when every
+        touch hit a TLB.
+        """
+        factor_of_page = self._resolve_factor(chunk)
+        tlbs = self._tlbs
+        factor_cache = self._factor_cache
+        builder = TraceBuilder(meta=chunk.meta)
+        times = chunk.time_ns
+        cpus = chunk.cpu
+        processes = chunk.process
+        pages = chunk.page
+        weights = chunk.weight
+        flags = chunk.flags
+        for i in range(len(chunk)):
+            cpu = int(cpus[i])
+            if cpu >= self.n_cpus:
+                raise TraceError(f"record cpu {cpu} outside machine")
+            page = int(pages[i])
+            hit = tlbs[cpu].access(page)
+            if hit:
+                continue
+            factor = factor_cache.get(page)
+            if factor is None:
+                factor = factor_cache[page] = float(factor_of_page(page))
+            tlb_weight = max(1, int(round(int(weights[i]) * factor)))
+            flag = int(flags[i])
+            builder.append(
+                int(times[i]),
+                cpu,
+                int(processes[i]),
+                page,
+                weight=tlb_weight,
+                # A software TLB reload sees whether the faulting reference
+                # was a store, so write information survives in the TLB
+                # stream.
+                is_write=bool(flag & 0x1),
+                is_instr=bool(flag & FLAG_INSTR),
+                is_kernel=bool(flag & FLAG_KERNEL),
+            )
+        return builder.build(sort=False)
 
 
 def derive_tlb_trace(
@@ -46,43 +121,29 @@ def derive_tlb_trace(
     """
     if n_cpus is None:
         n_cpus = int(trace.cpu.max()) + 1 if len(trace) else 1
-    if factor_of_page is None:
-        if trace.meta is not None:
-            factor_of_page = trace.meta.tlb_factor_of_page
-        else:
-            factor_of_page = lambda page: DEFAULT_TLB_FACTOR  # noqa: E731
-    tlbs = [Tlb(tlb_config) for _ in range(n_cpus)]
-    builder = TraceBuilder(meta=trace.meta)
-    times = trace.time_ns
-    cpus = trace.cpu
-    processes = trace.process
-    pages = trace.page
-    weights = trace.weight
-    flags = trace.flags
-    factor_cache: dict = {}
-    for i in range(len(trace)):
-        cpu = int(cpus[i])
-        if cpu >= n_cpus:
-            raise TraceError(f"record cpu {cpu} outside machine")
-        page = int(pages[i])
-        hit = tlbs[cpu].access(page)
-        if hit:
-            continue
-        factor = factor_cache.get(page)
-        if factor is None:
-            factor = factor_cache[page] = float(factor_of_page(page))
-        tlb_weight = max(1, int(round(int(weights[i]) * factor)))
-        flag = int(flags[i])
-        builder.append(
-            int(times[i]),
-            cpu,
-            int(processes[i]),
-            page,
-            weight=tlb_weight,
-            # A software TLB reload sees whether the faulting reference was
-            # a store, so write information survives in the TLB stream.
-            is_write=bool(flag & 0x1),
-            is_instr=bool(flag & FLAG_INSTR),
-            is_kernel=bool(flag & FLAG_KERNEL),
-        )
-    return builder.build(sort=False)
+    deriver = TlbTraceDeriver(
+        n_cpus, tlb_config=tlb_config, factor_of_page=factor_of_page
+    )
+    return deriver.feed(trace)
+
+
+def derive_tlb_trace_chunks(
+    chunks: Iterable[Trace],
+    n_cpus: int,
+    tlb_config: Optional[TlbConfig] = None,
+    factor_of_page: Optional[Callable[[int], float]] = None,
+) -> Iterator[Trace]:
+    """Stream TLB-miss derivation over time-ordered cache-miss chunks.
+
+    Yields one (possibly empty-filtered) derived chunk per input chunk;
+    concatenating the yields reproduces :func:`derive_tlb_trace` on the
+    concatenated input.  ``n_cpus`` is required because a stream's CPU
+    range is unknown up front.
+    """
+    deriver = TlbTraceDeriver(
+        n_cpus, tlb_config=tlb_config, factor_of_page=factor_of_page
+    )
+    for chunk in chunks:
+        derived = deriver.feed(chunk)
+        if len(derived):
+            yield derived

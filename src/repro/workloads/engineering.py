@@ -138,6 +138,7 @@ def build(scale: float = 1.0, seed: int = 0) -> WorkloadSpec:
         processes=processes,
         schedule=schedule,
         seed=seed,
+        scale=scale,
         frames_per_node=1400,      # 5.5 MB/node: tight enough for some
     )                              # allocation failures (Table 4: 6 %)
     return spec

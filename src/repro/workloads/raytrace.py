@@ -128,5 +128,6 @@ def build(scale: float = 1.0, seed: int = 0) -> WorkloadSpec:
         processes=processes,
         schedule=schedule,
         seed=seed,
+        scale=scale,
         frames_per_node=4096,
     )

@@ -151,6 +151,7 @@ class WorkloadSpec:
     processes: List[Process]
     schedule: Schedule
     seed: int = 0
+    scale: float = 1.0              # fraction of the paper's run length
     frames_per_node: Optional[int] = None   # full-system memory sizing
     instances: List[GroupInstance] = field(default_factory=list)
     _range_starts: List[int] = field(default_factory=list)
@@ -287,6 +288,19 @@ class WorkloadSpec:
     def expected_kernel_misses(self) -> float:
         """Approximate total kernel misses the generator will emit."""
         return self.kernel_miss_rate * self.busy_time_ns() / SEC
+
+    def identity(self) -> Dict[str, object]:
+        """The canonical (name, scale, seed) triple naming this workload.
+
+        A named workload's spec and trace are fully determined by this
+        triple plus the generator code version, which is exactly what the
+        :mod:`repro.store` trace store keys containers on.
+        """
+        return {
+            "name": self.name,
+            "scale": float(self.scale),
+            "seed": int(self.seed),
+        }
 
     def tlb_factor_of_page(self, page: int) -> float:
         """TLB-derivation factor for ``page`` (see :mod:`repro.trace.tlbsim`)."""

@@ -225,5 +225,6 @@ def build(scale: float = 1.0, seed: int = 0) -> WorkloadSpec:
         processes=processes,
         schedule=schedule,
         seed=seed,
+        scale=scale,
         frames_per_node=1650,      # ~6.8 MB/node: reproduces Table 4's
     )                              # allocation failures on busy nodes

@@ -7,12 +7,29 @@ every test that needs realistic input.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.trace.record import Trace, TraceBuilder
 from repro.workloads import build_spec, generate_trace
 
 SMALL_SCALE = 0.05
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_store(tmp_path_factory):
+    """Point the trace store at a per-session temp dir.
+
+    Tests must neither read recordings from nor write them into the
+    user's ``~/.cache/repro/traces``; worker processes spawned by sweep
+    tests inherit the environment, so they share the same temp store.
+    """
+    from repro.store import reset_default_store
+
+    os.environ["REPRO_TRACE_DIR"] = str(tmp_path_factory.mktemp("traces"))
+    reset_default_store()
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -295,3 +295,106 @@ def test_figures_fig9_cold_then_warm(tmp_path, capsys):
     assert main(args) == 0
     assert "16 from cache" in capsys.readouterr().out
     assert (out_dir / "fig9_trigger.txt").read_text() == cold_table
+
+
+class TestTraceCommands:
+    """The record-once/replay-many store CLI (docs/TRACESTORE.md)."""
+
+    @pytest.fixture
+    def trace_store_dir(self, tmp_path, monkeypatch):
+        from repro.store import reset_default_store
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        reset_default_store()
+        yield tmp_path
+        monkeypatch.undo()
+        reset_default_store()
+
+    def test_record_info_verify_replay(self, capsys, trace_store_dir):
+        assert main(
+            ["trace", "record", "--workload", "database", "--scale", "0.05"]
+        ) == 0
+        assert "recorded" in capsys.readouterr().out
+
+        assert main(["trace", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "database" in out and "current" in out
+
+        assert main(
+            ["trace", "verify", "--workload", "database", "--scale", "0.05"]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        assert main(
+            ["trace", "replay", "--workload", "database", "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Mig/Rep" in out and "1 hit(s)" in out
+
+    def test_record_twice_keeps(self, capsys, trace_store_dir):
+        args = ["trace", "record", "--workload", "database", "--scale", "0.05"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "kept" in capsys.readouterr().out
+
+    def test_verify_missing_recording_fails(self, capsys, trace_store_dir):
+        assert main(
+            ["trace", "verify", "--workload", "database", "--scale", "0.05"]
+        ) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_verify_corrupt_recording_fails(self, capsys, trace_store_dir):
+        from repro.store import default_store
+        from repro.workloads import build_spec
+
+        assert main(
+            ["trace", "record", "--workload", "database", "--scale", "0.05"]
+        ) == 0
+        capsys.readouterr()
+        path = default_store().path_for(
+            build_spec("database", scale=0.05).identity()
+        )
+        blob = bytearray(path.read_bytes())
+        blob[-2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(
+            ["trace", "verify", "--workload", "database", "--scale", "0.05"]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_replay_unrecorded_fails_with_hint(self, capsys, trace_store_dir):
+        assert main(
+            ["trace", "replay", "--workload", "database", "--scale", "0.05"]
+        ) == 1
+        assert "repro trace record" in capsys.readouterr().err
+
+    def test_info_empty_store(self, capsys, trace_store_dir):
+        assert main(["trace", "info"]) == 0
+        assert "no recorded traces" in capsys.readouterr().out
+
+    def test_disabled_store_errors(self, capsys, monkeypatch):
+        from repro.store import reset_default_store
+
+        monkeypatch.setenv("REPRO_TRACE_STORE", "0")
+        reset_default_store()
+        try:
+            assert main(["trace", "info"]) == 2
+            assert "disabled" in capsys.readouterr().err
+        finally:
+            monkeypatch.undo()
+            reset_default_store()
+
+    def test_sweep_stats_include_trace_store(
+        self, capsys, trace_store_dir, tmp_path
+    ):
+        from repro.workloads import clear_cache
+
+        clear_cache()   # the in-process memo would hide the store
+        stats_path = tmp_path / "stats.json"
+        assert main(
+            ["sweep", "--workloads", "database", "--scale", "0.05",
+             "--no-cache", "--out", "", "--stats-out", str(stats_path)]
+        ) == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["trace_store"]["stores"] + stats["trace_store"]["hits"] >= 1

@@ -51,3 +51,48 @@ def test_empty_trace_round_trip(tmp_path):
     TraceBuilder().build().save(path)
     loaded = Trace.load(path)
     assert len(loaded) == 0
+
+
+def test_meta_identity_round_trips(tmp_path, engineering):
+    """Workload identity travels with the archive and is rebuilt on load."""
+    spec, trace = engineering
+    path = tmp_path / "eng.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.meta is not None
+    assert loaded.meta_identity() == spec.identity()
+    # The rebuilt spec is behaviourally the workload's, not a stub.
+    assert loaded.meta.n_cpus == spec.n_cpus
+
+
+def test_handbuilt_meta_loads_as_none(tmp_path):
+    """A spec without identity (or no meta at all) degrades cleanly."""
+    b = TraceBuilder(meta=object())   # no .identity()
+    b.append(10, 0, 0, 1, 1)
+    path = tmp_path / "t.npz"
+    b.build().save(path)
+    assert Trace.load(path).meta is None
+
+
+def test_unknown_workload_identity_loads_as_none(tmp_path, engineering):
+    """An identity naming an unknown workload must not fail the load."""
+    spec, trace = engineering
+    path = tmp_path / "eng.npz"
+    trace.save(path)
+    with np.load(path) as data:
+        arrays = {k: data[k].copy() for k in data.files}
+    arrays["meta_identity"] = np.array('{"name": "gone", "scale": 1.0}')
+    np.savez_compressed(path, **arrays)
+    loaded = Trace.load(path)
+    assert loaded.meta is None
+    assert np.array_equal(loaded.time_ns, trace.time_ns)
+
+
+def test_garbage_identity_loads_as_none(tmp_path, tiny_trace):
+    path = tmp_path / "t.npz"
+    tiny_trace.save(path)
+    with np.load(path) as data:
+        arrays = {k: data[k].copy() for k in data.files}
+    arrays["meta_identity"] = np.array("not json {")
+    np.savez_compressed(path, **arrays)
+    assert Trace.load(path).meta is None

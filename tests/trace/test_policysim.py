@@ -269,3 +269,61 @@ class TestSerialization:
         data["kind"] = "system"
         with pytest.raises(ResultSchemaError):
             PolicySimResult.from_dict(data)
+
+
+class TestStreamingReplay:
+    def chunked(self, trace, size):
+        """Split a trace into time-ordered chunks of ``size`` records."""
+        return [
+            trace.select(slice(k, k + size))
+            for k in range(0, len(trace), size)
+        ]
+
+    def test_chunked_equals_materialized(self, sim):
+        trace = build(
+            [(t * 10, t % 4, t % 2, t % 7, 5 + t % 11, t % 3 == 0)
+             for t in range(200)]
+        )
+        full = sim.simulate_dynamic(trace, fast_params())
+        for size in (1, 7, 50, 200, 500):
+            streamed = sim.simulate_dynamic_chunks(
+                self.chunked(trace, size), fast_params()
+            )
+            assert streamed.to_dict() == full.to_dict(), size
+
+    def test_round_robin_initial_matches(self, sim):
+        trace = build(
+            [(t * 10, t % 4, 0, t % 9, 3) for t in range(120)]
+        )
+        full = sim.simulate_dynamic(
+            trace, fast_params(), initial=StaticPolicy.ROUND_ROBIN
+        )
+        streamed = sim.simulate_dynamic_chunks(
+            self.chunked(trace, 30), fast_params(),
+            initial=StaticPolicy.ROUND_ROBIN,
+        )
+        assert streamed.to_dict() == full.to_dict()
+
+    def test_sampled_cache_matches(self, sim):
+        trace = build(
+            [(t * 10, t % 4, 0, t % 9, 7) for t in range(150)]
+        )
+        full = sim.simulate_dynamic(trace, fast_params(), SAMPLED_CACHE)
+        streamed = sim.simulate_dynamic_chunks(
+            self.chunked(trace, 40), fast_params(), SAMPLED_CACHE
+        )
+        assert streamed.to_dict() == full.to_dict()
+
+    def test_tlb_metric_rejected(self, sim):
+        with pytest.raises(ConfigurationError, match="whole"):
+            sim.simulate_dynamic_chunks(iter(()), fast_params(), FULL_TLB)
+
+    def test_post_facto_initial_rejected(self, sim):
+        with pytest.raises(ConfigurationError, match="whole trace"):
+            sim.simulate_dynamic_chunks(
+                iter(()), fast_params(), initial=StaticPolicy.POST_FACTO
+            )
+
+    def test_empty_stream(self, sim):
+        result = sim.simulate_dynamic_chunks(iter(()), fast_params())
+        assert result.total_misses == 0

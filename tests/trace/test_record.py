@@ -69,6 +69,47 @@ class TestValidation:
                 np.array([-1]), np.array([1]), np.array([0]),
             )
 
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(
+                np.array([1]), np.array([0]), np.array([0]),
+                np.array([0]), np.array([-3]), np.array([0]),
+            )
+
+    def test_empty_trace_is_valid(self):
+        empty = np.array([], dtype=np.int64)
+        trace = Trace(empty, empty, empty, empty, empty, empty)
+        assert len(trace) == 0
+
+    def test_equal_timestamps_are_valid(self):
+        trace = Trace(
+            np.array([5, 5, 5]), np.array([0, 1, 2]), np.array([0, 0, 0]),
+            np.array([1, 2, 3]), np.array([1, 1, 1]), np.array([0, 0, 0]),
+        )
+        assert trace.duration_ns == 0
+
+    def test_flag_round_trip(self):
+        """Every flag combination survives build + select + masks."""
+        b = TraceBuilder()
+        for i, (w, instr, k) in enumerate(
+            (w, instr, k)
+            for w in (False, True)
+            for instr in (False, True)
+            for k in (False, True)
+        ):
+            b.append(i, 0, 0, i, 1, is_write=w, is_instr=instr, is_kernel=k)
+        trace = b.build()
+        assert list(trace.is_write) == [False] * 4 + [True] * 4
+        assert list(trace.is_instr) == [False, False, True, True] * 2
+        assert list(trace.is_kernel) == [False, True] * 4
+        records = list(trace.records())
+        for r, got in zip(records, trace.flags):
+            assert got == (
+                (FLAG_WRITE if r.is_write else 0)
+                | (FLAG_INSTR if r.is_instr else 0)
+                | (FLAG_KERNEL if r.is_kernel else 0)
+            )
+
 
 class TestViews:
     def test_basic_shape(self, tiny_trace):
@@ -118,6 +159,58 @@ class TestMerge:
     def test_merge_empty_rejected(self):
         with pytest.raises(TraceError):
             merge_traces([TraceBuilder().build()])
+
+    def _one_record(self, t, meta):
+        b = TraceBuilder(meta=meta)
+        b.append(t, 0, 0, 1, 1)
+        return b.build()
+
+    def test_merge_keeps_shared_meta(self):
+        from repro.workloads import build_spec
+
+        spec = build_spec("database", scale=0.02, seed=3)
+        merged = merge_traces(
+            [self._one_record(10, spec), self._one_record(20, spec)]
+        )
+        assert merged.meta is spec
+
+    def test_merge_keeps_meta_of_equal_identities(self):
+        from repro.workloads import build_spec
+
+        a = build_spec("database", scale=0.02, seed=3)
+        b = build_spec("database", scale=0.02, seed=3)
+        merged = merge_traces(
+            [self._one_record(10, a), self._one_record(20, b)]
+        )
+        assert merged.meta_identity() == a.identity()
+
+    def test_merge_mixed_meta_warns_and_drops(self):
+        from repro.workloads import build_spec
+
+        a = build_spec("database", scale=0.02, seed=3)
+        b = build_spec("pmake", scale=0.02, seed=3)
+        with pytest.warns(UserWarning, match="differing workload metadata"):
+            merged = merge_traces(
+                [self._one_record(10, a), self._one_record(20, b)]
+            )
+        assert merged.meta is None
+
+    def test_merge_meta_with_none_warns_and_drops(self):
+        from repro.workloads import build_spec
+
+        a = build_spec("database", scale=0.02, seed=3)
+        with pytest.warns(UserWarning, match="differing workload metadata"):
+            merged = merge_traces(
+                [self._one_record(10, a), self._one_record(20, None)]
+            )
+        assert merged.meta is None
+
+    def test_merge_all_none_meta_is_quiet(self, recwarn):
+        merged = merge_traces(
+            [self._one_record(10, None), self._one_record(20, None)]
+        )
+        assert merged.meta is None
+        assert not recwarn.list
 
 
 @given(

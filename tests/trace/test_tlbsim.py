@@ -85,3 +85,55 @@ def test_timestamps_preserved():
     rows = [(123, 0, 0, 5, 10)]
     tlb = derive_tlb_trace(build(rows), n_cpus=1, factor_of_page=lambda p: 1.0)
     assert tlb.time_ns[0] == 123
+
+
+class TestStreamingDerivation:
+    def chunked(self, trace, size):
+        return [
+            trace.select(slice(k, k + size))
+            for k in range(0, len(trace), size)
+        ]
+
+    def test_chunked_equals_full(self):
+        from repro.trace.record import merge_traces
+        from repro.trace.tlbsim import derive_tlb_trace_chunks
+
+        config = TlbConfig(entries=4)
+        rows = [(t * 10, t % 2, 0, (t * 3) % 11, 5) for t in range(300)]
+        trace = build(rows)
+        full = derive_tlb_trace(
+            trace, n_cpus=2, tlb_config=config, factor_of_page=lambda p: 1.0
+        )
+        for size in (1, 17, 100, 1000):
+            pieces = list(
+                derive_tlb_trace_chunks(
+                    self.chunked(trace, size), n_cpus=2,
+                    tlb_config=config, factor_of_page=lambda p: 1.0,
+                )
+            )
+            streamed = merge_traces(pieces)
+            assert len(streamed) == len(full), size
+            assert list(streamed.time_ns) == list(full.time_ns), size
+            assert list(streamed.weight) == list(full.weight), size
+
+    def test_tlb_state_survives_chunk_boundaries(self):
+        from repro.trace.tlbsim import TlbTraceDeriver
+
+        deriver = TlbTraceDeriver(1, factor_of_page=lambda p: 1.0)
+        first = deriver.feed(build([(0, 0, 0, 5, 10)]))
+        again = deriver.feed(build([(10, 0, 0, 5, 10)]))
+        assert len(first) == 1      # first touch misses
+        assert len(again) == 0      # still resident across the boundary
+
+    def test_empty_chunks_filtered(self):
+        from repro.trace.tlbsim import derive_tlb_trace_chunks
+
+        trace = build([(t, 0, 0, 5, 10) for t in range(0, 100, 10)])
+        pieces = list(
+            derive_tlb_trace_chunks(
+                self.chunked(trace, 2), n_cpus=1,
+                factor_of_page=lambda p: 1.0,
+            )
+        )
+        # Only the chunk containing the first touch produces records.
+        assert len(pieces) == 1
