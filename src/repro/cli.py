@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -193,7 +194,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_tracesim(args: argparse.Namespace) -> int:
     spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
     user = trace.kernel_only() if args.kernel else trace.user_only()
-    config = PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    config_kwargs = dict(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    if args.engine:
+        config_kwargs["engine"] = args.engine
+    config = PolicySimConfig(**config_kwargs)
     sim = TracePolicySimulator(config)
     # The traced simulator records only the flagship run (the full-cache
     # Mig/Rep policy) so one log holds one coherent decision stream.
@@ -242,6 +246,11 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
                      r.migrations + r.replications + r.collapses]
                 )
             title = f"{args.workload}: six policies (Figure 6 methodology)"
+    except ConfigurationError as exc:
+        # e.g. --engine vector with --trace-out: the vector engine
+        # cannot emit per-event decision traces.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if tracer is not None:
             tracer.close()
@@ -388,6 +397,10 @@ def _specs_for(args: argparse.Namespace):
 
 def _make_sweep_runner(args: argparse.Namespace):
     """(runner, cache) configured from the shared sweep options."""
+    # Workers build their PolicySimConfig from the environment, so the
+    # --engine choice reaches pool processes with no extra plumbing.
+    if getattr(args, "engine", None):
+        os.environ["REPRO_REPLAY_ENGINE"] = args.engine
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if cache is not None and getattr(args, "clear_cache", False):
         dropped = cache.clear()
@@ -429,6 +442,7 @@ def _sweep_stats(report: SweepReport, cache: Optional[ResultCache]) -> dict:
         "failures": len(report.failures),
         "cache": cache.stats() if cache is not None else None,
         "trace_store": store.stats() if store is not None else None,
+        "replay_engine": os.environ.get("REPRO_REPLAY_ENGINE", "auto"),
     }
 
 
@@ -660,9 +674,10 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
     if store is None:
         return 2
     spec = build_spec(args.workload, scale=args.scale, seed=args.seed)
-    sim = TracePolicySimulator(
-        PolicySimConfig(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
-    )
+    config_kwargs = dict(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    if args.engine:
+        config_kwargs["engine"] = args.engine
+    sim = TracePolicySimulator(PolicySimConfig(**config_kwargs))
     factories = {
         "migr": PolicyParameters.migration_only,
         "repl": PolicyParameters.replication_only,
@@ -729,6 +744,18 @@ def _add_common(parser: argparse.ArgumentParser, workload: bool = True) -> None:
     )
 
 
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    """The dynamic-replay engine knob (see docs/PERFORMANCE.md)."""
+    parser.add_argument(
+        "--engine", choices=("auto", "scalar", "vector"), default=None,
+        help=(
+            "dynamic-replay engine (default: $REPRO_REPLAY_ENGINE or "
+            "auto; auto = vectorized unless a tracer needs per-event "
+            "emission)"
+        ),
+    )
+
+
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by ``repro sweep`` and ``repro figures``."""
     _add_scale_seed(parser)
@@ -761,6 +788,7 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         help="artifact directory ('' disables writing; default "
         "benchmarks/results)",
     )
+    _add_engine_option(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -830,6 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH", default=None,
         help="stream the Mig/Rep run's decision events to a JSONL log",
     )
+    _add_engine_option(p)
     p.set_defaults(func=cmd_tracesim)
 
     p = sub.add_parser("chains", help="read-chain analysis (Figure 4)")
@@ -963,6 +992,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", action="store_true",
         help="replay the kernel-mode records instead of user-mode",
     )
+    _add_engine_option(tp)
     tp.set_defaults(func=cmd_trace_replay)
 
     p = sub.add_parser(

@@ -145,6 +145,10 @@ def execute_spec(
         )
         return sim.run(trace)
     # Trace-driven (Section 8): contentionless fixed-latency model.
+    # The replay engine (scalar or vectorized fastpath) defaults from
+    # $REPRO_REPLAY_ENGINE, which pool workers inherit from the driver;
+    # both engines are byte-identical, so cached results stay valid
+    # whichever engine produced them.
     stream = trace.kernel_only() if spec.kernel_trace else trace.user_only()
     sim = TracePolicySimulator(
         PolicySimConfig(

@@ -18,8 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.common.errors import ConfigurationError
 from repro.common.units import PAGE_SIZE
 from repro.obs.events import HotPageTriggered
@@ -27,12 +25,17 @@ from repro.obs.tracer import as_tracer
 
 
 class PageCounters:
-    """Hardware counters for one logical page."""
+    """Hardware counters for one logical page.
+
+    ``miss`` is a plain Python list: the replay hot path increments one
+    slot per counted miss, and list indexing avoids boxing a numpy
+    scalar on every touch (a measurable win at trace scale).
+    """
 
     __slots__ = ("miss", "writes", "migrates")
 
     def __init__(self, n_cpus: int) -> None:
-        self.miss = np.zeros(n_cpus, dtype=np.int64)
+        self.miss = [0] * n_cpus
         self.writes = 0
         self.migrates = 0
 
@@ -67,10 +70,24 @@ class MissCounterBank:
         counters = self._pages.get(page)
         if counters is None:
             counters = self._pages[page] = PageCounters(self.n_cpus)
-        counters.miss[cpu] += weight
+        miss = counters.miss
+        count = miss[cpu] + weight
+        miss[cpu] = count
         if is_write:
             counters.writes += weight
-        return int(counters.miss[cpu])
+        return count
+
+    def add_writes(self, page: int, weight: int) -> None:
+        """Credit write misses without touching the per-CPU counts.
+
+        Used by the vectorized engine's batched write-back, which sums
+        a segment's write weights per page instead of recording them
+        event by event.
+        """
+        counters = self._pages.get(page)
+        if counters is None:
+            counters = self._pages[page] = PageCounters(self.n_cpus)
+        counters.writes += weight
 
     def note_migration(self, page: int) -> None:
         """Bump the page's migrate counter (set by the pager on migration)."""
@@ -121,11 +138,11 @@ class SamplingAccumulator:
 
     def sample(self, cpu: int, weight: int) -> int:
         """Weight that survives sampling for this record."""
-        if self.rate == 1:
+        rate = self.rate
+        if rate == 1:
             return weight
-        total = self._carry[cpu] + weight
-        counted = total // self.rate
-        self._carry[cpu] = total % self.rate
+        carry = self._carry
+        counted, carry[cpu] = divmod(carry[cpu] + weight, rate)
         return counted
 
 

@@ -16,6 +16,7 @@ counter bank and decision tree the kernel implementation uses.
 from __future__ import annotations
 
 import enum
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
@@ -56,6 +57,21 @@ class StaticPolicy(enum.Enum):
     POST_FACTO = "PF"
 
 
+#: Valid values of :attr:`PolicySimConfig.engine`.
+REPLAY_ENGINES = ("auto", "scalar", "vector")
+
+
+def _engine_from_env() -> str:
+    """Default replay engine, overridable via ``REPRO_REPLAY_ENGINE``.
+
+    Reading the environment in the field default means sweep workers —
+    which build a fresh :class:`PolicySimConfig` in-process — pick up
+    the engine chosen on the driver's command line with no extra
+    plumbing (the environment is inherited across the pool).
+    """
+    return os.environ.get("REPRO_REPLAY_ENGINE", "auto")
+
+
 @dataclass(frozen=True)
 class PolicySimConfig:
     """Memory model parameters for the trace-driven simulator."""
@@ -74,6 +90,16 @@ class PolicySimConfig:
     is what happens naturally in an unweighted miss stream.
     """
 
+    engine: str = field(default_factory=_engine_from_env)
+    """Dynamic-replay engine: ``"auto"``, ``"scalar"`` or ``"vector"``.
+
+    ``"vector"`` selects the segmented batch engine of
+    :mod:`repro.trace.fastpath` (byte-identical results, much faster);
+    ``"auto"`` (the default, overridable via ``REPRO_REPLAY_ENGINE``)
+    uses it whenever no tracer needs per-event decision emission, and
+    falls back to the scalar core otherwise.
+    """
+
     def __post_init__(self) -> None:
         if self.n_cpus <= 0 or self.n_nodes <= 0:
             raise ConfigurationError("need positive CPU and node counts")
@@ -85,6 +111,11 @@ class PolicySimConfig:
             raise ConfigurationError("operation cost must be non-negative")
         if self.decision_delay_ns < 0:
             raise ConfigurationError("decision delay must be non-negative")
+        if self.engine not in REPLAY_ENGINES:
+            raise ConfigurationError(
+                f"unknown replay engine {self.engine!r}; "
+                f"expected one of {REPLAY_ENGINES}"
+            )
 
     def node_of_cpu(self, cpu: int) -> int:
         """Home node of ``cpu``."""
@@ -179,18 +210,146 @@ class PolicySimResult:
         )
 
 
+def _pager_act(
+    now,
+    page,
+    cpu,
+    copies,
+    bank,
+    armed,
+    result,
+    params,
+    cpu_nodes,
+    op_cost,
+    tracer,
+    trace_on,
+):
+    """Pager action once a hot page's interrupt is serviced.
+
+    The one copy of the migrate/replicate/no-action state machine, shared
+    by the scalar replay loop and the vectorized engine's hot-page
+    sub-replay (:mod:`repro.trace.fastpath`) so the two cannot drift.
+    ``cpu_nodes`` may be a numpy array or a plain list.
+    """
+    page_copies = copies[page]
+    node = int(cpu_nodes[cpu])
+    if node in page_copies:
+        armed.discard(page)
+        return  # became local while pending (another CPU acted)
+    counters = bank.get(page)
+    if counters is None:
+        armed.discard(page)
+        return  # counters cleared by a concurrent action
+    decision = decide(
+        counters.miss,
+        counters.writes,
+        counters.migrates,
+        cpu,
+        params,
+        memory_pressure=False,
+    )
+    if decision.action is Action.MIGRATE and len(page_copies) == 1:
+        dest = (
+            int(cpu_nodes[decision.target_cpu])
+            if decision.target_cpu is not None
+            else node
+        )
+        if dest in page_copies:
+            result.no_actions += 1
+            if trace_on:
+                tracer.emit(
+                    NoActionDecision(
+                        t=now, page=page, cpu=cpu,
+                        reason="target-already-home",
+                    )
+                )
+            return
+        src = next(iter(page_copies))
+        page_copies.clear()
+        page_copies.add(dest)
+        result.migrations += 1
+        result.overhead_ns += op_cost
+        bank.note_migration(page)
+        bank.clear_page(page)
+        armed.discard(page)
+        if trace_on:
+            tracer.emit(
+                MigrationDecision(
+                    t=now, page=page, cpu=cpu, src=src, dst=dest,
+                    outcome="migrated", reason=decision.reason.value,
+                    latency_ns=float(op_cost),
+                )
+            )
+    elif decision.action is Action.REPLICATE:
+        src = min(page_copies)
+        page_copies.add(node)
+        result.replications += 1
+        result.overhead_ns += op_cost
+        bank.clear_page(page)
+        armed.discard(page)
+        if trace_on:
+            tracer.emit(
+                ReplicationDecision(
+                    t=now, page=page, cpu=cpu, src=src, dst=node,
+                    outcome="replicated", reason=decision.reason.value,
+                    latency_ns=float(op_cost),
+                )
+            )
+    else:
+        # No action: the page stays latched until the next reset so
+        # the pager is not re-interrupted for it every miss.
+        result.no_actions += 1
+        if trace_on:
+            tracer.emit(
+                NoActionDecision(
+                    t=now, page=page, cpu=cpu,
+                    reason=decision.reason.value,
+                )
+            )
+
+
 class TracePolicySimulator:
     """Replay traces under static and dynamic placement policies."""
 
     def __init__(
-        self, config: Optional[PolicySimConfig] = None, tracer=None
+        self,
+        config: Optional[PolicySimConfig] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.config = config or PolicySimConfig()
         self.tracer = as_tracer(tracer)
+        self.metrics = metrics
         self._cpu_nodes = np.asarray(
             [self.config.node_of_cpu(c) for c in range(self.config.n_cpus)],
             dtype=np.int64,
         )
+
+    def _resolve_engine(self) -> str:
+        """Pick the dynamic-replay engine for this run.
+
+        ``auto`` uses the vectorized engine unless a tracer is active —
+        only the scalar core walks every event and can emit the
+        per-event decision stream.  Asking for ``vector`` explicitly
+        with a live tracer is a configuration error rather than a
+        silent downgrade.  The choice lands in the ``replay.engine.*``
+        counters when a metrics registry is attached.
+        """
+        engine = self.config.engine
+        if engine == "vector" and self.tracer.active:
+            raise ConfigurationError(
+                "engine 'vector' cannot emit per-event decision traces; "
+                "drop the tracer or use engine 'scalar' or 'auto'"
+            )
+        if engine == "auto":
+            choice = "scalar" if self.tracer.active else "vector"
+        else:
+            choice = engine
+        if self.metrics is not None:
+            self.metrics.counter(f"replay.engine.{choice}").inc()
+            if engine == "auto" and choice == "scalar":
+                self.metrics.counter("replay.engine.fallbacks").inc()
+        return choice
 
     # -- static policies ----------------------------------------------------------
 
@@ -247,6 +406,16 @@ class TracePolicySimulator:
             params = params.scaled_for_sampling(metric.sampling_rate)
         result = PolicySimResult(label=label or self._default_label(params, metric))
         placement = self.placement_for(trace, initial)
+
+        if self._resolve_engine() == "vector":
+            from repro.trace import fastpath
+
+            fastpath.replay_dynamic_vector(
+                self.config, trace, params, result, placement,
+                sampling_rate=metric.sampling_rate,
+                driver_trace=driver_trace,
+            )
+            return result
 
         def initial_node(page: int, cpu: int) -> int:
             return int(placement[page])
@@ -306,6 +475,17 @@ class TracePolicySimulator:
                 "post-facto initial placement needs the whole trace; "
                 "use simulate_dynamic"
             )
+        if self._resolve_engine() == "vector":
+            from repro.trace import fastpath
+
+            fastpath.replay_chunks_vector(
+                self.config, chunks, params, result,
+                initial_kind=(
+                    "ft" if initial is StaticPolicy.FIRST_TOUCH else "rr"
+                ),
+                sampling_rate=metric.sampling_rate,
+            )
+            return result
         self._replay_dynamic(
             self._chunk_stream_events(chunks), params, result, initial_node,
             sampling_rate=metric.sampling_rate,
@@ -344,81 +524,10 @@ class TracePolicySimulator:
 
         def act(now: int, page: int, cpu: int) -> None:
             """Pager action once the hot page's interrupt is serviced."""
-            page_copies = copies[page]
-            node = int(cpu_nodes[cpu])
-            if node in page_copies:
-                armed.discard(page)
-                return  # became local while pending (another CPU acted)
-            counters = bank.get(page)
-            if counters is None:
-                armed.discard(page)
-                return  # counters cleared by a concurrent action
-            decision = decide(
-                counters.miss,
-                counters.writes,
-                counters.migrates,
-                cpu,
-                params,
-                memory_pressure=False,
+            _pager_act(
+                now, page, cpu, copies, bank, armed, result, params,
+                cpu_nodes, op_cost, tracer, trace_on,
             )
-            if decision.action is Action.MIGRATE and len(page_copies) == 1:
-                dest = (
-                    int(cpu_nodes[decision.target_cpu])
-                    if decision.target_cpu is not None
-                    else node
-                )
-                if dest in page_copies:
-                    result.no_actions += 1
-                    if trace_on:
-                        tracer.emit(
-                            NoActionDecision(
-                                t=now, page=page, cpu=cpu,
-                                reason="target-already-home",
-                            )
-                        )
-                    return
-                src = next(iter(page_copies))
-                page_copies.clear()
-                page_copies.add(dest)
-                result.migrations += 1
-                result.overhead_ns += op_cost
-                bank.note_migration(page)
-                bank.clear_page(page)
-                armed.discard(page)
-                if trace_on:
-                    tracer.emit(
-                        MigrationDecision(
-                            t=now, page=page, cpu=cpu, src=src, dst=dest,
-                            outcome="migrated", reason=decision.reason.value,
-                            latency_ns=float(op_cost),
-                        )
-                    )
-            elif decision.action is Action.REPLICATE:
-                src = min(page_copies)
-                page_copies.add(node)
-                result.replications += 1
-                result.overhead_ns += op_cost
-                bank.clear_page(page)
-                armed.discard(page)
-                if trace_on:
-                    tracer.emit(
-                        ReplicationDecision(
-                            t=now, page=page, cpu=cpu, src=src, dst=node,
-                            outcome="replicated", reason=decision.reason.value,
-                            latency_ns=float(op_cost),
-                        )
-                    )
-            else:
-                # No action: the page stays latched until the next reset so
-                # the pager is not re-interrupted for it every miss.
-                result.no_actions += 1
-                if trace_on:
-                    tracer.emit(
-                        NoActionDecision(
-                            t=now, page=page, cpu=cpu,
-                            reason=decision.reason.value,
-                        )
-                    )
 
         for time, cpu, page, weight, is_write, costs, counts in events:
             while pending and pending[0][0] <= time:
@@ -503,22 +612,19 @@ class TracePolicySimulator:
 
     @staticmethod
     def _single_stream_events(trace: Trace):
-        """Each record both costs stall and drives the counters."""
-        times = trace.time_ns
-        cpus = trace.cpu
-        pages = trace.page
-        weights = trace.weight
-        writes = trace.is_write
-        for i in range(len(trace)):
-            yield (
-                int(times[i]),
-                int(cpus[i]),
-                int(pages[i]),
-                int(weights[i]),
-                bool(writes[i]),
-                True,
-                True,
-            )
+        """Each record both costs stall and drives the counters.
+
+        Columns are converted to Python lists once (``.tolist()``), so
+        the replay loop iterates native ints instead of paying a numpy
+        scalar box per field per event.
+        """
+        times = trace.time_ns.tolist()
+        cpus = trace.cpu.tolist()
+        pages = trace.page.tolist()
+        weights = trace.weight.tolist()
+        writes = trace.is_write.tolist()
+        for row in zip(times, cpus, pages, weights, writes):
+            yield (row[0], row[1], row[2], row[3], row[4], True, True)
 
     @staticmethod
     def _chunk_stream_events(chunks):
@@ -528,21 +634,13 @@ class TracePolicySimulator:
         trace, but only one chunk's columns are live at a time.
         """
         for chunk in chunks:
-            times = chunk.time_ns
-            cpus = chunk.cpu
-            pages = chunk.page
-            weights = chunk.weight
-            writes = chunk.is_write
-            for i in range(len(chunk)):
-                yield (
-                    int(times[i]),
-                    int(cpus[i]),
-                    int(pages[i]),
-                    int(weights[i]),
-                    bool(writes[i]),
-                    True,
-                    True,
-                )
+            times = chunk.time_ns.tolist()
+            cpus = chunk.cpu.tolist()
+            pages = chunk.page.tolist()
+            weights = chunk.weight.tolist()
+            writes = chunk.is_write.tolist()
+            for row in zip(times, cpus, pages, weights, writes):
+                yield (row[0], row[1], row[2], row[3], row[4], True, True)
 
     @staticmethod
     def _merged_events(cost: Trace, driver: Trace):
@@ -557,33 +655,18 @@ class TracePolicySimulator:
                 raise TraceError("cost and driver traces are from different workloads")
         i = j = 0
         n_cost, n_driver = len(cost), len(driver)
-        c_t, d_t = cost.time_ns, driver.time_ns
-        c_w, d_w = cost.is_write, driver.is_write
+        c_t, d_t = cost.time_ns.tolist(), driver.time_ns.tolist()
+        c_c, d_c = cost.cpu.tolist(), driver.cpu.tolist()
+        c_p, d_p = cost.page.tolist(), driver.page.tolist()
+        c_wt, d_wt = cost.weight.tolist(), driver.weight.tolist()
+        c_w, d_w = cost.is_write.tolist(), driver.is_write.tolist()
         while i < n_cost or j < n_driver:
-            take_cost = j >= n_driver or (
-                i < n_cost and int(c_t[i]) <= int(d_t[j])
-            )
+            take_cost = j >= n_driver or (i < n_cost and c_t[i] <= d_t[j])
             if take_cost:
-                yield (
-                    int(c_t[i]),
-                    int(cost.cpu[i]),
-                    int(cost.page[i]),
-                    int(cost.weight[i]),
-                    bool(c_w[i]),
-                    True,
-                    False,
-                )
+                yield (c_t[i], c_c[i], c_p[i], c_wt[i], c_w[i], True, False)
                 i += 1
             else:
-                yield (
-                    int(d_t[j]),
-                    int(driver.cpu[j]),
-                    int(driver.page[j]),
-                    int(driver.weight[j]),
-                    bool(d_w[j]),
-                    False,
-                    True,
-                )
+                yield (d_t[j], d_c[j], d_p[j], d_wt[j], d_w[j], False, True)
                 j += 1
 
     # -- the competitive baseline [BGW89] ------------------------------------------
@@ -609,8 +692,18 @@ class TracePolicySimulator:
         with fine-grain write sharing it therefore replicates pages it
         should leave alone and pays for the collapses — the behaviour the
         paper's Section 2 argues coherent caches make unaffordable.
+
+        The competitive baseline is **scalar-only**: it has no
+        vectorized twin, so ``engine="vector"`` raises instead of
+        silently running a different core than the caller asked for
+        (``"auto"`` runs the scalar loop, as documented).
         """
         cfg = self.config
+        if cfg.engine == "vector":
+            raise ConfigurationError(
+                "simulate_competitive is scalar-only; use engine "
+                "'scalar' or 'auto'"
+            )
         break_even = max(
             1, -(-cfg.op_cost_ns // max(cfg.remote_ns - cfg.local_ns, 1))
         )

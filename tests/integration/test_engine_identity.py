@@ -1,0 +1,62 @@
+"""Vectorized replay engine identity over the full figure grids.
+
+The fastpath engine (``repro.trace.fastpath``) must reproduce the scalar
+core byte-for-byte on the real paper workloads, not just on synthetic
+traces.  This runs every fig6 and fig9 grid cell at the default
+experiment scale (0.25) under both engines and compares
+``PolicySimResult.to_dict()`` exactly — the same bar the trace store
+replay tests hold themselves to.
+"""
+
+import pytest
+
+from repro.exp.runner import POLICY_LABELS, _METRICS_BY_LABEL, _STATIC_POLICIES
+from repro.exp.spec import NAMED_GRIDS
+from repro.trace.policysim import PolicySimConfig, TracePolicySimulator
+from repro.workloads import build_spec, generate_trace
+
+SCALE = 0.25
+SEED = 0
+
+GRID = NAMED_GRIDS["fig6"](scale=SCALE, seed=SEED) + NAMED_GRIDS["fig9"](
+    scale=SCALE, seed=SEED
+)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """{workload: (spec, trace)} shared across the grid."""
+    out = {}
+    for name in sorted({spec.workload for spec in GRID}):
+        spec = build_spec(name, scale=SCALE, seed=SEED)
+        out[name] = (spec, generate_trace(spec))
+    return out
+
+
+def run_cell(cell, workload_spec, trace, engine):
+    """One grid cell exactly as ``execute_spec`` runs it."""
+    stream = trace.kernel_only() if cell.kernel_trace else trace.user_only()
+    sim = TracePolicySimulator(
+        PolicySimConfig(
+            n_cpus=workload_spec.n_cpus,
+            n_nodes=workload_spec.n_nodes,
+            engine=engine,
+        )
+    )
+    if cell.policy in _STATIC_POLICIES:
+        return sim.simulate_static(stream, _STATIC_POLICIES[cell.policy])
+    return sim.simulate_dynamic(
+        stream,
+        cell.params(),
+        metric=_METRICS_BY_LABEL[cell.metric],
+        label=POLICY_LABELS[cell.policy],
+    )
+
+
+@pytest.mark.parametrize("cell", GRID, ids=lambda c: c.label())
+def test_grid_cell_identical_scalar_vs_vector(cell, traces):
+    spec, trace = traces[cell.workload]
+    assert (
+        run_cell(cell, spec, trace, "scalar").to_dict()
+        == run_cell(cell, spec, trace, "vector").to_dict()
+    )
