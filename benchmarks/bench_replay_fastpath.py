@@ -33,7 +33,7 @@ def replay(spec, stream, params, metric, engine, driver):
     return time.perf_counter() - t0, result
 
 
-def test_replay_fastpath_speedup(store, emit, once):
+def test_replay_fastpath_speedup(store, report, once):
     def compute():
         measured = []
         for name in USER_WORKLOADS:
@@ -81,8 +81,21 @@ def test_replay_fastpath_speedup(store, emit, once):
          speedup]
     )
 
-    emit(
-        "replay_fastpath",
+    # The fastpath has to pay for itself decisively at full scale; at
+    # reduced REPRO_BENCH_SCALE the fixed per-segment costs loom larger,
+    # so only a net win is required there.
+    floor = 3.0 if BENCH_SCALE >= 1.0 else 1.2
+
+    run = report("replay_fastpath", scale=BENCH_SCALE, floor=floor)
+    for name, mlabel, events, scalar_s, vector_s in measured:
+        run.metric(f"speedup.{name}.{mlabel}", scalar_s / vector_s, unit="x")
+    # Only the aggregate ratio is gated: it is machine-portable, while
+    # absolute seconds and per-workload ratios are informational.
+    run.metric("speedup.all", speedup, unit="x", tolerance=0.5)
+    run.metric("wall_s.scalar", total_scalar, unit="s", direction="lower")
+    run.metric("wall_s.vector", total_vector, unit="s", direction="lower")
+    run.metric("events.total", sum(m[2] for m in measured), unit="events")
+    run.emit(
         format_table(
             "Dynamic replay: scalar core vs vectorized fastpath "
             "(Mig/Rep, byte-identical results)",
@@ -93,10 +106,6 @@ def test_replay_fastpath_speedup(store, emit, once):
         ),
     )
 
-    # The fastpath has to pay for itself decisively at full scale; at
-    # reduced REPRO_BENCH_SCALE the fixed per-segment costs loom larger,
-    # so only a net win is required there.
-    floor = 3.0 if BENCH_SCALE >= 1.0 else 1.2
     assert speedup >= floor, (
         f"fastpath speedup only {speedup:.2f}x at scale {BENCH_SCALE} "
         f"(floor {floor}x)"

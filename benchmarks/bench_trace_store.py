@@ -21,7 +21,7 @@ from repro.store.format import ContainerReader, write_container
 from repro.workloads import build_spec, generate_trace
 
 
-def test_trace_store_cold_vs_warm(tmp_path_factory, emit, once):
+def test_trace_store_cold_vs_warm(tmp_path_factory, report, once):
     root = tmp_path_factory.mktemp("bench-traces")
     store = TraceStore(root / "store", token="bench")
 
@@ -86,8 +86,24 @@ def test_trace_store_cold_vs_warm(tmp_path_factory, emit, once):
     materialized_peak = peak_of(materialize)
     streaming_peak = peak_of(stream)
 
-    emit(
-        "trace_store",
+    run = report("trace_store", scale=BENCH_SCALE, seed=BENCH_SEED)
+    # Gate the ratios (portable across machines); absolute seconds and
+    # bytes are informational.
+    run.metric("speedup.replay", speedup, unit="x", tolerance=0.5)
+    run.metric(
+        "peak_ratio.streaming", streaming_peak / materialized_peak,
+        direction="lower", tolerance=0.5,
+    )
+    run.metric("wall_s.generate", total_generate, unit="s", direction="lower")
+    run.metric("wall_s.replay", total_replay, unit="s", direction="lower")
+    run.metric(
+        "peak_bytes.materialized", materialized_peak, unit="B",
+        direction="lower",
+    )
+    run.metric(
+        "peak_bytes.streaming", streaming_peak, unit="B", direction="lower"
+    )
+    run.emit(
         format_table(
             f"Trace store: cold generate vs warm replay "
             f"(scale {BENCH_SCALE}, seed {BENCH_SEED})",

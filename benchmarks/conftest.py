@@ -121,6 +121,24 @@ def emit():
 
 
 @pytest.fixture
+def report():
+    """A :class:`BenchRun` factory: text table + ``BENCH_<name>.json``.
+
+    Usage::
+
+        run = report("replay_fastpath", scale=BENCH_SCALE)
+        run.metric("speedup.all", 4.2, unit="x", tolerance=0.25)
+        run.emit(format_table(...))
+    """
+    from _reporting import BenchRun
+
+    def _report(name: str, **context) -> BenchRun:
+        return BenchRun(name, RESULTS_DIR, context=context)
+
+    return _report
+
+
+@pytest.fixture
 def once(benchmark):
     """Run a heavy experiment exactly once under pytest-benchmark timing."""
 

@@ -105,6 +105,41 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_profiler(args: argparse.Namespace):
+    """A live profiler when ``--profile-out`` was given, else ``None``."""
+    if not getattr(args, "profile_out", None):
+        return None
+    from repro.obs.prof import Profiler
+
+    return Profiler()
+
+
+def _write_profile(
+    args: argparse.Namespace,
+    label: str,
+    profiler,
+    metrics=None,
+    context=None,
+) -> None:
+    """Persist a :class:`RunReport` for ``--profile-out`` and say so."""
+    if profiler is None or not args.profile_out:
+        return
+    from repro.obs.prof import RunReport
+
+    report = RunReport.from_profiler(
+        label,
+        profiler,
+        command=" ".join(sys.argv[1:]) or args.command,
+        metrics=metrics,
+        context=context,
+    )
+    with open(args.profile_out, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\n{profiler.summary()}")
+    print(f"wrote profile ({len(report.spans)} spans) to {args.profile_out}")
+
+
 def _make_tracer(path: str, include_misses: bool) -> Tracer:
     """A tracer streaming to ``path``.
 
@@ -131,7 +166,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.trace_out
         else None
     )
-    if tracer is None and args.jobs > 1:
+    profiler = _make_profiler(args)
+    if tracer is None and profiler is None and args.jobs > 1:
         # The two legs are independent: run them in worker processes.
         results = run_policy_comparison(
             spec, trace, machine=machine, params=params,
@@ -143,6 +179,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         ft = SystemSimulator(
             spec, machine=machine, params=params,
             options=SimulatorOptions(dynamic=False, shootdown_mode=mode),
+            profiler=profiler,
         ).run(trace)
         try:
             mr = SystemSimulator(
@@ -152,6 +189,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                     adaptive_trigger=args.adaptive,
                 ),
                 tracer=tracer,
+                profiler=profiler,
             ).run(trace)
         finally:
             if tracer is not None:
@@ -188,6 +226,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             json.dump(mr.metrics, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {len(mr.metrics)} metrics to {args.metrics_out}")
+    _write_profile(
+        args, f"run/{args.workload}", profiler,
+        context={"workload": args.workload, "scale": args.scale,
+                 "seed": args.seed, "machine": args.machine},
+    )
     return 0
 
 
@@ -198,7 +241,8 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
     if args.engine:
         config_kwargs["engine"] = args.engine
     config = PolicySimConfig(**config_kwargs)
-    sim = TracePolicySimulator(config)
+    profiler = _make_profiler(args)
+    sim = TracePolicySimulator(config, profiler=profiler)
     # The traced simulator records only the flagship run (the full-cache
     # Mig/Rep policy) so one log holds one coherent decision stream.
     tracer = (
@@ -207,7 +251,9 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
         else None
     )
     traced_sim = (
-        TracePolicySimulator(config, tracer=tracer) if tracer else sim
+        TracePolicySimulator(config, tracer=tracer, profiler=profiler)
+        if tracer
+        else sim
     )
     params = params_for(args.workload, args.trigger)
     rows = []
@@ -263,6 +309,12 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
     )
     if tracer is not None:
         print(f"wrote {tracer.emitted} events to {args.trace_out}")
+    _write_profile(
+        args, f"tracesim/{args.workload}", profiler,
+        context={"workload": args.workload, "scale": args.scale,
+                 "seed": args.seed,
+                 "engine": args.engine or "auto"},
+    )
     return 0
 
 
@@ -411,6 +463,9 @@ def _make_sweep_runner(args: argparse.Namespace):
             status = "cache"
         elif outcome.ok:
             status = f"ran {outcome.duration_s:.2f}s"
+            rate = _events_per_s(outcome)
+            if rate > 0:
+                status += f", {rate:,.0f} events/s"
         else:
             status = f"FAILED: {outcome.error}"
         print(
@@ -428,11 +483,23 @@ def _make_sweep_runner(args: argparse.Namespace):
     return runner, cache
 
 
+def _events_per_s(outcome: SweepOutcome) -> float:
+    """Replay throughput of one executed outcome (0.0 when unknown)."""
+    result = outcome.result
+    if result is None or outcome.duration_s <= 0:
+        return 0.0
+    misses = getattr(result, "total_misses", None)
+    if misses is None:  # full-system result: misses live on the stall
+        misses = getattr(getattr(result, "stall", None), "total_misses", 0)
+    return float(misses) / outcome.duration_s
+
+
 def _sweep_stats(report: SweepReport, cache: Optional[ResultCache]) -> dict:
     """JSON-safe sweep accounting (``--stats-out``, CI assertions)."""
     from repro.store import default_store
 
     store = default_store()
+    task = report.task_stats
     return {
         "specs": len(report.outcomes),
         "jobs": report.jobs,
@@ -443,6 +510,17 @@ def _sweep_stats(report: SweepReport, cache: Optional[ResultCache]) -> dict:
         "cache": cache.stats() if cache is not None else None,
         "trace_store": store.stats() if store is not None else None,
         "replay_engine": os.environ.get("REPRO_REPLAY_ENGINE", "auto"),
+        "profile": {
+            "phase_wall_s": dict(report.phase_wall_s),
+            "workers": report.jobs,
+            "task_wall_s": {
+                "count": task.count,
+                "mean": task.mean,
+                "p50": task.percentile(50),
+                "p95": task.percentile(95),
+                "max": task.maximum if task.count else None,
+            },
+        },
     }
 
 
@@ -504,6 +582,155 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if report.failures else 0
+
+
+#: ``repro bench --quick``: the converted, JSON-emitting benches that
+#: gate the perf contract (fastpath speedup, store economics, disabled
+#: observability overhead).  ``bench_<name>.py`` writes ``BENCH_<name>.json``.
+QUICK_BENCHES = ("replay_fastpath", "trace_store", "obs_overhead")
+
+
+def _bench_paths(bench_dir: Path, names: List[str]) -> List[Path]:
+    """The bench files for ``names``; raises on an unknown name."""
+    paths = []
+    for name in names:
+        path = bench_dir / f"bench_{name}.py"
+        if not path.is_file():
+            raise ConfigurationError(f"no such bench: {path}")
+        paths.append(path)
+    return paths
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite and gate on its machine-readable output.
+
+    ``pytest benchmarks/`` writes a schema-versioned ``BENCH_<name>.json``
+    per converted bench; this command runs the suite (or the ``--quick``
+    subset), validates every artifact, and — with ``--compare`` — fails
+    with exit code 1 when any gated metric regressed beyond its baseline
+    tolerance band (see docs/PERFORMANCE.md).
+    """
+    import subprocess
+
+    from repro.common.errors import ResultSchemaError
+    from repro.obs.bench import (
+        compare_artifacts,
+        format_comparison,
+        load_artifacts,
+        read_artifact,
+        regressions,
+    )
+
+    bench_dir = Path(args.bench_dir)
+    results_dir = bench_dir / "results"
+
+    if not args.compare_only:
+        if args.names:
+            names = _csv(args.names)
+        elif args.quick:
+            names = list(QUICK_BENCHES)
+        else:
+            names = None  # the whole suite
+        try:
+            targets = (
+                [str(p) for p in _bench_paths(bench_dir, names)]
+                if names is not None
+                else [str(bench_dir)]
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        env = dict(os.environ)
+        scale = args.scale
+        if scale is None:
+            scale = 0.1 if args.quick else 1.0
+        env["REPRO_BENCH_SCALE"] = str(scale)
+        env.setdefault(
+            "REPRO_OBS_BENCH_SCALE", str(min(scale, 0.25))
+        )
+        # The suite imports ``repro`` and its own conftest; make sure the
+        # subprocess resolves the same checkout we are running from.
+        src_root = str(Path(__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + [p for p in env.get("PYTHONPATH", "").split(
+                os.pathsep) if p]
+        )
+        cmd = [sys.executable, "-m", "pytest", "-q",
+               "--benchmark-disable", *targets]
+        print(f"running: {' '.join(cmd)}", file=sys.stderr)
+        proc = subprocess.run(cmd, env=env)
+        if proc.returncode != 0:
+            print(
+                f"error: benchmark run failed (pytest exit "
+                f"{proc.returncode})",
+                file=sys.stderr,
+            )
+            return proc.returncode
+
+    try:
+        current = load_artifacts(results_dir)
+    except ResultSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not current:
+        print(
+            f"error: no BENCH_*.json artifacts under {results_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = [
+        [name, len(artifact.metrics),
+         sum(1 for m in artifact.metrics.values()
+             if m.tolerance is not None)]
+        for name, artifact in sorted(current.items())
+    ]
+    print(
+        format_table(
+            f"Bench artifacts in {results_dir}",
+            ["Bench", "Metrics", "Gated"],
+            rows,
+        )
+    )
+
+    if args.write_baseline:
+        baseline_dir = Path(args.write_baseline)
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for artifact in current.values():
+            artifact.write(baseline_dir)
+        print(f"wrote {len(current)} baseline artifact(s) to {baseline_dir}")
+
+    if args.compare:
+        baseline_path = Path(args.compare)
+        try:
+            if baseline_path.is_dir():
+                baseline = load_artifacts(baseline_path)
+            else:
+                artifact = read_artifact(baseline_path)
+                baseline = {artifact.name: artifact}
+        except ResultSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not baseline:
+            print(
+                f"error: no baseline artifacts at {baseline_path}",
+                file=sys.stderr,
+            )
+            return 2
+        deltas = compare_artifacts(current, baseline)
+        print()
+        print(format_comparison(deltas))
+        failed = regressions(deltas)
+        if failed:
+            for d in failed:
+                print(
+                    f"error: {d.bench}/{d.metric} regressed "
+                    f"(baseline {d.baseline}, current {d.current}, "
+                    f"band {d.tolerance})",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"\nno regressions across {len(baseline)} baseline bench(es)")
+    return 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -677,7 +904,14 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
     config_kwargs = dict(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
     if args.engine:
         config_kwargs["engine"] = args.engine
-    sim = TracePolicySimulator(PolicySimConfig(**config_kwargs))
+    profiler = _make_profiler(args)
+    if profiler is not None:
+        # One profile covers decode and replay: the store's per-chunk
+        # spans interleave with the simulator's under replay.chunks.
+        store.profiler = profiler
+    sim = TracePolicySimulator(
+        PolicySimConfig(**config_kwargs), profiler=profiler
+    )
     factories = {
         "migr": PolicyParameters.migration_only,
         "repl": PolicyParameters.replication_only,
@@ -714,6 +948,13 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
         f"\nstore: {stats['hits']} hit(s), {stats['bytes_read']} bytes "
         f"read, {stats['decode_seconds']:.3f} s decoding"
     )
+    _write_profile(
+        args, f"trace-replay/{args.workload}", profiler,
+        metrics={k: float(v) for k, v in stats.items()},
+        context={"workload": args.workload, "scale": args.scale,
+                 "seed": args.seed, "policy": args.policy,
+                 "engine": args.engine or "auto"},
+    )
     return 0
 
 
@@ -741,6 +982,15 @@ def _add_common(parser: argparse.ArgumentParser, workload: bool = True) -> None:
     parser.add_argument(
         "--trigger", type=int, default=None,
         help="trigger threshold (default: the paper's per-workload value)",
+    )
+
+
+def _add_profile_option(parser: argparse.ArgumentParser) -> None:
+    """The span-profile report knob (see docs/OBSERVABILITY.md)."""
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="profile the run's phases and write a schema-versioned "
+        "RunReport JSON to PATH (also prints the span summary)",
     )
 
 
@@ -840,6 +1090,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH", default=None,
         help="dump the Mig/Rep run's full metrics registry as JSON",
     )
+    _add_profile_option(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -859,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the Mig/Rep run's decision events to a JSONL log",
     )
     _add_engine_option(p)
+    _add_profile_option(p)
     p.set_defaults(func=cmd_tracesim)
 
     p = sub.add_parser("chains", help="read-chain analysis (Figure 4)")
@@ -993,7 +1245,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the kernel-mode records instead of user-mode",
     )
     _add_engine_option(tp)
+    _add_profile_option(tp)
     tp.set_defaults(func=cmd_trace_replay)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark suite with machine-readable output and "
+        "perf-regression gating",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help=f"run only the gating benches {QUICK_BENCHES} at scale 0.1",
+    )
+    p.add_argument(
+        "--names", metavar="A,B,...", default=None,
+        help="comma-separated bench names (bench_<name>.py); overrides "
+        "--quick",
+    )
+    p.add_argument(
+        "--scale", type=float, default=None,
+        help="REPRO_BENCH_SCALE for the run (default: 0.1 with --quick, "
+        "else 1.0)",
+    )
+    p.add_argument(
+        "--bench-dir", metavar="DIR", default="benchmarks",
+        help="benchmark suite directory (default benchmarks)",
+    )
+    p.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="baseline BENCH_*.json file or directory; exit 1 when a "
+        "gated metric regressed beyond its tolerance band",
+    )
+    p.add_argument(
+        "--compare-only", action="store_true",
+        help="skip running; validate/compare existing artifacts only",
+    )
+    p.add_argument(
+        "--write-baseline", metavar="DIR", default=None,
+        help="copy the current artifacts to DIR as a new baseline",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "figures",

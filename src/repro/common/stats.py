@@ -123,6 +123,56 @@ class OnlineStats:
         )
 
 
+class SampleStats(OnlineStats):
+    """:class:`OnlineStats` plus bounded sample retention for percentiles.
+
+    The sweep runner records per-task durations through this: the
+    streaming moments stay O(1), and the first ``max_samples`` raw values
+    are kept so p50/p95 can be reported without holding an unbounded
+    history.  Sweeps are far smaller than the cap in practice, so the
+    percentiles are exact; past the cap they describe the earliest
+    samples only.
+    """
+
+    __slots__ = ("samples", "max_samples")
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        super().__init__()
+        self.samples: List[float] = []
+        self.max_samples = int(max_samples)
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` occurring ``weight`` times."""
+        super().add(value, weight)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(float(value))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of retained samples.
+
+        Linear interpolation between closest ranks; 0.0 when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        rank = (q / 100.0) * (len(data) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def to_dict(self) -> dict:
+        """:meth:`OnlineStats.to_dict` plus ``p50``/``p95``."""
+        out = super().to_dict()
+        out["p50"] = self.percentile(50)
+        out["p95"] = self.percentile(95)
+        return out
+
+
 class TimeWeightedValue:
     """Time-weighted average of a piecewise-constant quantity.
 

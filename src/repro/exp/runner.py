@@ -46,8 +46,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.common.stats import SampleStats
 from repro.exp.cache import ResultCache, ResultType
 from repro.exp.spec import ExperimentSpec, machine_for
+from repro.obs.prof import Profiler, as_profiler
 from repro.policy.metrics import ALL_METRICS
 from repro.sim.simulator import SimulatorOptions, SystemSimulator
 from repro.trace.policysim import (
@@ -190,6 +192,10 @@ class SweepReport:
     outcomes: List[SweepOutcome] = field(default_factory=list)
     wall_s: float = 0.0
     jobs: int = 1
+    #: Wall seconds per runner phase (cache/prewarm/pool/serial).
+    phase_wall_s: Dict[str, float] = field(default_factory=dict)
+    #: Per-task execution durations (executed specs only, not cache hits).
+    task_stats: SampleStats = field(default_factory=SampleStats)
 
     @property
     def results(self) -> List[Optional[ResultType]]:
@@ -223,6 +229,7 @@ class SweepRunner:
         retries: int = 1,
         fault_hook: Optional[FaultHook] = None,
         progress: Optional[Callable[[SweepOutcome, int, int], None]] = None,
+        profiler=None,
     ) -> None:
         self.cache = cache
         self.jobs = max(1, int(jobs))
@@ -230,6 +237,10 @@ class SweepRunner:
         self.retries = max(0, int(retries))
         self.fault_hook = fault_hook
         self.progress = progress
+        # Sweeps always carry a profiler: the spans are phase-level
+        # (4-5 per run), so the cost is negligible and every report can
+        # attribute its wall clock.  Pass ``profiler=`` to share one.
+        self.profiler = Profiler() if profiler is None else as_profiler(profiler)
 
     # -- public API -----------------------------------------------------------
 
@@ -249,33 +260,49 @@ class SweepRunner:
             if self.progress is not None:
                 self.progress(outcome, done, len(outcomes))
 
-        to_run: List[int] = []
-        for i, outcome in enumerate(outcomes):
-            cached = (
-                self.cache.get(outcome.spec)
-                if self.cache is not None
-                else None
-            )
-            if cached is not None:
-                outcome.result = cached
-                outcome.cached = True
-                report(outcome)
-            else:
-                to_run.append(i)
+        profiler = self.profiler
+        first_record = len(profiler.records)
+        with profiler.span("sweep.run", items=len(outcomes)):
+            to_run: List[int] = []
+            with profiler.span("sweep.cache"):
+                for i, outcome in enumerate(outcomes):
+                    cached = (
+                        self.cache.get(outcome.spec)
+                        if self.cache is not None
+                        else None
+                    )
+                    if cached is not None:
+                        outcome.result = cached
+                        outcome.cached = True
+                        report(outcome)
+                    else:
+                        to_run.append(i)
 
-        if to_run:
-            if self.jobs > 1 and len(to_run) > 1:
-                self._prewarm_traces([outcomes[i].spec for i in to_run])
-                retry = self._run_pool(outcomes, to_run, report)
-            else:
-                retry = to_run
-            self._run_serial(outcomes, retry, report)
+            if to_run:
+                if self.jobs > 1 and len(to_run) > 1:
+                    with profiler.span("sweep.prewarm"):
+                        self._prewarm_traces(
+                            [outcomes[i].spec for i in to_run]
+                        )
+                    with profiler.span("sweep.pool", items=len(to_run)):
+                        retry = self._run_pool(outcomes, to_run, report)
+                else:
+                    retry = to_run
+                with profiler.span("sweep.serial", items=len(retry)):
+                    self._run_serial(outcomes, retry, report)
 
         report_obj = SweepReport(
             outcomes=outcomes,
             wall_s=time.monotonic() - start,
             jobs=self.jobs,
         )
+        for record in profiler.records[first_record:]:
+            if record.depth == 1 and record.name.startswith("sweep."):
+                phase = record.name.split(".", 1)[1]
+                report_obj.phase_wall_s[phase] = record.wall_ns / 1e9
+        for outcome in outcomes:
+            if outcome.ok and not outcome.cached:
+                report_obj.task_stats.add(outcome.duration_s)
         return report_obj
 
     # -- execution phases ------------------------------------------------------

@@ -13,7 +13,11 @@ same attribution power at runtime:
 * :mod:`repro.obs.export` — JSONL, Chrome trace-event and plain-text
   exporters;
 * :mod:`repro.obs.inspect` — replay a saved log into per-page decision
-  histories (the ``repro inspect`` subcommand).
+  histories (the ``repro inspect`` subcommand);
+* :mod:`repro.obs.prof` — the hierarchical span profiler and
+  :class:`RunReport` (``--profile-out``);
+* :mod:`repro.obs.bench` — the machine-readable benchmark artifact
+  schema behind ``repro bench`` and its regression gating.
 
 See ``docs/OBSERVABILITY.md`` for the full guide.
 """
@@ -23,6 +27,7 @@ from repro.obs.events import (
     EVENT_TYPES,
     KIND_TO_TYPE,
     CollapseEvent,
+    EngineFallback,
     HotPageTriggered,
     IntervalReset,
     MigrationDecision,
@@ -30,9 +35,31 @@ from repro.obs.events import (
     NoActionDecision,
     ReplicationDecision,
     ShootdownEvent,
+    SpanEvent,
     TraceEvent,
     TriggerAdjusted,
     event_from_dict,
+)
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    BenchMetric,
+    MetricDelta,
+    compare_artifacts,
+    format_comparison,
+    load_artifacts,
+    read_artifact,
+    regressions,
+)
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    RunReport,
+    Span,
+    SpanRecord,
+    as_profiler,
+    peak_rss_bytes,
 )
 from repro.obs.export import (
     JsonlSink,
@@ -72,6 +99,7 @@ __all__ = [
     "EVENT_TYPES",
     "KIND_TO_TYPE",
     "CollapseEvent",
+    "EngineFallback",
     "HotPageTriggered",
     "IntervalReset",
     "MigrationDecision",
@@ -79,9 +107,27 @@ __all__ = [
     "NoActionDecision",
     "ReplicationDecision",
     "ShootdownEvent",
+    "SpanEvent",
     "TraceEvent",
     "TriggerAdjusted",
     "event_from_dict",
+    "BENCH_SCHEMA_VERSION",
+    "BenchArtifact",
+    "BenchMetric",
+    "MetricDelta",
+    "compare_artifacts",
+    "format_comparison",
+    "load_artifacts",
+    "read_artifact",
+    "regressions",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
+    "RunReport",
+    "Span",
+    "SpanRecord",
+    "as_profiler",
+    "peak_rss_bytes",
     "JsonlSink",
     "event_to_json",
     "interval_summary",

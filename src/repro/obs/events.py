@@ -21,6 +21,8 @@ event                     emitted when
 :class:`ShootdownEvent`   a TLB flush round is issued
 :class:`IntervalReset`    a reset interval expires and counters are cleared
 :class:`TriggerAdjusted`  the adaptive controller moves the trigger threshold
+:class:`EngineFallback`   engine=auto downgrades to the scalar replay core
+:class:`SpanEvent`        a profiler span closes (wall-clock, not simulated)
 ========================  ====================================================
 
 ``to_dict`` / ``event_from_dict`` provide an exact, order-stable mapping
@@ -172,6 +174,44 @@ class TriggerAdjusted(TraceEvent):
     KIND: ClassVar[str] = "trigger-adjusted"
 
 
+@dataclass(frozen=True)
+class EngineFallback(TraceEvent):
+    """``engine="auto"`` fell back to the scalar replay core.
+
+    A warning-level event in the :class:`TriggerAdjusted` mould: the
+    caller asked for automatic engine selection, a live tracer forced
+    the scalar core (only it emits per-event decisions), and the choice
+    is recorded instead of staying silent.  Mirrored by the
+    ``replay.engine.fallback`` counter.
+    """
+
+    requested: str = "auto"
+    chosen: str = "scalar"
+    reason: str = ""
+
+    KIND: ClassVar[str] = "engine-fallback"
+
+
+@dataclass(frozen=True)
+class SpanEvent(TraceEvent):
+    """A profiler span closed (see :mod:`repro.obs.prof`).
+
+    Unlike every other event, ``t`` is **wall-clock** nanoseconds since
+    the profiler's origin, not simulated time — spans measure where the
+    *host* run's time went.  Logs containing span events are therefore
+    not byte-stable across runs, unlike pure decision logs.
+    """
+
+    name: str = ""
+    path: str = ""               # "sim.run/sim.replay" nesting path
+    dur_ns: int = 0
+    depth: int = 0
+    items: int = 0               # events/misses processed inside the span
+    alloc_bytes: int = 0         # net tracemalloc delta (0 when untracked)
+
+    KIND: ClassVar[str] = "span"
+
+
 #: Every concrete event type, in taxonomy order.
 EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     MissServiced,
@@ -183,6 +223,8 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     ShootdownEvent,
     IntervalReset,
     TriggerAdjusted,
+    EngineFallback,
+    SpanEvent,
 )
 
 #: KIND tag -> event class.

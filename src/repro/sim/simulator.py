@@ -35,6 +35,7 @@ from repro.machine.config import MachineConfig
 from repro.machine.directory import DirectoryArray
 from repro.machine.memory import NumaMemorySystem
 from repro.obs.events import IntervalReset, MissServiced, TriggerAdjusted
+from repro.obs.prof import as_profiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import as_tracer
 from repro.policy.adaptive import AdaptiveTriggerController, IntervalFeedback
@@ -98,10 +99,12 @@ class SystemSimulator:
         costs: Optional[KernelCostModel] = None,
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        profiler=None,
     ) -> None:
         self.spec = spec
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
+        self.profiler = as_profiler(profiler)
         if machine is None:
             machine = MachineConfig.flash_ccnuma(
                 n_cpus=spec.n_cpus, n_nodes=spec.n_nodes
@@ -163,14 +166,29 @@ class SystemSimulator:
 
     def run(self, trace: Optional[Trace] = None) -> SimulationResult:
         """Execute the workload and return the full result."""
+        spec = self.spec
+        if trace is None:
+            trace = generate_trace(spec)
+        # Spans wrap the run's phases (setup / replay / finalize), never
+        # the per-event loop body, so profiling costs nothing per miss
+        # and cannot perturb the simulated result.
+        with self.profiler.span("sim.run", items=len(trace)):
+            with self.profiler.span("sim.setup"):
+                state = self._setup(trace)
+            with self.profiler.span("sim.replay", items=len(trace)):
+                self._replay(trace, *state)
+            with self.profiler.span("sim.finalize"):
+                result = self._finalize(trace, *state)
+        return result
+
+    def _setup(self, trace: Trace):
+        """Build the machine/kernel stack for one run (the setup phase)."""
         spec, machine, params, options = (
             self.spec,
             self.machine,
             self.params,
             self.options,
         )
-        if trace is None:
-            trace = generate_trace(spec)
         tracer = self.tracer
         registry = self.metrics if self.metrics is not None else MetricsRegistry()
         frames_per_node = spec.frames_per_node or machine.memory.frames_per_node
@@ -229,18 +247,31 @@ class SystemSimulator:
             compute_time_ns=float(spec.compute_time_ns),
             idle_time_ns=float(spec.idle_time_ns()),
         )
-        kernel_placement: Dict[int, int] = {}
-        pending: list = []                # heap of (due_ns, seq, HotBatch)
-        pending_seq = itertools.count()
-        next_reset = params.reset_interval_ns
         adaptive: Optional[AdaptiveTriggerController] = None
-        interval_marks = (0.0, 0, 0)      # overhead/remote/total at interval start
-        interval_index = 0
         if options.adaptive_trigger and options.dynamic:
             adaptive = AdaptiveTriggerController(
                 initial_trigger=params.trigger_threshold
             )
             adaptive.register_metrics(registry)
+        pending: list = []                # heap of (due_ns, seq, HotBatch)
+        return (
+            registry, vm, memory, directory, accounting, last_cpu,
+            pager, collapser, result, adaptive, pending,
+        )
+
+    def _replay(
+        self, trace, registry, vm, memory, directory, accounting,
+        last_cpu, pager, collapser, result, adaptive, pending,
+    ) -> None:
+        """The per-event loop (the replay phase)."""
+        machine, params, options = self.machine, self.params, self.options
+        tracer = self.tracer
+        node_of_cpu = machine.node_of_cpu
+        kernel_placement: Dict[int, int] = {}
+        pending_seq = itertools.count()
+        next_reset = params.reset_interval_ns
+        interval_marks = (0.0, 0, 0)      # overhead/remote/total at interval start
+        interval_index = 0
         dynamic = options.dynamic
         round_robin = options.placement is Placement.ROUND_ROBIN
         n_nodes = machine.n_nodes
@@ -408,8 +439,13 @@ class SystemSimulator:
                          next(pending_seq), batch),
                     )
 
+    def _finalize(
+        self, trace, registry, vm, memory, directory, accounting,
+        last_cpu, pager, collapser, result, adaptive, pending,
+    ) -> SimulationResult:
+        """End-of-run drain and result gathering (the finalize phase)."""
         # End of run: flush whatever is still queued.
-        end_time = int(times[-1]) if len(trace) else 0
+        end_time = int(trace.time_ns[-1]) if len(trace) else 0
         for batch in directory.drain():
             pager.handle_batch(end_time, batch)
         while pending:

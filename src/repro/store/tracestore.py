@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.common.errors import TraceError, TraceStoreError
+from repro.obs.prof import as_profiler
 from repro.obs.registry import MetricsRegistry
 from repro.store.format import (
     DEFAULT_CHUNK_RECORDS,
@@ -152,10 +153,14 @@ class TraceStore:
         metrics: Optional[MetricsRegistry] = None,
         token: Optional[str] = None,
         chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        profiler=None,
     ) -> None:
         self.directory = Path(directory) if directory else default_store_dir()
         self.token = token if token is not None else generator_code_token()
         self.chunk_records = int(chunk_records)
+        # Reassignable: the CLI attaches its run profiler to the shared
+        # default store after the fact.
+        self.profiler = as_profiler(profiler)
         registry = metrics if metrics is not None else MetricsRegistry()
         self.metrics = registry
         self._hits = registry.counter("store.hits")
@@ -220,10 +225,11 @@ class TraceStore:
         path = self.path_for(identity)
         if not path.is_file():
             return False
-        try:
-            ContainerReader(path).close()
-        except TraceError:
-            return False
+        with self.profiler.span("store.verify"):
+            try:
+                ContainerReader(path).close()
+            except TraceError:
+                return False
         return True
 
     def get(self, identity: Dict[str, object], meta=None) -> Optional[Trace]:
@@ -238,16 +244,18 @@ class TraceStore:
             self._misses.inc()
             return None
         t0 = time.monotonic()
-        try:
-            with ContainerReader(path) as reader:
-                trace = reader.read_trace(meta=meta)
-        except TraceError:
-            # Corrupt, truncated, or stale container: drop and let the
-            # caller regenerate and rewrite.  Never an error.
-            self._misses.inc()
-            self._invalidations.inc()
-            self._remove(path)
-            return None
+        with self.profiler.span("store.replay") as span:
+            try:
+                with ContainerReader(path) as reader:
+                    trace = reader.read_trace(meta=meta)
+            except TraceError:
+                # Corrupt, truncated, or stale container: drop and let the
+                # caller regenerate and rewrite.  Never an error.
+                self._misses.inc()
+                self._invalidations.inc()
+                self._remove(path)
+                return None
+            span.add_items(len(trace))
         self._decode_s.add(time.monotonic() - t0)
         self._hits.inc()
         try:
@@ -279,12 +287,13 @@ class TraceStore:
     def put(self, identity: Dict[str, object], trace: Trace) -> Path:
         """Atomically record ``trace`` under ``identity``'s key."""
         path = self.path_for(identity)
-        nbytes = write_container(
-            path,
-            trace,
-            identity=canonical_identity(identity),
-            chunk_records=self.chunk_records,
-        )
+        with self.profiler.span("store.record", items=len(trace)):
+            nbytes = write_container(
+                path,
+                trace,
+                identity=canonical_identity(identity),
+                chunk_records=self.chunk_records,
+            )
         self._stores.inc()
         self._bytes_written.inc(nbytes)
         return path
@@ -327,13 +336,21 @@ class TraceStore:
                 self._bytes_read.inc(reader.path.stat().st_size)
             except OSError:
                 pass
-            t0 = time.monotonic()
-            for chunk in reader.iter_chunks(
+            chunk_iter = reader.iter_chunks(
                 window=window, kernel_only=kernel_only, meta=meta
-            ):
+            )
+            while True:
+                t0 = time.monotonic()
+                # The span closes before the yield: a span held across a
+                # yield would interleave with the consumer's own spans
+                # and break strict nesting.
+                with self.profiler.span("store.chunk") as span:
+                    chunk = next(chunk_iter, None)
+                    if chunk is None:
+                        break
+                    span.add_items(len(chunk))
                 self._decode_s.add(time.monotonic() - t0)
                 yield chunk
-                t0 = time.monotonic()
 
     def invalidate(self, identity: Dict[str, object]) -> bool:
         """Drop one container; returns whether anything was removed."""

@@ -56,6 +56,7 @@ import numpy as np
 
 from repro.common.errors import TraceError
 from repro.machine.directory import MissCounterBank
+from repro.obs.prof import as_profiler
 
 
 class _VectorEngine:
@@ -460,24 +461,29 @@ def replay_dynamic_vector(
     placement: np.ndarray,
     sampling_rate: int = 1,
     driver_trace=None,
+    profiler=None,
 ) -> None:
     """Vectorized equivalent of the scalar whole-trace dynamic replay.
 
     ``params`` must already be scaled for sampling (the caller does this
     for both engines).  With ``driver_trace`` the cost and driver
     streams are merged by a stable sort — cost events win timestamp
-    ties, exactly like the scalar two-pointer merge.
+    ties, exactly like the scalar two-pointer merge.  ``profiler``
+    times the batch replay; spans touch no simulation state, so the
+    result stays byte-identical with profiling on.
     """
+    prof = as_profiler(profiler)
     engine = _VectorEngine(
         config, params, result, sampling_rate, placement=placement
     )
     if driver_trace is None:
         n = len(trace)
         ones = np.ones(n, dtype=bool)
-        engine.run_batch(
-            trace.time_ns, trace.cpu, trace.page, trace.weight,
-            trace.is_write, ones, ones, streaming=False,
-        )
+        with prof.span("fastpath.batch", items=n):
+            engine.run_batch(
+                trace.time_ns, trace.cpu, trace.page, trace.weight,
+                trace.is_write, ones, ones, streaming=False,
+            )
     else:
         cost, driver = trace, driver_trace
         if cost.meta is not driver.meta and cost.meta is not None:
@@ -491,16 +497,17 @@ def replay_dynamic_vector(
         costmask = np.concatenate(
             [np.ones(n_cost, dtype=bool), np.zeros(n_driver, dtype=bool)]
         )[order]
-        engine.run_batch(
-            times[order],
-            np.concatenate([cost.cpu, driver.cpu])[order],
-            np.concatenate([cost.page, driver.page])[order],
-            np.concatenate([cost.weight, driver.weight])[order],
-            np.concatenate([cost.is_write, driver.is_write])[order],
-            costmask,
-            ~costmask,
-            streaming=False,
-        )
+        with prof.span("fastpath.batch", items=n_cost + n_driver):
+            engine.run_batch(
+                times[order],
+                np.concatenate([cost.cpu, driver.cpu])[order],
+                np.concatenate([cost.page, driver.page])[order],
+                np.concatenate([cost.weight, driver.weight])[order],
+                np.concatenate([cost.is_write, driver.is_write])[order],
+                costmask,
+                ~costmask,
+                streaming=False,
+            )
     engine.finish()
 
 
@@ -511,6 +518,7 @@ def replay_chunks_vector(
     result,
     initial_kind: str,
     sampling_rate: int = 1,
+    profiler=None,
 ) -> None:
     """Vectorized streaming replay over time-ordered trace chunks.
 
@@ -518,8 +526,10 @@ def replay_chunks_vector(
     (round-robin); post-facto needs the whole trace and is rejected by
     the caller.  Bank counters, armed pages, pending interrupts and
     sampling carries flow across chunk boundaries, so the streamed
-    result is byte-identical to the whole-trace replay.
+    result is byte-identical to the whole-trace replay.  ``profiler``
+    gets one ``replay.chunk`` span per chunk.
     """
+    prof = as_profiler(profiler)
     engine = _VectorEngine(
         config, params, result, sampling_rate,
         placement=None, initial_kind=initial_kind,
@@ -527,8 +537,9 @@ def replay_chunks_vector(
     for chunk in chunks:
         n = len(chunk)
         ones = np.ones(n, dtype=bool)
-        engine.run_batch(
-            chunk.time_ns, chunk.cpu, chunk.page, chunk.weight,
-            chunk.is_write, ones, ones, streaming=True,
-        )
+        with prof.span("replay.chunk", items=n):
+            engine.run_batch(
+                chunk.time_ns, chunk.cpu, chunk.page, chunk.weight,
+                chunk.is_write, ones, ones, streaming=True,
+            )
     engine.finish()

@@ -28,12 +28,14 @@ from repro.common.units import US
 from repro.machine.directory import MissCounterBank, SamplingAccumulator
 from repro.obs.events import (
     CollapseEvent,
+    EngineFallback,
     HotPageTriggered,
     IntervalReset,
     MigrationDecision,
     NoActionDecision,
     ReplicationDecision,
 )
+from repro.obs.prof import as_profiler
 from repro.obs.tracer import as_tracer
 from repro.policy.decision import Action, decide
 from repro.policy.metrics import FULL_CACHE, Metric
@@ -316,10 +318,12 @@ class TracePolicySimulator:
         config: Optional[PolicySimConfig] = None,
         tracer=None,
         metrics=None,
+        profiler=None,
     ) -> None:
         self.config = config or PolicySimConfig()
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
+        self.profiler = as_profiler(profiler)
         self._cpu_nodes = np.asarray(
             [self.config.node_of_cpu(c) for c in range(self.config.n_cpus)],
             dtype=np.int64,
@@ -333,7 +337,10 @@ class TracePolicySimulator:
         per-event decision stream.  Asking for ``vector`` explicitly
         with a live tracer is a configuration error rather than a
         silent downgrade.  The choice lands in the ``replay.engine.*``
-        counters when a metrics registry is attached.
+        counters when a metrics registry is attached; the auto->scalar
+        downgrade is additionally recorded as an explicit
+        :class:`~repro.obs.events.EngineFallback` warning event and a
+        ``replay.engine.fallback`` counter, never a silent choice.
         """
         engine = self.config.engine
         if engine == "vector" and self.tracer.active:
@@ -345,10 +352,23 @@ class TracePolicySimulator:
             choice = "scalar" if self.tracer.active else "vector"
         else:
             choice = engine
+        fell_back = engine == "auto" and choice == "scalar"
         if self.metrics is not None:
             self.metrics.counter(f"replay.engine.{choice}").inc()
-            if engine == "auto" and choice == "scalar":
-                self.metrics.counter("replay.engine.fallbacks").inc()
+            if fell_back:
+                self.metrics.counter("replay.engine.fallback").inc()
+        if fell_back and self.tracer.wants(EngineFallback.KIND):
+            # The fallback only ever fires under an active tracer, so the
+            # warning lands in the very decision log that caused it.
+            self.tracer.emit(
+                EngineFallback(
+                    t=0,
+                    requested="auto",
+                    chosen="scalar",
+                    reason="active tracer needs per-event decision "
+                           "emission; only the scalar core provides it",
+                )
+            )
         return choice
 
     # -- static policies ----------------------------------------------------------
@@ -406,28 +426,35 @@ class TracePolicySimulator:
             params = params.scaled_for_sampling(metric.sampling_rate)
         result = PolicySimResult(label=label or self._default_label(params, metric))
         placement = self.placement_for(trace, initial)
+        profiler = self.profiler
+        n_events = len(trace) + (len(driver_trace) if driver_trace is not None else 0)
 
-        if self._resolve_engine() == "vector":
-            from repro.trace import fastpath
+        engine = self._resolve_engine()
+        with profiler.span("replay.dynamic", items=n_events):
+            if engine == "vector":
+                from repro.trace import fastpath
 
-            fastpath.replay_dynamic_vector(
-                self.config, trace, params, result, placement,
-                sampling_rate=metric.sampling_rate,
-                driver_trace=driver_trace,
-            )
-            return result
+                with profiler.span("engine.vector", items=n_events):
+                    fastpath.replay_dynamic_vector(
+                        self.config, trace, params, result, placement,
+                        sampling_rate=metric.sampling_rate,
+                        driver_trace=driver_trace,
+                        profiler=profiler,
+                    )
+                return result
 
-        def initial_node(page: int, cpu: int) -> int:
-            return int(placement[page])
+            def initial_node(page: int, cpu: int) -> int:
+                return int(placement[page])
 
-        if driver_trace is None:
-            events = self._single_stream_events(trace)
-        else:
-            events = self._merged_events(trace, driver_trace)
-        self._replay_dynamic(
-            events, params, result, initial_node,
-            sampling_rate=metric.sampling_rate,
-        )
+            if driver_trace is None:
+                events = self._single_stream_events(trace)
+            else:
+                events = self._merged_events(trace, driver_trace)
+            with profiler.span("engine.scalar", items=n_events):
+                self._replay_dynamic(
+                    events, params, result, initial_node,
+                    sampling_rate=metric.sampling_rate,
+                )
         return result
 
     def simulate_dynamic_chunks(
@@ -475,21 +502,33 @@ class TracePolicySimulator:
                 "post-facto initial placement needs the whole trace; "
                 "use simulate_dynamic"
             )
-        if self._resolve_engine() == "vector":
-            from repro.trace import fastpath
+        profiler = self.profiler
+        engine = self._resolve_engine()
+        with profiler.span("replay.chunks") as run_span:
+            if engine == "vector":
+                from repro.trace import fastpath
 
-            fastpath.replay_chunks_vector(
-                self.config, chunks, params, result,
-                initial_kind=(
-                    "ft" if initial is StaticPolicy.FIRST_TOUCH else "rr"
-                ),
-                sampling_rate=metric.sampling_rate,
-            )
-            return result
-        self._replay_dynamic(
-            self._chunk_stream_events(chunks), params, result, initial_node,
-            sampling_rate=metric.sampling_rate,
-        )
+                with profiler.span("engine.vector") as engine_span:
+                    fastpath.replay_chunks_vector(
+                        self.config, chunks, params, result,
+                        initial_kind=(
+                            "ft" if initial is StaticPolicy.FIRST_TOUCH
+                            else "rr"
+                        ),
+                        sampling_rate=metric.sampling_rate,
+                        profiler=profiler,
+                    )
+                    engine_span.add_items(result.total_misses)
+                run_span.add_items(result.total_misses)
+                return result
+            with profiler.span("engine.scalar") as engine_span:
+                self._replay_dynamic(
+                    self._chunk_stream_events(chunks, profiler), params,
+                    result, initial_node,
+                    sampling_rate=metric.sampling_rate,
+                )
+                engine_span.add_items(result.total_misses)
+            run_span.add_items(result.total_misses)
         return result
 
     def _replay_dynamic(
@@ -627,20 +666,25 @@ class TracePolicySimulator:
             yield (row[0], row[1], row[2], row[3], row[4], True, True)
 
     @staticmethod
-    def _chunk_stream_events(chunks):
+    def _chunk_stream_events(chunks, profiler=None):
         """Single-stream events over an iterator of time-ordered chunks.
 
         Equivalent to :meth:`_single_stream_events` on the concatenated
-        trace, but only one chunk's columns are live at a time.
+        trace, but only one chunk's columns are live at a time.  Each
+        chunk's span covers the *consumption* of its events by the
+        replay loop (the generator suspends inside the span), so the
+        per-chunk profile reflects replay time, not just decode time.
         """
+        prof = as_profiler(profiler)
         for chunk in chunks:
-            times = chunk.time_ns.tolist()
-            cpus = chunk.cpu.tolist()
-            pages = chunk.page.tolist()
-            weights = chunk.weight.tolist()
-            writes = chunk.is_write.tolist()
-            for row in zip(times, cpus, pages, weights, writes):
-                yield (row[0], row[1], row[2], row[3], row[4], True, True)
+            with prof.span("replay.chunk", items=len(chunk)):
+                times = chunk.time_ns.tolist()
+                cpus = chunk.cpu.tolist()
+                pages = chunk.page.tolist()
+                weights = chunk.weight.tolist()
+                writes = chunk.is_write.tolist()
+                for row in zip(times, cpus, pages, weights, writes):
+                    yield (row[0], row[1], row[2], row[3], row[4], True, True)
 
     @staticmethod
     def _merged_events(cost: Trace, driver: Trace):
@@ -708,64 +752,65 @@ class TracePolicySimulator:
             1, -(-cfg.op_cost_ns // max(cfg.remote_ns - cfg.local_ns, 1))
         )
         result = PolicySimResult(label=label)
-        placement = self.placement_for(trace, initial)
-        copies: Dict[int, Set[int]] = {}
-        remote_counts: Dict[int, "np.ndarray"] = {}
-        written: Set[int] = set()
-        cpu_nodes = self._cpu_nodes
-        local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
-        op_cost = cfg.op_cost_ns
-        local_stall = 0.0
-        times = trace.time_ns
-        cpus = trace.cpu
-        pages = trace.page
-        weights = trace.weight
-        writes_mask = trace.is_write
-        for i in range(len(trace)):
-            cpu = int(cpus[i])
-            page = int(pages[i])
-            weight = int(weights[i])
-            is_write = bool(writes_mask[i])
-            page_copies = copies.get(page)
-            if page_copies is None:
-                page_copies = copies[page] = {int(placement[page])}
-            node = int(cpu_nodes[cpu])
-            if is_write:
-                written.add(page)
-                if len(page_copies) > 1:
-                    keep = node if node in page_copies else min(page_copies)
+        with self.profiler.span("replay.competitive", items=len(trace)):
+            placement = self.placement_for(trace, initial)
+            copies: Dict[int, Set[int]] = {}
+            remote_counts: Dict[int, "np.ndarray"] = {}
+            written: Set[int] = set()
+            cpu_nodes = self._cpu_nodes
+            local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
+            op_cost = cfg.op_cost_ns
+            local_stall = 0.0
+            times = trace.time_ns
+            cpus = trace.cpu
+            pages = trace.page
+            weights = trace.weight
+            writes_mask = trace.is_write
+            for i in range(len(trace)):
+                cpu = int(cpus[i])
+                page = int(pages[i])
+                weight = int(weights[i])
+                is_write = bool(writes_mask[i])
+                page_copies = copies.get(page)
+                if page_copies is None:
+                    page_copies = copies[page] = {int(placement[page])}
+                node = int(cpu_nodes[cpu])
+                if is_write:
+                    written.add(page)
+                    if len(page_copies) > 1:
+                        keep = node if node in page_copies else min(page_copies)
+                        page_copies.clear()
+                        page_copies.add(keep)
+                        result.collapses += 1
+                        result.overhead_ns += op_cost
+                local = node in page_copies
+                result.total_misses += weight
+                if local:
+                    result.local_misses += weight
+                    result.stall_ns += weight * local_ns
+                    local_stall += weight * local_ns
+                    continue
+                result.stall_ns += weight * remote_ns
+                counts = remote_counts.get(page)
+                if counts is None:
+                    counts = remote_counts[page] = np.zeros(
+                        cfg.n_cpus, dtype=np.int64
+                    )
+                counts[cpu] += weight
+                if counts[cpu] < break_even:
+                    continue
+                result.hot_events += 1
+                if page in written and len(page_copies) == 1:
                     page_copies.clear()
-                    page_copies.add(keep)
-                    result.collapses += 1
-                    result.overhead_ns += op_cost
-            local = node in page_copies
-            result.total_misses += weight
-            if local:
-                result.local_misses += weight
-                result.stall_ns += weight * local_ns
-                local_stall += weight * local_ns
-                continue
-            result.stall_ns += weight * remote_ns
-            counts = remote_counts.get(page)
-            if counts is None:
-                counts = remote_counts[page] = np.zeros(
-                    cfg.n_cpus, dtype=np.int64
-                )
-            counts[cpu] += weight
-            if counts[cpu] < break_even:
-                continue
-            result.hot_events += 1
-            if page in written and len(page_copies) == 1:
-                page_copies.clear()
-                page_copies.add(node)
-                result.migrations += 1
-            else:
-                page_copies.add(node)
-                result.replications += 1
-            result.overhead_ns += op_cost
-            counts[:] = 0
-        result.extra["local_stall_ns"] = local_stall
-        result.extra["break_even_misses"] = float(break_even)
+                    page_copies.add(node)
+                    result.migrations += 1
+                else:
+                    page_copies.add(node)
+                    result.replications += 1
+                result.overhead_ns += op_cost
+                counts[:] = 0
+            result.extra["local_stall_ns"] = local_stall
+            result.extra["break_even_misses"] = float(break_even)
         return result
 
     @staticmethod

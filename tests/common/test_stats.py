@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.common.stats import (
     OnlineStats,
+    SampleStats,
     TimeWeightedValue,
     WeightedHistogram,
     percent_change,
@@ -207,3 +208,50 @@ class TestPercentChange:
 
     def test_zero_baseline(self):
         assert percent_change(0, 10) == 0.0
+
+
+class TestSampleStats:
+    def test_inherits_online_moments(self):
+        s = SampleStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.add(v)
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.samples == [1.0, 2.0, 3.0, 4.0]
+
+    def test_percentiles_match_numpy(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0, 100, size=200)
+        s = SampleStats()
+        for v in values:
+            s.add(float(v))
+        for q in (0, 25, 50, 95, 100):
+            assert s.percentile(q) == pytest.approx(
+                np.percentile(values, q), rel=1e-9
+            )
+
+    def test_empty_and_bounds(self):
+        s = SampleStats()
+        assert s.percentile(50) == 0.0
+        with pytest.raises(ValueError):
+            s.percentile(101)
+        with pytest.raises(ValueError):
+            s.percentile(-1)
+
+    def test_sample_retention_is_bounded(self):
+        s = SampleStats(max_samples=10)
+        for i in range(25):
+            s.add(float(i))
+        assert len(s.samples) == 10
+        assert s.count == 25           # moments still see everything
+        assert s.maximum == 24.0
+        assert s.percentile(100) == 9.0  # percentiles: earliest samples only
+
+    def test_to_dict_adds_percentiles(self):
+        s = SampleStats()
+        for v in (10.0, 20.0, 30.0):
+            s.add(v)
+        data = s.to_dict()
+        assert data["p50"] == pytest.approx(20.0)
+        assert data["p95"] == pytest.approx(29.0)
+        assert data["count"] == 3

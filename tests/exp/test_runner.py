@@ -159,3 +159,34 @@ class TestParallel:
         report = SweepRunner(cache=cache, jobs=2).run(specs)
         assert report.failures == []
         assert len(cache) == 2
+
+
+class TestSweepProfile:
+    def test_serial_phase_walls_and_task_stats(self):
+        report = SweepRunner(jobs=1).run(trace_specs(3))
+        assert set(report.phase_wall_s) == {"cache", "serial"}
+        assert all(v >= 0.0 for v in report.phase_wall_s.values())
+        assert report.task_stats.count == 3
+        assert report.task_stats.percentile(95) >= report.task_stats.percentile(50)
+
+    def test_parallel_records_pool_phase(self):
+        report = SweepRunner(jobs=2).run(trace_specs(3))
+        assert {"cache", "prewarm", "pool", "serial"} <= set(report.phase_wall_s)
+        assert report.task_stats.count == 3
+
+    def test_cached_tasks_excluded_from_task_stats(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, token="t")
+        specs = trace_specs(2)
+        SweepRunner(cache=cache, jobs=1).run(specs)
+        warm = SweepRunner(cache=cache, jobs=1).run(specs)
+        assert warm.task_stats.count == 0
+        assert warm.phase_wall_s["cache"] >= 0.0
+
+    def test_shared_profiler_sees_sweep_spans(self):
+        from repro.obs.prof import Profiler
+
+        profiler = Profiler()
+        SweepRunner(jobs=1, profiler=profiler).run(trace_specs(2))
+        names = [r.name for r in profiler.records if r.depth == 0]
+        assert names == ["sweep.run"]
+        assert profiler.items("sweep.run") == 2

@@ -1,0 +1,161 @@
+"""Bench artifacts: schema round-trips and regression-gate semantics."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ResultSchemaError
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchArtifact,
+    BenchMetric,
+    compare_artifacts,
+    format_comparison,
+    load_artifacts,
+    read_artifact,
+    regressions,
+)
+
+
+def make_artifact(**metric_overrides):
+    metrics = {
+        "speedup.all": BenchMetric(4.0, unit="x", tolerance=0.5),
+        "wall_s.scalar": BenchMetric(1.5, unit="s", direction="lower"),
+        "ratio.disabled": BenchMetric(
+            1.01, direction="lower", tolerance=0.10
+        ),
+    }
+    metrics.update(metric_overrides)
+    return BenchArtifact(
+        name="demo", metrics=metrics, context={"scale": 0.1}
+    )
+
+
+class TestBenchMetric:
+    def test_validation(self):
+        with pytest.raises(ResultSchemaError):
+            BenchMetric(1.0, direction="sideways")
+        with pytest.raises(ResultSchemaError):
+            BenchMetric(1.0, tolerance=-0.1)
+        metric = BenchMetric(2.0, unit="x", tolerance=0.5)
+        assert metric.direction == "higher"
+
+    def test_dict_round_trip(self):
+        metric = BenchMetric(3.5, unit="s", direction="lower", tolerance=0.2)
+        assert BenchMetric.from_dict(metric.to_dict()) == metric
+        ungated = BenchMetric(1.0)
+        assert BenchMetric.from_dict(ungated.to_dict()) == ungated
+
+
+class TestBenchArtifact:
+    def test_dict_round_trip(self):
+        artifact = make_artifact()
+        data = artifact.to_dict()
+        assert data["kind"] == "bench"
+        assert data["schema_version"] == BENCH_SCHEMA_VERSION
+        rebuilt = BenchArtifact.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == artifact
+
+    def test_bad_kind_and_version_rejected(self):
+        data = make_artifact().to_dict()
+        data["kind"] = "result"
+        with pytest.raises(ResultSchemaError):
+            BenchArtifact.from_dict(data)
+        data = make_artifact().to_dict()
+        data["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ResultSchemaError, match="schema"):
+            BenchArtifact.from_dict(data)
+
+    def test_write_read_and_load(self, tmp_path):
+        artifact = make_artifact()
+        path = artifact.write(tmp_path)
+        assert path.name == "BENCH_demo.json"
+        assert read_artifact(path) == artifact
+        other = BenchArtifact(name="other", metrics={}, context={})
+        other.write(tmp_path)
+        loaded = load_artifacts(tmp_path)
+        assert set(loaded) == {"demo", "other"}
+        assert loaded["demo"] == artifact
+
+    def test_load_ignores_unrelated_files(self, tmp_path):
+        (tmp_path / "notes.json").write_text("{}")
+        make_artifact().write(tmp_path)
+        assert set(load_artifacts(tmp_path)) == {"demo"}
+
+    def test_add_builds_metrics(self):
+        artifact = BenchArtifact(name="x", metrics={}, context={})
+        artifact.add("m", 2.0, unit="x", direction="higher", tolerance=0.5)
+        assert artifact.metrics["m"].value == 2.0
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        current = {"demo": make_artifact(
+            **{"speedup.all": BenchMetric(3.8, unit="x", tolerance=0.5)}
+        )}
+        baseline = {"demo": make_artifact()}
+        deltas = compare_artifacts(current, baseline)
+        assert regressions(deltas) == []
+        # Ungated metrics appear as informational rows, never regress.
+        wall = next(d for d in deltas if d.metric == "wall_s.scalar")
+        assert wall.tolerance is None
+        assert not wall.regressed
+
+    def test_higher_direction_regression(self):
+        # speedup.all gated at tolerance 0.5: 4.0 * (1 - 0.5) = 2.0 floor.
+        current = {"demo": make_artifact(
+            **{"speedup.all": BenchMetric(1.9, unit="x", tolerance=0.5)}
+        )}
+        deltas = compare_artifacts(current, {"demo": make_artifact()})
+        (bad,) = regressions(deltas)
+        assert bad.metric == "speedup.all"
+        assert bad.regressed
+
+    def test_lower_direction_regression(self):
+        # ratio.disabled gated lower at 0.10: 1.01 * 1.10 = 1.111 ceiling.
+        current = {"demo": make_artifact(
+            **{"ratio.disabled": BenchMetric(
+                1.2, direction="lower", tolerance=0.10
+            )}
+        )}
+        deltas = compare_artifacts(current, {"demo": make_artifact()})
+        (bad,) = regressions(deltas)
+        assert bad.metric == "ratio.disabled"
+
+    def test_baseline_tolerance_governs_gating(self):
+        # The current side dropping its tolerance must not un-gate.
+        current = {"demo": make_artifact(
+            **{"speedup.all": BenchMetric(1.0, unit="x", tolerance=None)}
+        )}
+        deltas = compare_artifacts(current, {"demo": make_artifact()})
+        assert len(regressions(deltas)) == 1
+
+    def test_gated_metric_missing_from_current_regresses(self):
+        current_artifact = make_artifact()
+        del current_artifact.metrics["speedup.all"]
+        deltas = compare_artifacts(
+            {"demo": current_artifact}, {"demo": make_artifact()}
+        )
+        (bad,) = regressions(deltas)
+        assert bad.metric == "speedup.all"
+        assert bad.current is None
+
+    def test_bench_missing_on_either_side_is_ungated(self):
+        only_current = {"demo": make_artifact()}
+        only_baseline = {"demo": make_artifact()}
+        deltas = compare_artifacts(only_current, {})
+        assert regressions(deltas) == []
+        assert any("not in baseline" in d.note for d in deltas)
+        deltas = compare_artifacts({}, only_baseline)
+        assert regressions(deltas) == []
+
+    def test_format_comparison_mentions_verdicts(self):
+        current = {"demo": make_artifact(
+            **{"speedup.all": BenchMetric(1.0, unit="x", tolerance=0.5)}
+        )}
+        text = format_comparison(
+            compare_artifacts(current, {"demo": make_artifact()})
+        )
+        assert "REGRESS" in text
+        assert "speedup.all" in text
+        assert "ok" in text

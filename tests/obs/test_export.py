@@ -8,6 +8,7 @@ from repro.common.errors import TraceError
 from repro.obs.events import (
     EVENT_TYPES,
     CollapseEvent,
+    EngineFallback,
     HotPageTriggered,
     IntervalReset,
     MigrationDecision,
@@ -15,6 +16,7 @@ from repro.obs.events import (
     NoActionDecision,
     ReplicationDecision,
     ShootdownEvent,
+    SpanEvent,
     TriggerAdjusted,
     event_from_dict,
 )
@@ -53,6 +55,10 @@ SAMPLE_EVENTS = [
     IntervalReset(t=800, index=0, tracked_pages=5, triggers=2),
     TriggerAdjusted(t=900, old_trigger=128, new_trigger=64,
                     overhead_fraction=0.01, remote_fraction=0.4),
+    EngineFallback(t=0, requested="auto", chosen="scalar",
+                   reason="active tracer"),
+    SpanEvent(t=1000, name="engine.scalar", path="replay.dynamic/engine.scalar",
+              dur_ns=5_000_000, depth=1, items=1234, alloc_bytes=4096),
 ]
 
 
@@ -115,27 +121,41 @@ class TestChromeTrace:
     def test_structure(self, tmp_path):
         payload = to_chrome_trace(SAMPLE_EVENTS)
         events = payload["traceEvents"]
-        # 5 instant kinds + 1 interval slice (miss/shootdown/trigger skipped).
-        assert len(events) == 6
+        # 6 instant kinds + 1 interval slice + 1 profiler span
+        # (miss/shootdown/trigger skipped).
+        assert len(events) == 8
         instants = [e for e in events if e["ph"] == "i"]
         slices = [e for e in events if e["ph"] == "X"]
-        assert len(instants) == 5
-        assert len(slices) == 1
-        assert slices[0]["tid"] == -1
-        assert slices[0]["ts"] == 0.0
-        assert slices[0]["dur"] == pytest.approx(0.8)  # 800 ns in us
+        assert len(instants) == 6
+        assert len(slices) == 2
+        interval = next(e for e in slices if e["tid"] == -1)
+        assert interval["ts"] == 0.0
+        assert interval["dur"] == pytest.approx(0.8)  # 800 ns in us
         # Decisions land on the acting CPU's track, ts in microseconds.
         migr = next(e for e in instants if e["name"] == "migration")
         assert migr["tid"] == 1
         assert migr["ts"] == pytest.approx(0.3)
         assert migr["args"]["outcome"] == "migrated"
 
+    def test_span_renders_as_profiler_track_slice(self):
+        payload = to_chrome_trace(SAMPLE_EVENTS)
+        span = next(
+            e for e in payload["traceEvents"] if e["tid"] == -2
+        )
+        assert span["ph"] == "X"
+        assert span["name"] == "replay.dynamic/engine.scalar"
+        assert span["ts"] == pytest.approx(1.0)       # 1000 ns in us
+        assert span["dur"] == pytest.approx(5000.0)   # 5 ms in us
+        assert span["args"] == {
+            "depth": 1, "items": 1234, "alloc_bytes": 4096
+        }
+
     def test_write_chrome_trace(self, tmp_path):
         path = str(tmp_path / "chrome.json")
         written = write_chrome_trace(SAMPLE_EVENTS, path)
         with open(path) as fh:
             payload = json.load(fh)
-        assert written == len(payload["traceEvents"]) == 6
+        assert written == len(payload["traceEvents"]) == 8
 
 
 class TestIntervalSummary:

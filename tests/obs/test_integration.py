@@ -21,6 +21,7 @@ from repro.obs.events import (
     ShootdownEvent,
 )
 from repro.obs.export import JsonlSink, read_events
+from repro.obs.prof import Profiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import CountingSink, ListSink, Tracer
 from repro.policy.parameters import PolicyParameters
@@ -249,3 +250,44 @@ class TestPolicySimTracing:
                 plain.replications, plain.collapses, plain.no_actions) == (
             traced.stall_ns, traced.overhead_ns, traced.migrations,
             traced.replications, traced.collapses, traced.no_actions)
+
+
+class TestProfilerTransparency:
+    """Profiling observes wall-clock only; results never shift."""
+
+    def test_system_sim_results_identical_with_profiling(self, engineering):
+        spec, trace = engineering
+        baseline = _run(spec, trace)
+        profiler = Profiler()
+        sim = SystemSimulator(
+            spec,
+            params=PolicyParameters.engineering_base(),
+            options=SimulatorOptions(dynamic=True),
+            profiler=profiler,
+        )
+        profiled = sim.run(trace)
+        helper = TestTransparency()
+        assert helper._summary(profiled) == helper._summary(baseline)
+        paths = {r.path for r in profiler.records}
+        assert "sim.run" in paths
+        assert "sim.run/sim.replay" in paths
+        assert profiler.items("sim.run") == len(trace)
+
+    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    def test_policysim_byte_identical_with_profiling(self, engineering, engine):
+        spec, trace = engineering
+        config = PolicySimConfig(
+            n_cpus=spec.n_cpus, n_nodes=spec.n_nodes, engine=engine
+        )
+        params = PolicyParameters.engineering_base()
+        plain = TracePolicySimulator(config).simulate_dynamic(
+            trace.user_only(), params
+        )
+        profiler = Profiler()
+        profiled = TracePolicySimulator(
+            config, profiler=profiler
+        ).simulate_dynamic(trace.user_only(), params)
+        assert profiled.to_dict() == plain.to_dict()
+        names = {r.name for r in profiler.records}
+        assert "replay.dynamic" in names
+        assert f"engine.{engine}" in names

@@ -1,0 +1,273 @@
+"""The span profiler: nesting, zero-cost disable, reports, exports."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ResultSchemaError
+from repro.obs.events import SpanEvent
+from repro.obs.export import to_chrome_trace, write_jsonl, read_events
+from repro.obs.prof import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    RunReport,
+    SpanRecord,
+    _NULL_SPAN,
+    as_profiler,
+    peak_rss_bytes,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.sim.results import RESULT_SCHEMA_VERSION
+
+
+def fake_clock(step_ns=1000):
+    """A deterministic perf_counter_ns stand-in advancing per call."""
+    state = {"now": 0}
+
+    def clock():
+        state["now"] += step_ns
+        return state["now"]
+
+    return clock
+
+
+class TestSpanNesting:
+    def test_paths_and_depths(self):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("outer"):
+            with prof.span("middle"):
+                with prof.span("inner"):
+                    pass
+            with prof.span("sibling"):
+                pass
+        paths = [r.path for r in prof.records]
+        # Children close before parents (close order).
+        assert paths == [
+            "outer/middle/inner", "outer/middle", "outer/sibling", "outer",
+        ]
+        depths = {r.path: r.depth for r in prof.records}
+        assert depths["outer"] == 0
+        assert depths["outer/middle"] == 1
+        assert depths["outer/middle/inner"] == 2
+
+    def test_wall_time_from_injected_clock(self):
+        prof = Profiler(clock=fake_clock(step_ns=500))
+        with prof.span("a"):
+            pass
+        (record,) = prof.records
+        assert record.wall_ns == 500
+        assert prof.total_ns == 500
+
+    def test_sequential_top_level_spans_sum(self):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("a"):
+            pass
+        with prof.span("b"):
+            pass
+        assert prof.total_ns == 2000
+        assert [r.depth for r in prof.records] == [0, 0]
+
+    def test_out_of_order_close_raises(self):
+        prof = Profiler(clock=fake_clock())
+        outer = prof.span("outer")
+        inner = prof.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ConfigurationError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_exception_still_closes_span(self):
+        prof = Profiler(clock=fake_clock())
+        with pytest.raises(RuntimeError):
+            with prof.span("outer"):
+                raise RuntimeError("boom")
+        assert [r.path for r in prof.records] == ["outer"]
+        assert prof._stack == []
+
+
+class TestItemsAndThroughput:
+    def test_items_accumulate_per_path(self):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("replay", items=100):
+            pass
+        with prof.span("replay") as span:
+            span.add_items(50)
+        assert prof.items("replay") == 150
+        stats = prof.stats()["replay"]
+        assert stats.count == 2
+
+    def test_items_per_s(self):
+        record = SpanRecord(
+            name="x", path="x", start_ns=0, wall_ns=1_000_000_000, items=500
+        )
+        assert record.items_per_s == pytest.approx(500.0)
+        empty = SpanRecord(name="x", path="x", start_ns=0, wall_ns=0)
+        assert empty.items_per_s == 0.0
+
+    def test_summary_table_mentions_paths(self):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("phase.one", items=10):
+            pass
+        text = prof.summary()
+        assert "phase.one" in text
+        assert "items/s" in text
+        assert "(no spans recorded)" in Profiler(clock=fake_clock()).summary()
+
+
+class TestDisabled:
+    def test_disabled_profiler_reuses_null_span(self):
+        prof = Profiler(enabled=False)
+        assert prof.span("anything") is _NULL_SPAN
+        assert prof.span("other", items=5) is _NULL_SPAN
+        assert not prof.active
+        with prof.span("x") as span:
+            span.add_items(3)
+        assert prof.records == []
+
+    def test_null_profiler_is_inert(self):
+        assert NULL_PROFILER.span("x") is _NULL_SPAN
+        assert NULL_PROFILER.records == ()
+        assert NULL_PROFILER.total_ns == 0
+        assert NULL_PROFILER.stats() == {}
+        assert NULL_PROFILER.span_events() == []
+        assert "disabled" in NULL_PROFILER.summary()
+        NULL_PROFILER.register_into(MetricsRegistry())
+        NULL_PROFILER.close()
+
+    def test_as_profiler_normalises(self):
+        assert as_profiler(None) is NULL_PROFILER
+        prof = Profiler()
+        assert as_profiler(prof) is prof
+        assert isinstance(NULL_PROFILER, NullProfiler)
+
+
+class TestTracemalloc:
+    def test_alloc_delta_recorded(self):
+        prof = Profiler(trace_malloc=True)
+        try:
+            with prof.span("alloc"):
+                blob = [bytearray(64 * 1024) for _ in range(4)]
+            assert len(blob) == 4
+            (record,) = prof.records
+            # blob (256 KiB) is still referenced when the span closes.
+            assert record.alloc_bytes > 200 * 1024
+            with prof.span("alloc2"):
+                keep = bytearray(256 * 1024)
+                assert keep is not None
+                del keep
+        finally:
+            prof.close()
+
+    def test_close_stops_owned_tracing(self):
+        import tracemalloc
+
+        was_tracing = tracemalloc.is_tracing()
+        prof = Profiler(trace_malloc=True)
+        prof.close()
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_without_malloc_delta_is_zero(self):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("x"):
+            data = bytearray(1024)
+            assert data is not None
+        assert prof.records[0].alloc_bytes == 0
+
+
+class TestRegistryIntegration:
+    def test_register_into_surfaces_spans(self):
+        prof = Profiler(clock=fake_clock())
+        registry = MetricsRegistry()
+        with prof.span("early"):
+            pass
+        prof.register_into(registry)
+        # Paths recorded after registration attach too (by reference).
+        with prof.span("late"):
+            pass
+        collected = registry.collect()
+        assert collected["prof.spans"] == 2.0
+        assert collected["prof.peak_rss_bytes"] > 0
+        span_keys = [k for k in collected if k.startswith("prof.span{")]
+        assert any("early" in k for k in span_keys)
+        assert any("late" in k for k in span_keys)
+
+    def test_peak_rss_is_plausible(self):
+        rss = peak_rss_bytes()
+        # A running CPython process is at least a few MB resident.
+        assert rss > 4 * 1024 * 1024
+
+
+class TestSpanEvents:
+    def test_spans_emit_to_tracer(self):
+        tracer = Tracer(capacity=64)
+        prof = Profiler(clock=fake_clock(), tracer=tracer)
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+        kinds = [e.KIND for e in tracer.events()]
+        assert kinds == ["span", "span"]
+        inner = tracer.events()[0]
+        assert inner.path == "outer/inner"
+        assert inner.dur_ns > 0
+
+    def test_span_event_jsonl_round_trip(self, tmp_path):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("a", items=7):
+            pass
+        path = str(tmp_path / "spans.jsonl")
+        write_jsonl(prof.span_events(), path)
+        (event,) = read_events(path)
+        assert isinstance(event, SpanEvent)
+        assert event.items == 7
+        assert event.name == "a"
+
+    def test_chrome_trace_renders_span_track(self):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("phase"):
+            pass
+        payload = to_chrome_trace(prof.span_events())
+        (slice_,) = payload["traceEvents"]
+        assert slice_["tid"] == -2
+        assert slice_["ph"] == "X"
+        assert slice_["name"] == "phase"
+
+
+class TestRunReport:
+    def make_report(self):
+        prof = Profiler(clock=fake_clock())
+        with prof.span("sim.run", items=10):
+            with prof.span("sim.replay", items=10):
+                pass
+        return RunReport.from_profiler(
+            "unit-test", prof, command="pytest",
+            metrics={"replay.engine.vector": 1.0},
+            context={"workload": "raytrace"},
+        )
+
+    def test_from_profiler_snapshot(self):
+        report = self.make_report()
+        assert report.label == "unit-test"
+        # Fake clock: origin 1000, sim.run spans ticks 2000..5000.
+        assert report.wall_ns == 3000
+        assert report.peak_rss > 0
+        assert len(report.spans) == 2
+
+    def test_dict_round_trip(self):
+        report = self.make_report()
+        data = report.to_dict()
+        assert data["kind"] == "report"
+        assert data["schema_version"] == RESULT_SCHEMA_VERSION
+        rebuilt = RunReport.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == report
+
+    def test_schema_mismatch_rejected(self):
+        data = self.make_report().to_dict()
+        data["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ResultSchemaError):
+            RunReport.from_dict(data)
+        data = self.make_report().to_dict()
+        data["kind"] = "result"
+        with pytest.raises(ResultSchemaError):
+            RunReport.from_dict(data)

@@ -204,7 +204,7 @@ def test_tracesim_trace_out(tmp_path, capsys):
     assert events
     assert {e.KIND for e in events} <= {
         "hot-page", "migration", "replication", "no-action",
-        "collapse", "interval-reset",
+        "collapse", "interval-reset", "engine-fallback",
     }
 
 
@@ -398,3 +398,120 @@ class TestTraceCommands:
         ) == 0
         stats = json.loads(stats_path.read_text())
         assert stats["trace_store"]["stores"] + stats["trace_store"]["hits"] >= 1
+
+
+class TestBenchCommand:
+    """Artifact validation and regression gating, without running pytest."""
+
+    def _artifact(self, speedup=4.0):
+        from repro.obs.bench import BenchArtifact, BenchMetric
+
+        return BenchArtifact(
+            name="demo",
+            metrics={
+                "speedup.all": BenchMetric(speedup, unit="x", tolerance=0.5),
+                "wall_s": BenchMetric(1.0, unit="s", direction="lower"),
+            },
+            context={"scale": 0.1},
+        )
+
+    def _bench_dir(self, tmp_path, **kwargs):
+        bench_dir = tmp_path / "benchmarks"
+        self._artifact(**kwargs).write(bench_dir / "results")
+        return bench_dir
+
+    def test_compare_only_passes_within_band(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        baseline = tmp_path / "baseline"
+        self._artifact(speedup=4.2).write(baseline)
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(bench_dir),
+            "--compare", str(baseline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+        assert "Bench artifacts" in out
+
+    def test_compare_only_regression_exits_nonzero(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path, speedup=1.0)
+        baseline = tmp_path / "baseline"
+        self._artifact(speedup=4.0).write(baseline)  # floor 2.0 > 1.0
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(bench_dir),
+            "--compare", str(baseline),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESS" in captured.out
+        assert "demo/speedup.all regressed" in captured.err
+
+    def test_compare_against_single_file(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        baseline = self._artifact().write(tmp_path / "baseline")
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(bench_dir),
+            "--compare", str(baseline),
+        ]) == 0
+
+    def test_no_artifacts_is_an_error(self, tmp_path, capsys):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(bench_dir),
+        ]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_unknown_bench_name_is_an_error(self, tmp_path, capsys):
+        assert main([
+            "bench", "--names", "nosuch", "--bench-dir", str(tmp_path),
+        ]) == 2
+        assert "no such bench" in capsys.readouterr().err
+
+    def test_write_baseline_copies_artifacts(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        baseline = tmp_path / "new-baseline"
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(bench_dir),
+            "--write-baseline", str(baseline),
+        ]) == 0
+        assert (baseline / "BENCH_demo.json").is_file()
+
+
+class TestProfileOut:
+    def test_run_profile_out(self, tmp_path, capsys):
+        from repro.obs.prof import RunReport
+
+        path = tmp_path / "profile.json"
+        assert main([
+            "run", "--workload", "database", "--scale", "0.05",
+            "--profile-out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote profile" in out
+        assert "sim.run" in out  # the summary table
+        with open(path) as fh:
+            report = RunReport.from_dict(json.load(fh))
+        paths = {s.path for s in report.spans}
+        assert "sim.run" in paths
+        assert "sim.run/sim.replay" in paths
+        assert report.label == "run/database"
+        assert report.wall_ns > 0
+
+    def test_trace_replay_profile_out(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.prof import RunReport
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "store"))
+        assert main([
+            "trace", "record", "--workload", "database", "--scale", "0.05",
+        ]) == 0
+        path = tmp_path / "profile.json"
+        assert main([
+            "trace", "replay", "--workload", "database", "--scale", "0.05",
+            "--profile-out", str(path),
+        ]) == 0
+        with open(path) as fh:
+            report = RunReport.from_dict(json.load(fh))
+        names = {s.name for s in report.spans}
+        # One profile covers the store decode and the policy replay.
+        assert "store.chunk" in names
+        assert "replay.chunks" in names
+        assert report.metrics  # replay stats snapshot rides along

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ConfigurationError
+from repro.obs.events import EngineFallback
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.policy.metrics import (
@@ -235,7 +236,16 @@ class TestEngineSelection:
         ).simulate_dynamic(trace, self.params())
         assert traced.to_dict() == plain.to_dict()
         assert registry.counter("replay.engine.scalar").value == 1
-        assert registry.counter("replay.engine.fallbacks").value == 1
+        assert registry.counter("replay.engine.fallback").value == 1
+        # The fallback is also an explicit, inspectable warning event.
+        fallbacks = [
+            e for e in sim.tracer.events()
+            if isinstance(e, EngineFallback)
+        ]
+        assert len(fallbacks) == 1
+        assert fallbacks[0].requested == "auto"
+        assert fallbacks[0].chosen == "scalar"
+        assert "tracer" in fallbacks[0].reason
 
     def test_engine_choice_counted(self):
         registry = MetricsRegistry()
@@ -245,7 +255,7 @@ class TestEngineSelection:
         trace = random_trace(np.random.default_rng(4), n_events=200)
         sim.simulate_dynamic(trace, self.params())
         assert registry.counter("replay.engine.vector").value == 1
-        assert registry.counter("replay.engine.fallbacks").value == 0
+        assert registry.counter("replay.engine.fallback").value == 0
 
     def test_competitive_is_scalar_only(self):
         sim = TracePolicySimulator(
