@@ -14,6 +14,12 @@ phase.  This bench holds the promise to numbers:
   span seams are phase-level, so the disabled path is a handful of
   no-op ``span()`` calls per run.
 
+A second artifact (``obs_analyze``) gates the *enabled* analysis path:
+post-hoc attribution of a miss-traced decision log must stay cheap
+relative to the traced replay that produced it — the analyzer is one
+streaming pass over the events, so if its wall time creeps toward the
+simulation's, something in ``repro.obs.attrib`` went quadratic.
+
 Timing uses best-of-N with alternating order so scheduler noise and
 cache warmup hit both variants evenly.  ``REPRO_OBS_BENCH_SCALE``
 overrides the workload scale (default 0.25, the issue's reference
@@ -26,10 +32,12 @@ import time
 from conftest import params_for
 
 from repro.analysis.tables import format_table
+from repro.obs.attrib import Attribution, expected_from_policysim
 from repro.obs.prof import Profiler
 from repro.obs.registry import MetricsRegistry
-from repro.obs.tracer import CountingSink, Tracer
+from repro.obs.tracer import CountingSink, ListSink, Tracer
 from repro.sim.simulator import SimulatorOptions, SystemSimulator
+from repro.trace.policysim import PolicySimConfig, TracePolicySimulator
 from repro.workloads import build_spec, generate_trace
 
 #: The issue's reference point: the engineering workload at scale 0.25.
@@ -37,6 +45,9 @@ OBS_BENCH_SCALE = float(os.environ.get("REPRO_OBS_BENCH_SCALE", "0.25"))
 ROUNDS = 3
 TRACER_TOLERANCE = 1.05
 PROFILER_TOLERANCE = 1.02
+#: Analyzing a log must cost at most as much as the traced replay that
+#: wrote it (in practice it is a small fraction of it).
+ANALYZE_TOLERANCE = 1.0
 
 
 def _run(spec, trace, tracer=None, metrics=None, profiler=None) -> float:
@@ -118,4 +129,70 @@ def test_disabled_instrumentation_overhead(report, once):
     assert profiler_ratio <= PROFILER_TOLERANCE, (
         f"disabled profiler cost {100 * (profiler_ratio - 1):.1f}% "
         f"(budget {100 * (PROFILER_TOLERANCE - 1):.0f}%)"
+    )
+
+
+def test_analyzer_overhead(report, once):
+    """Post-hoc attribution vs. the traced replay that fed it."""
+    spec = build_spec("engineering", scale=OBS_BENCH_SCALE, seed=0)
+    trace = generate_trace(spec)
+    stream = trace.user_only()
+    params = params_for("engineering")
+    config = PolicySimConfig(
+        n_cpus=spec.n_cpus, n_nodes=spec.n_nodes, engine="scalar"
+    )
+
+    def compute():
+        replay_s, analyze_s = [], []
+        events, result, attrib = [], None, None
+        for _ in range(ROUNDS):
+            sink = ListSink()
+            tracer = Tracer(capacity=1, sinks=[sink])
+            sim = TracePolicySimulator(config, tracer=tracer)
+            start = time.perf_counter()
+            result = sim.simulate_dynamic(stream, params)
+            replay_s.append(time.perf_counter() - start)
+            tracer.close()
+            events = sink.events
+            start = time.perf_counter()
+            attrib = Attribution.from_events(events)
+            analyze_s.append(time.perf_counter() - start)
+        errors = attrib.reconcile(expected_from_policysim(result))
+        return {
+            "replay": min(replay_s),
+            "analyze": min(analyze_s),
+            "events": len(events),
+            "errors": errors,
+        }
+
+    best = once(compute)
+    ratio = best["analyze"] / best["replay"]
+    events_per_s = best["events"] / best["analyze"]
+
+    run = report("obs_analyze", scale=OBS_BENCH_SCALE, rounds=ROUNDS)
+    run.metric(
+        "ratio.analyze_vs_traced_replay", ratio,
+        direction="lower", tolerance=0.25,
+    )
+    run.metric("wall_s.analyze", best["analyze"], unit="s",
+               direction="lower")
+    run.metric("events_per_s", events_per_s, unit="ev/s")
+    run.emit(
+        format_table(
+            f"Analyzer throughput (engineering, scale {OBS_BENCH_SCALE})",
+            ["Stage", "Best wall time (s)", "Events", "Ratio"],
+            [
+                ["traced scalar replay", best["replay"], best["events"],
+                 1.0],
+                ["attribution pass", best["analyze"], best["events"],
+                 ratio],
+            ],
+        ),
+    )
+    assert best["errors"] == [], (
+        f"attribution failed to reconcile: {best['errors']}"
+    )
+    assert ratio <= ANALYZE_TOLERANCE, (
+        f"analyzing cost {ratio:.2f}x the traced replay "
+        f"(budget {ANALYZE_TOLERANCE:.2f}x)"
     )

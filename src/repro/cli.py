@@ -10,6 +10,9 @@ The subcommands cover the common flows:
 * ``repro chains`` — Figure 4's read-chain analysis for one workload;
 * ``repro inspect`` — replay a ``--trace-out`` JSONL log into per-page
   decision histories, summaries and Chrome trace timelines;
+* ``repro analyze`` — post-hoc stall-time attribution over a log:
+  per-page/per-node/per-interval stall, the per-decision payoff ledger,
+  and ``analyze diff A B`` run comparison (``docs/OBSERVABILITY.md``);
 * ``repro sweep`` — run a grid of experiments in parallel through the
   content-addressed result cache (``docs/SWEEPS.md``);
 * ``repro figures`` — regenerate figure tables from (cached) sweeps;
@@ -26,6 +29,9 @@ Examples::
     repro tracesim --workload raytrace --scale 0.25 --metrics
     repro chains --workload database --scale 0.25
     repro inspect run.jsonl --page 512
+    repro tracesim --workload engineering --trace-out mr.jsonl --trace-misses
+    repro analyze mr.jsonl --ledger
+    repro analyze diff scalar.jsonl auto.jsonl
     repro sweep --grid fig9 --jobs 4 --scale 0.25
     repro figures --figure fig9 --jobs 4
     repro trace record --scale 0.25
@@ -56,10 +62,24 @@ from repro.exp.spec import (
     sweep,
 )
 from repro.kernel.vm.shootdown import ShootdownMode
+from repro.obs.attrib import (
+    Attribution,
+    diff_attributions,
+    expected_from_policysim,
+    expected_from_system,
+    format_diff,
+    format_ledger,
+    format_nodes,
+    format_page,
+    format_summary,
+    format_top_pages,
+    sweep_attribution,
+)
 from repro.obs.events import ALL_KINDS, MissServiced
 from repro.obs.export import (
     JsonlSink,
     interval_summary,
+    iter_events,
     read_events,
     write_chrome_trace,
 )
@@ -140,6 +160,51 @@ def _write_profile(
     print(f"wrote profile ({len(report.spans)} spans) to {args.profile_out}")
 
 
+def _window_ns(args: argparse.Namespace):
+    """(since_ns, until_ns) from the --since/--until millisecond flags."""
+    since = getattr(args, "since", None)
+    until = getattr(args, "until", None)
+    return (
+        int(since * 1e6) if since is not None else None,
+        int(until * 1e6) if until is not None else None,
+    )
+
+
+def _reconcile_trace(path: str, expected: dict) -> Attribution:
+    """Re-attribute a just-written log and enforce conservation.
+
+    Streams the log back through :class:`Attribution` and checks the
+    attributed totals against the run's recorded result.  Raises
+    :class:`~repro.common.errors.TraceError` listing every mismatch —
+    a conservation failure means the log and the result disagree, which
+    must never pass silently.
+    """
+    attrib = Attribution.from_events(iter_events(path))
+    errors = attrib.reconcile(expected)
+    if errors:
+        raise TraceError(
+            "attribution conservation failed for "
+            + path
+            + ": "
+            + "; ".join(errors)
+        )
+    return attrib
+
+
+def _attrib_metrics(attrib: Attribution) -> dict:
+    """Aggregated attribution as ``attrib.*`` RunReport metrics."""
+    return {
+        "attrib.events": attrib.events,
+        "attrib.pages": len(attrib.pages),
+        "attrib.stall_ns": attrib.stall_ns,
+        "attrib.local_stall_ns": attrib.local_stall_ns,
+        "attrib.action_cost_ns": attrib.action_cost_ns,
+        "attrib.shootdown_cost_ns": attrib.shootdown_cost_ns,
+        "attrib.decisions": attrib.decisions,
+        "attrib.regrets": len(attrib.regrets),
+    }
+
+
 def _make_tracer(path: str, include_misses: bool) -> Tracer:
     """A tracer streaming to ``path``.
 
@@ -166,6 +231,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.trace_out
         else None
     )
+    attrib = None
     profiler = _make_profiler(args)
     if tracer is None and profiler is None and args.jobs > 1:
         # The two legs are independent: run them in worker processes.
@@ -221,6 +287,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"adaptive trigger settled at {mr.extra['final_trigger']:.0f}")
     if tracer is not None:
         print(f"wrote {tracer.emitted} events to {args.trace_out}")
+        try:
+            attrib = _reconcile_trace(args.trace_out, expected_from_system(mr))
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"attribution reconciled: {attrib.events} events over "
+            f"{len(attrib.pages)} pages, {len(attrib.intervals)} intervals"
+        )
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             json.dump(mr.metrics, fh, indent=2, sort_keys=True)
@@ -228,6 +303,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote {len(mr.metrics)} metrics to {args.metrics_out}")
     _write_profile(
         args, f"run/{args.workload}", profiler,
+        metrics=_attrib_metrics(attrib) if attrib is not None else None,
         context={"workload": args.workload, "scale": args.scale,
                  "seed": args.seed, "machine": args.machine},
     )
@@ -246,10 +322,11 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
     # The traced simulator records only the flagship run (the full-cache
     # Mig/Rep policy) so one log holds one coherent decision stream.
     tracer = (
-        _make_tracer(args.trace_out, include_misses=False)
+        _make_tracer(args.trace_out, include_misses=args.trace_misses)
         if args.trace_out
         else None
     )
+    traced_result = None
     traced_sim = (
         TracePolicySimulator(config, tracer=tracer, profiler=profiler)
         if tracer
@@ -263,6 +340,8 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
                 runner = traced_sim if i == 0 else sim
                 r = runner.simulate_dynamic(user, params, metric=metric,
                                             label=metric.label)
+                if runner is traced_sim and tracer is not None:
+                    traced_result = r
                 rows.append(
                     [r.label, r.local_fraction * 100, r.stall_ns / 1e9,
                      r.overhead_ns / 1e9,
@@ -286,6 +365,8 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
                     user, factory(trigger_threshold=params.trigger_threshold),
                     label=label,
                 )
+                if runner is traced_sim and tracer is not None:
+                    traced_result = r
                 rows.append(
                     [label, r.local_fraction * 100, r.stall_ns / 1e9,
                      r.overhead_ns / 1e9,
@@ -307,10 +388,25 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    attrib = None
     if tracer is not None:
         print(f"wrote {tracer.emitted} events to {args.trace_out}")
+        if traced_result is not None:
+            try:
+                attrib = _reconcile_trace(
+                    args.trace_out, expected_from_policysim(traced_result)
+                )
+            except TraceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"attribution reconciled: {attrib.events} events over "
+                f"{len(attrib.pages)} pages, "
+                f"{len(attrib.intervals)} intervals"
+            )
     _write_profile(
         args, f"tracesim/{args.workload}", profiler,
+        metrics=_attrib_metrics(attrib) if attrib is not None else None,
         context={"workload": args.workload, "scale": args.scale,
                  "seed": args.seed,
                  "engine": args.engine or "auto"},
@@ -372,8 +468,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 def cmd_inspect(args: argparse.Namespace) -> int:
     """Replay a JSONL event log: summary, page history or conversions."""
+    since_ns, until_ns = _window_ns(args)
     try:
-        events = read_events(args.path)
+        events = read_events(args.path, since_ns=since_ns, until_ns=until_ns)
     except (OSError, TraceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -394,6 +491,87 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(interval_summary(events))
         return 0
     print(summarize(events))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Attribute stall time, audit decision payoff, or diff two runs.
+
+    Exit codes follow ``diff``'s convention in diff mode: 0 when the
+    runs are identical at page granularity, 1 when they diverge, 2 on a
+    usage or read error.
+    """
+    since_ns, until_ns = _window_ns(args)
+    paths = args.paths
+    try:
+        if paths[0] == "diff":
+            if len(paths) != 3:
+                print("error: diff takes exactly two logs: "
+                      "repro analyze diff A.jsonl B.jsonl", file=sys.stderr)
+                return 2
+            a = Attribution.from_events(
+                iter_events(paths[1], since_ns, until_ns)
+            )
+            b = Attribution.from_events(
+                iter_events(paths[2], since_ns, until_ns)
+            )
+            delta = diff_attributions(a, b)
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    json.dump(delta.to_dict(), fh, indent=2)
+                    fh.write("\n")
+                print(f"wrote diff to {args.json}")
+            print(f"A: {paths[1]}\nB: {paths[2]}")
+            print(format_diff(delta, top=args.top))
+            return 0 if delta.is_identical else 1
+        if len(paths) != 1:
+            print("error: analyze takes one log (or: diff A B)",
+                  file=sys.stderr)
+            return 2
+        attrib = Attribution.from_events(
+            iter_events(paths[0], since_ns, until_ns)
+        )
+    except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(attrib.to_dict(top=args.top), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote attribution to {args.json}")
+    if args.series_out:
+        with open(args.series_out, "w", encoding="utf-8") as fh:
+            for row in attrib.interval_series():
+                fh.write(json.dumps(row, separators=(",", ":")))
+                fh.write("\n")
+        print(
+            f"wrote {len(attrib.intervals)} interval rows to "
+            f"{args.series_out}"
+        )
+    if args.chrome:
+        payload = {
+            "traceEvents": attrib.chrome_counters(),
+            "displayTimeUnit": "ms",
+        }
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+        print(
+            f"wrote {len(payload['traceEvents'])} counter samples to "
+            f"{args.chrome}"
+        )
+    if args.page is not None:
+        print(format_page(attrib, args.page))
+        return 0
+    if args.nodes:
+        print(format_nodes(attrib))
+        return 0
+    if args.ledger:
+        print(format_ledger(attrib, top=args.top))
+        return 0
+    print(format_summary(attrib))
+    if attrib.pages:
+        print()
+        print(format_top_pages(attrib, top=args.top))
     return 0
 
 
@@ -510,6 +688,7 @@ def _sweep_stats(report: SweepReport, cache: Optional[ResultCache]) -> dict:
         "cache": cache.stats() if cache is not None else None,
         "trace_store": store.stats() if store is not None else None,
         "replay_engine": os.environ.get("REPRO_REPLAY_ENGINE", "auto"),
+        "attribution": sweep_attribution(report.outcomes),
         "profile": {
             "phase_wall_s": dict(report.phase_wall_s),
             "workers": report.jobs,
@@ -985,6 +1164,18 @@ def _add_common(parser: argparse.ArgumentParser, workload: bool = True) -> None:
     )
 
 
+def _add_window_options(parser: argparse.ArgumentParser) -> None:
+    """--since/--until time-window filters (simulated milliseconds)."""
+    parser.add_argument(
+        "--since", type=float, default=None, metavar="MS",
+        help="keep only events at or after MS (simulated milliseconds)",
+    )
+    parser.add_argument(
+        "--until", type=float, default=None, metavar="MS",
+        help="keep only events at or before MS (simulated milliseconds)",
+    )
+
+
 def _add_profile_option(parser: argparse.ArgumentParser) -> None:
     """The span-profile report knob (see docs/OBSERVABILITY.md)."""
     parser.add_argument(
@@ -1109,6 +1300,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH", default=None,
         help="stream the Mig/Rep run's decision events to a JSONL log",
     )
+    p.add_argument(
+        "--trace-misses", action="store_true",
+        help="also record every serviced miss in the log (large!); "
+        "lets 'repro analyze' attribute stall time byte-exactly",
+    )
     _add_engine_option(p)
     _add_profile_option(p)
     p.set_defaults(func=cmd_tracesim)
@@ -1137,7 +1333,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="validate only: exit 0 iff the log is non-empty and parses",
     )
+    _add_window_options(p)
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "analyze",
+        help="attribute stall time and audit decision payoff from a log",
+    )
+    p.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="a --trace-out JSONL log (plain or .gz), or: diff A B",
+    )
+    p.add_argument(
+        "--ledger", action="store_true",
+        help="print the per-decision payoff ledger (worst net first)",
+    )
+    p.add_argument(
+        "--nodes", action="store_true",
+        help="print the per-node residency and demand table",
+    )
+    p.add_argument(
+        "--page", type=int, default=None,
+        help="print one page's reconstructed lifecycle and ledger",
+    )
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="rows in ranked tables (0 = all; default 10)",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full attribution (or diff) as JSON to PATH",
+    )
+    p.add_argument(
+        "--series-out", metavar="PATH", default=None,
+        help="write per-interval miss-ratio/stall rows as JSONL to PATH",
+    )
+    p.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="write Chrome trace-event counter series to PATH",
+    )
+    _add_window_options(p)
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "verify", help="quick smoke test of the headline reproductions"

@@ -161,7 +161,12 @@ class PagerHandler:
         self.shootdown_mode = shootdown_mode
         self.tracer = as_tracer(tracer)
         self.shootdown = ShootdownPlanner(
-            shootdown_mode, n_cpus, cpu_of_process, tracer=self.tracer
+            shootdown_mode,
+            n_cpus,
+            cpu_of_process,
+            tracer=self.tracer,
+            flush_base_ns=costs.tlb_flush_base_ns,
+            flush_per_cpu_ns=costs.tlb_flush_per_cpu_ns,
         )
         self.tally = ActionTally()
 

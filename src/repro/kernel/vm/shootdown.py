@@ -71,11 +71,15 @@ class ShootdownPlanner:
         n_cpus: int,
         cpu_of_process: Callable[[int], Optional[int]],
         tracer=None,
+        flush_base_ns: float = 0.0,
+        flush_per_cpu_ns: float = 0.0,
     ) -> None:
         self.mode = mode
         self.n_cpus = n_cpus
         self.cpu_of_process = cpu_of_process
         self.tracer = as_tracer(tracer)
+        self.flush_base_ns = flush_base_ns
+        self.flush_per_cpu_ns = flush_per_cpu_ns
         self.tlbs_flushed = 0
         self.flush_operations = 0
 
@@ -106,6 +110,8 @@ class ShootdownPlanner:
                     mode=self.mode.value,
                     cpus_flushed=flushed,
                     frames=len(frames),
+                    cost_ns=self.flush_base_ns
+                    + self.flush_per_cpu_ns * flushed,
                 )
             )
         return flushed

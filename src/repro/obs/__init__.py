@@ -14,6 +14,8 @@ same attribution power at runtime:
   exporters;
 * :mod:`repro.obs.inspect` — replay a saved log into per-page decision
   histories (the ``repro inspect`` subcommand);
+* :mod:`repro.obs.attrib` — post-hoc stall-time attribution, the
+  per-decision payoff ledger and run diffing (``repro analyze``);
 * :mod:`repro.obs.prof` — the hierarchical span profiler and
   :class:`RunReport` (``--profile-out``);
 * :mod:`repro.obs.bench` — the machine-readable benchmark artifact
@@ -34,11 +36,33 @@ from repro.obs.events import (
     MissServiced,
     NoActionDecision,
     ReplicationDecision,
+    RunMeta,
     ShootdownEvent,
     SpanEvent,
     TraceEvent,
     TriggerAdjusted,
     event_from_dict,
+)
+from repro.obs.attrib import (
+    ATTRIB_SCHEMA_VERSION,
+    AttribDiff,
+    Attribution,
+    AttributionSink,
+    DecisionRecord,
+    IntervalSlice,
+    NodeAttribution,
+    PageAttribution,
+    PageDelta,
+    diff_attributions,
+    expected_from_policysim,
+    expected_from_system,
+    format_diff,
+    format_ledger,
+    format_nodes,
+    format_page,
+    format_summary,
+    format_top_pages,
+    sweep_attribution,
 )
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
@@ -65,6 +89,7 @@ from repro.obs.export import (
     JsonlSink,
     event_to_json,
     interval_summary,
+    iter_events,
     read_events,
     to_chrome_trace,
     write_chrome_trace,
@@ -106,11 +131,31 @@ __all__ = [
     "MissServiced",
     "NoActionDecision",
     "ReplicationDecision",
+    "RunMeta",
     "ShootdownEvent",
     "SpanEvent",
     "TraceEvent",
     "TriggerAdjusted",
     "event_from_dict",
+    "ATTRIB_SCHEMA_VERSION",
+    "AttribDiff",
+    "Attribution",
+    "AttributionSink",
+    "DecisionRecord",
+    "IntervalSlice",
+    "NodeAttribution",
+    "PageAttribution",
+    "PageDelta",
+    "diff_attributions",
+    "expected_from_policysim",
+    "expected_from_system",
+    "format_diff",
+    "format_ledger",
+    "format_nodes",
+    "format_page",
+    "format_summary",
+    "format_top_pages",
+    "sweep_attribution",
     "BENCH_SCHEMA_VERSION",
     "BenchArtifact",
     "BenchMetric",
@@ -131,6 +176,7 @@ __all__ = [
     "JsonlSink",
     "event_to_json",
     "interval_summary",
+    "iter_events",
     "read_events",
     "to_chrome_trace",
     "write_chrome_trace",

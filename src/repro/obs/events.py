@@ -23,6 +23,7 @@ event                     emitted when
 :class:`TriggerAdjusted`  the adaptive controller moves the trigger threshold
 :class:`EngineFallback`   engine=auto downgrades to the scalar replay core
 :class:`SpanEvent`        a profiler span closes (wall-clock, not simulated)
+:class:`RunMeta`          a simulation starts (machine/policy context header)
 ========================  ====================================================
 
 ``to_dict`` / ``event_from_dict`` provide an exact, order-stable mapping
@@ -147,6 +148,7 @@ class ShootdownEvent(TraceEvent):
     mode: str = "all"            # ShootdownMode.value
     cpus_flushed: int = 0
     frames: int = 0              # page frames whose mappings went stale
+    cost_ns: float = 0.0         # flush cost charged (base + per-CPU)
 
     KIND: ClassVar[str] = "shootdown"
 
@@ -212,6 +214,30 @@ class SpanEvent(TraceEvent):
     KIND: ClassVar[str] = "span"
 
 
+@dataclass(frozen=True)
+class RunMeta(TraceEvent):
+    """Header event describing the run that produced the stream.
+
+    Emitted once at ``t=0`` before any decision events so post-hoc
+    consumers (``repro analyze``) can reconstruct stall arithmetic —
+    latencies, node topology, per-action cost — without the original
+    spec in hand.  All fields default to "unknown" so older logs
+    without a header still parse.
+    """
+
+    label: str = ""              # spec / policy label for display
+    n_cpus: int = 0
+    n_nodes: int = 0
+    local_ns: float = 0.0        # local miss latency
+    remote_ns: float = 0.0       # remote miss latency
+    op_cost_ns: float = 0.0      # per migrate/replicate/collapse op cost
+    trigger: int = 0             # hot-page trigger threshold
+    reset_interval_ns: int = 0
+    engine: str = ""             # replay engine ("" for the system sim)
+
+    KIND: ClassVar[str] = "run-meta"
+
+
 #: Every concrete event type, in taxonomy order.
 EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     MissServiced,
@@ -225,6 +251,7 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     TriggerAdjusted,
     EngineFallback,
     SpanEvent,
+    RunMeta,
 )
 
 #: KIND tag -> event class.

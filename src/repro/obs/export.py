@@ -16,8 +16,9 @@ Three formats, matched to three uses:
 
 from __future__ import annotations
 
+import gzip
 import json
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.common.errors import TraceError
 from repro.obs.events import (
@@ -28,6 +29,7 @@ from repro.obs.events import (
     MigrationDecision,
     NoActionDecision,
     ReplicationDecision,
+    RunMeta,
     SpanEvent,
     TraceEvent,
     event_from_dict,
@@ -69,29 +71,78 @@ def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
     return sink.written
 
 
-def read_events(path: str) -> List[TraceEvent]:
-    """Parse a JSONL event log back into typed events.
+def _is_gzip(path: str) -> bool:
+    """True when ``path`` starts with the gzip magic bytes."""
+    with open(path, "rb") as fh:
+        return fh.read(2) == b"\x1f\x8b"
+
+
+def iter_events(
+    path: str,
+    since_ns: Optional[int] = None,
+    until_ns: Optional[int] = None,
+) -> Iterator[TraceEvent]:
+    """Stream a JSONL event log (plain or gzip-compressed) as typed events.
+
+    ``since_ns`` / ``until_ns`` keep only events with ``since <= t <=
+    until``; :class:`~repro.obs.events.RunMeta` headers always pass (a
+    windowed view still needs its run context).  The stream is *not*
+    assumed time-sorted — pager actions drained at an interval reset can
+    carry due-times past later records — so the whole file is always
+    scanned.  Malformed lines and truncated gzip streams raise
+    :class:`~repro.common.errors.TraceError` with the line number, never
+    a bare traceback.
+    """
+    opener = gzip.open if _is_gzip(path) else open
+    lineno = 0
+    try:
+        with opener(path, "rt", encoding="utf-8") as fh:
+            for line in fh:
+                lineno += 1
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(
+                        f"{path}:{lineno}: invalid JSON: {exc}"
+                    ) from exc
+                if not isinstance(data, dict):
+                    raise TraceError(
+                        f"{path}:{lineno}: expected a JSON object"
+                    )
+                try:
+                    event = event_from_dict(data)
+                except TraceError as exc:
+                    raise TraceError(f"{path}:{lineno}: {exc}") from exc
+                if not isinstance(event, RunMeta):
+                    if since_ns is not None and event.t < since_ns:
+                        continue
+                    if until_ns is not None and event.t > until_ns:
+                        continue
+                yield event
+    except (EOFError, gzip.BadGzipFile) as exc:
+        raise TraceError(
+            f"{path}:{lineno + 1}: truncated or corrupt gzip stream: {exc}"
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise TraceError(
+            f"{path}:{lineno + 1}: not a text JSONL stream: {exc}"
+        ) from exc
+
+
+def read_events(
+    path: str,
+    since_ns: Optional[int] = None,
+    until_ns: Optional[int] = None,
+) -> List[TraceEvent]:
+    """Parse a JSONL event log back into typed events (see :func:`iter_events`).
 
     Raises :class:`~repro.common.errors.TraceError` on any malformed
     line, with the line number in the message.
     """
-    events: List[TraceEvent] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
-            if not isinstance(data, dict):
-                raise TraceError(f"{path}:{lineno}: expected a JSON object")
-            try:
-                events.append(event_from_dict(data))
-            except TraceError as exc:
-                raise TraceError(f"{path}:{lineno}: {exc}") from exc
-    return events
+    return list(iter_events(path, since_ns=since_ns, until_ns=until_ns))
 
 
 # -- chrome://tracing ---------------------------------------------------------------

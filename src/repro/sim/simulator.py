@@ -34,7 +34,12 @@ from repro.kernel.vm.system import VmSystem
 from repro.machine.config import MachineConfig
 from repro.machine.directory import DirectoryArray
 from repro.machine.memory import NumaMemorySystem
-from repro.obs.events import IntervalReset, MissServiced, TriggerAdjusted
+from repro.obs.events import (
+    IntervalReset,
+    MissServiced,
+    RunMeta,
+    TriggerAdjusted,
+)
 from repro.obs.prof import as_profiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import as_tracer
@@ -277,6 +282,19 @@ class SystemSimulator:
         n_nodes = machine.n_nodes
         emit_miss = tracer.wants(MissServiced.KIND)
         trace_on = tracer.active
+        if tracer.wants(RunMeta.KIND):
+            tracer.emit(
+                RunMeta(
+                    t=0,
+                    label=f"{self.spec.name}:{options.label}",
+                    n_cpus=machine.n_cpus,
+                    n_nodes=machine.n_nodes,
+                    local_ns=float(machine.memory.local_ns),
+                    remote_ns=float(machine.memory.remote_ns),
+                    trigger=params.trigger_threshold,
+                    reset_interval_ns=params.reset_interval_ns,
+                )
+            )
 
         times = trace.time_ns
         cpus = trace.cpu

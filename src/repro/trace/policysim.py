@@ -32,8 +32,10 @@ from repro.obs.events import (
     HotPageTriggered,
     IntervalReset,
     MigrationDecision,
+    MissServiced,
     NoActionDecision,
     ReplicationDecision,
+    RunMeta,
 )
 from repro.obs.prof import as_profiler
 from repro.obs.tracer import as_tracer
@@ -329,6 +331,32 @@ class TracePolicySimulator:
             dtype=np.int64,
         )
 
+    def _emit_run_meta(self, label: str, params=None) -> None:
+        """Emit the run-context header event (once, at ``t=0``).
+
+        Lets post-hoc consumers (``repro analyze``) redo the stall and
+        cost arithmetic without the original config in hand.
+        """
+        if not self.tracer.wants(RunMeta.KIND):
+            return
+        cfg = self.config
+        self.tracer.emit(
+            RunMeta(
+                t=0,
+                label=label,
+                n_cpus=cfg.n_cpus,
+                n_nodes=cfg.n_nodes,
+                local_ns=float(cfg.local_ns),
+                remote_ns=float(cfg.remote_ns),
+                op_cost_ns=float(cfg.op_cost_ns),
+                trigger=params.trigger_threshold if params is not None else 0,
+                reset_interval_ns=(
+                    params.reset_interval_ns if params is not None else 0
+                ),
+                engine=cfg.engine,
+            )
+        )
+
     def _resolve_engine(self) -> str:
         """Pick the dynamic-replay engine for this run.
 
@@ -387,6 +415,7 @@ class TracePolicySimulator:
     ) -> PolicySimResult:
         """Evaluate a static placement (no page movement, no overhead)."""
         cfg = self.config
+        self._emit_run_meta(policy.value)
         placement = self.placement_for(trace, policy)
         stall, local_fraction = static_stall_ns(
             trace, placement, cfg.node_of_cpu, cfg.local_ns, cfg.remote_ns
@@ -400,7 +429,42 @@ class TracePolicySimulator:
             stall_ns=stall,
         )
         result.extra["local_stall_ns"] = float(local * cfg.local_ns)
+        if self.tracer.wants(MissServiced.KIND):
+            self._emit_static_misses(trace, placement)
         return result
+
+    def _emit_static_misses(self, trace: Trace, placement: np.ndarray) -> None:
+        """Per-miss events for a static run (tracer-gated scalar pass).
+
+        Mirrors :func:`~repro.policy.placement.static_stall_ns` exactly
+        — same locality test, same latency charged — so attributed
+        stall sums reconcile byte-for-byte with the vectorised result.
+        """
+        cfg = self.config
+        tracer = self.tracer
+        cpu_nodes = self._cpu_nodes.tolist()
+        place = placement.tolist()
+        local_ns, remote_ns = float(cfg.local_ns), float(cfg.remote_ns)
+        rows = zip(
+            trace.time_ns.tolist(),
+            trace.cpu.tolist(),
+            trace.page.tolist(),
+            trace.weight.tolist(),
+        )
+        for t, cpu, page, weight in rows:
+            node = place[page]
+            local = node == cpu_nodes[cpu]
+            tracer.emit(
+                MissServiced(
+                    t=t,
+                    cpu=cpu,
+                    page=page,
+                    node=node,
+                    weight=weight,
+                    latency_ns=local_ns if local else remote_ns,
+                    remote=not local,
+                )
+            )
 
     # -- dynamic policies ------------------------------------------------------------
 
@@ -429,6 +493,7 @@ class TracePolicySimulator:
         profiler = self.profiler
         n_events = len(trace) + (len(driver_trace) if driver_trace is not None else 0)
 
+        self._emit_run_meta(result.label, params)
         engine = self._resolve_engine()
         with profiler.span("replay.dynamic", items=n_events):
             if engine == "vector":
@@ -503,6 +568,7 @@ class TracePolicySimulator:
                 "use simulate_dynamic"
             )
         profiler = self.profiler
+        self._emit_run_meta(result.label, params)
         engine = self._resolve_engine()
         with profiler.span("replay.chunks") as run_span:
             if engine == "vector":
@@ -559,6 +625,7 @@ class TracePolicySimulator:
         pending: deque = deque()   # (due_time, page, cpu) awaiting the pager
         tracer = self.tracer
         trace_on = tracer.active
+        emit_miss = tracer.wants(MissServiced.KIND)
         interval_index = 0
 
         def act(now: int, page: int, cpu: int) -> None:
@@ -622,6 +689,20 @@ class TracePolicySimulator:
                     local_stall += weight * local_ns
                 else:
                     result.stall_ns += weight * remote_ns
+                if emit_miss:
+                    tracer.emit(
+                        MissServiced(
+                            t=time,
+                            cpu=cpu,
+                            page=page,
+                            node=int(node) if local else min(page_copies),
+                            weight=weight,
+                            latency_ns=float(
+                                local_ns if local else remote_ns
+                            ),
+                            remote=not local,
+                        )
+                    )
             if not counts:
                 continue
             counted = sampler.sample(cpu, weight)
@@ -752,6 +833,7 @@ class TracePolicySimulator:
             1, -(-cfg.op_cost_ns // max(cfg.remote_ns - cfg.local_ns, 1))
         )
         result = PolicySimResult(label=label)
+        self._emit_run_meta(label)
         with self.profiler.span("replay.competitive", items=len(trace)):
             placement = self.placement_for(trace, initial)
             copies: Dict[int, Set[int]] = {}

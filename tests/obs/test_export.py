@@ -1,5 +1,6 @@
 """Exporters and the inspect analysis: round-trips and renderings."""
 
+import gzip
 import json
 
 import pytest
@@ -15,6 +16,7 @@ from repro.obs.events import (
     MissServiced,
     NoActionDecision,
     ReplicationDecision,
+    RunMeta,
     ShootdownEvent,
     SpanEvent,
     TriggerAdjusted,
@@ -24,6 +26,7 @@ from repro.obs.export import (
     JsonlSink,
     event_to_json,
     interval_summary,
+    iter_events,
     read_events,
     to_chrome_trace,
     write_chrome_trace,
@@ -51,7 +54,8 @@ SAMPLE_EVENTS = [
     NoActionDecision(t=500, page=11, cpu=3, reason="write-shared"),
     CollapseEvent(t=600, page=9, cpu=0, keep_node=0, replicas_dropped=1,
                   latency_ns=90_000.0),
-    ShootdownEvent(t=700, origin_cpu=1, mode="all", cpus_flushed=8, frames=2),
+    ShootdownEvent(t=700, origin_cpu=1, mode="all", cpus_flushed=8, frames=2,
+                   cost_ns=58_000.0),
     IntervalReset(t=800, index=0, tracked_pages=5, triggers=2),
     TriggerAdjusted(t=900, old_trigger=128, new_trigger=64,
                     overhead_fraction=0.01, remote_fraction=0.4),
@@ -59,6 +63,9 @@ SAMPLE_EVENTS = [
                    reason="active tracer"),
     SpanEvent(t=1000, name="engine.scalar", path="replay.dynamic/engine.scalar",
               dur_ns=5_000_000, depth=1, items=1234, alloc_bytes=4096),
+    RunMeta(t=0, label="engineering:Mig/Rep", n_cpus=8, n_nodes=8,
+            local_ns=300.0, remote_ns=1200.0, op_cost_ns=350_000.0,
+            trigger=128, reset_interval_ns=100_000_000, engine="scalar"),
 ]
 
 
@@ -115,6 +122,66 @@ class TestJsonl:
         path = tmp_path / "events.jsonl"
         path.write_text('\n{"kind":"hot-page","t":1}\n\n')
         assert len(read_events(str(path))) == 1
+
+
+class TestGzipAndWindows:
+    def write_gz(self, tmp_path, events, name="events.jsonl.gz"):
+        path = tmp_path / name
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(event_to_json(event) + "\n")
+        return str(path)
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = self.write_gz(tmp_path, SAMPLE_EVENTS)
+        assert read_events(path) == SAMPLE_EVENTS
+
+    def test_gzip_detected_by_magic_not_extension(self, tmp_path):
+        path = self.write_gz(tmp_path, SAMPLE_EVENTS[:2], name="plain.jsonl")
+        assert read_events(path) == SAMPLE_EVENTS[:2]
+
+    def test_truncated_gzip_is_a_trace_error(self, tmp_path):
+        path = self.write_gz(tmp_path, SAMPLE_EVENTS)
+        data = open(path, "rb").read()
+        truncated = tmp_path / "trunc.jsonl.gz"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError, match="gzip"):
+            read_events(str(truncated))
+
+    def test_gzip_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write('{"kind":"hot-page","t":1}\nnope\n')
+        with pytest.raises(TraceError, match="bad.jsonl.gz:2"):
+            read_events(str(path))
+
+    def test_binary_junk_is_a_trace_error(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\x00\xff\xfe\x01junk\x80\x81")
+        with pytest.raises(TraceError):
+            read_events(str(path))
+
+    def test_window_filters_by_inclusive_time(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_jsonl(SAMPLE_EVENTS, path)
+        windowed = read_events(path, since_ns=200, until_ns=600)
+        kept = {e.t for e in windowed if not isinstance(e, RunMeta)}
+        assert kept == {200, 300, 400, 500, 600}
+
+    def test_run_meta_always_passes_the_window(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_jsonl(SAMPLE_EVENTS, path)
+        windowed = read_events(path, since_ns=10_000)
+        assert any(isinstance(e, RunMeta) for e in windowed)
+        assert all(
+            isinstance(e, RunMeta) or e.t >= 10_000 for e in windowed
+        )
+
+    def test_iter_events_streams_lazily(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        write_jsonl(SAMPLE_EVENTS, path)
+        it = iter_events(path)
+        assert next(it) == SAMPLE_EVENTS[0]
 
 
 class TestChromeTrace:

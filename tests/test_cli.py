@@ -204,8 +204,9 @@ def test_tracesim_trace_out(tmp_path, capsys):
     assert events
     assert {e.KIND for e in events} <= {
         "hot-page", "migration", "replication", "no-action",
-        "collapse", "interval-reset", "engine-fallback",
+        "collapse", "interval-reset", "engine-fallback", "run-meta",
     }
+    assert events[0].KIND == "run-meta"
 
 
 def _sweep_args(tmp_path, *extra):
@@ -515,3 +516,160 @@ class TestProfileOut:
         assert "store.chunk" in names
         assert "replay.chunks" in names
         assert report.metrics  # replay stats snapshot rides along
+
+
+@pytest.fixture(scope="module")
+def analyze_logs(tmp_path_factory):
+    """Scalar- and auto-engine miss-traced logs of the same tracesim run."""
+    tmp = tmp_path_factory.mktemp("cli-analyze")
+    paths = {}
+    for engine in ("scalar", "auto"):
+        path = str(tmp / f"{engine}.jsonl")
+        assert main([
+            "tracesim", "--workload", "database", "--scale", "0.05",
+            "--engine", engine, "--trace-out", path, "--trace-misses",
+        ]) == 0
+        paths[engine] = path
+    return paths
+
+
+class TestAnalyzeCommand:
+    def test_tracesim_reports_reconciliation(self, tmp_path, capsys):
+        path = str(tmp_path / "mr.jsonl")
+        assert main([
+            "tracesim", "--workload", "database", "--scale", "0.02",
+            "--trace-out", path, "--trace-misses",
+        ]) == 0
+        assert "attribution reconciled:" in capsys.readouterr().out
+
+    def test_run_reports_reconciliation(self, tmp_path, capsys):
+        path = str(tmp_path / "sys.jsonl")
+        assert main([
+            "run", "--workload", "database", "--scale", "0.02",
+            "--trace-out", path, "--trace-misses",
+        ]) == 0
+        assert "attribution reconciled:" in capsys.readouterr().out
+
+    def test_summary_and_top_pages(self, analyze_logs, capsys):
+        assert main(["analyze", analyze_logs["scalar"]]) == 0
+        out = capsys.readouterr().out
+        assert "stall:" in out
+        assert "actions:" in out
+        assert "page" in out
+
+    def test_ledger(self, analyze_logs, capsys):
+        assert main(["analyze", analyze_logs["scalar"], "--ledger"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+
+    def test_nodes(self, analyze_logs, capsys):
+        assert main(["analyze", analyze_logs["scalar"], "--nodes"]) == 0
+        assert "resident" in capsys.readouterr().out
+
+    def test_page_lifecycle(self, analyze_logs, capsys):
+        events = read_events(analyze_logs["scalar"])
+        page = next(e.page for e in events if e.KIND == "migration")
+        assert main([
+            "analyze", analyze_logs["scalar"], "--page", str(page),
+        ]) == 0
+        assert f"page {page}:" in capsys.readouterr().out
+
+    def test_json_series_and_chrome_outputs(self, analyze_logs, tmp_path,
+                                            capsys):
+        json_path = tmp_path / "attrib.json"
+        series_path = tmp_path / "series.jsonl"
+        chrome_path = tmp_path / "counters.json"
+        assert main([
+            "analyze", analyze_logs["scalar"],
+            "--json", str(json_path),
+            "--series-out", str(series_path),
+            "--chrome", str(chrome_path),
+        ]) == 0
+        data = json.loads(json_path.read_text())
+        assert data["kind"] == "attribution"
+        assert data["schema_version"] == 1
+        assert data["totals"]["misses"] > 0
+        rows = [json.loads(l) for l in series_path.read_text().splitlines()]
+        assert rows and "local_ratio" in rows[0]
+        counters = json.loads(chrome_path.read_text())
+        assert counters["traceEvents"]
+        assert {c["ph"] for c in counters["traceEvents"]} == {"C"}
+
+    def test_diff_scalar_vs_auto_is_identical(self, analyze_logs, capsys):
+        assert main([
+            "analyze", "diff", analyze_logs["scalar"], analyze_logs["auto"],
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "identical at page granularity" in out
+        assert "0 divergent" in out
+
+    def test_diff_divergent_runs_exit_one(self, analyze_logs, tmp_path,
+                                          capsys):
+        other = str(tmp_path / "other.jsonl")
+        assert main([
+            "tracesim", "--workload", "database", "--scale", "0.05",
+            "--trigger", "64", "--trace-out", other, "--trace-misses",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "analyze", "diff", analyze_logs["scalar"], other,
+        ]) == 1
+        assert "divergent" in capsys.readouterr().out
+
+    def test_diff_wrong_arity_is_usage_error(self, analyze_logs, capsys):
+        assert main(["analyze", "diff", analyze_logs["scalar"]]) == 2
+        assert "diff takes exactly two logs" in capsys.readouterr().err
+
+    def test_too_many_logs_is_usage_error(self, analyze_logs, capsys):
+        assert main([
+            "analyze", analyze_logs["scalar"], analyze_logs["auto"],
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_gzip_input(self, analyze_logs, tmp_path, capsys):
+        import gzip as gz
+
+        path = tmp_path / "scalar.jsonl.gz"
+        with open(analyze_logs["scalar"], "rb") as src:
+            with gz.open(path, "wb") as dst:
+                dst.write(src.read())
+        assert main(["analyze", str(path)]) == 0
+        assert "stall:" in capsys.readouterr().out
+        assert main(["inspect", str(path)]) == 0
+
+    def test_time_window(self, analyze_logs, capsys):
+        assert main([
+            "analyze", analyze_logs["scalar"], "--since", "0",
+            "--until", "1e9",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "inspect", analyze_logs["scalar"], "--since", "0",
+            "--until", "1e9",
+        ]) == 0
+
+    def test_malformed_line_is_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"hot-page","t":1}\nnot json\n')
+        assert main(["analyze", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "bad.jsonl:2" in err
+        assert "Traceback" not in err
+
+    def test_truncated_gzip_is_one_line_error(self, tmp_path, capsys):
+        import gzip as gz
+
+        path = tmp_path / "trunc.jsonl.gz"
+        with gz.open(path, "wt", encoding="utf-8") as fh:
+            fh.write('{"kind":"hot-page","t":1}\n' * 200)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert main(["analyze", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "gzip" in err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
