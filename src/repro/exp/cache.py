@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.common.errors import ResultSchemaError
+from repro.common.locks import FileLock
 from repro.exp.spec import ExperimentSpec
 from repro.obs.registry import MetricsRegistry
 from repro.sim.results import SimulationResult
@@ -128,6 +129,7 @@ class ResultCache:
         self._misses = registry.counter("exp.cache.misses")
         self._stores = registry.counter("exp.cache.stores")
         self._invalidations = registry.counter("exp.cache.invalidations")
+        self._dedup = registry.counter("exp.cache.dedup")
 
     # -- accounting -----------------------------------------------------------
 
@@ -147,12 +149,13 @@ class ResultCache:
         return int(self._stores.value)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/store/invalidation counts for reporting."""
+        """Hit/miss/store/invalidation/dedup counts for reporting."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": int(self._invalidations.value),
+            "dedup": int(self._dedup.value),
         }
 
     # -- paths ----------------------------------------------------------------
@@ -185,27 +188,41 @@ class ResultCache:
         return result
 
     def put(self, spec: ExperimentSpec, result: ResultType) -> Path:
-        """Atomically persist ``result`` under ``spec``'s key."""
+        """Atomically persist ``result`` under ``spec``'s key.
+
+        Writes follow a cross-process single-writer discipline: a
+        sibling file lock serializes concurrent writers of one key, and
+        a writer that finds the entry already on disk skips its own
+        write (the key is content-addressed, so the existing entry is
+        equivalent) — N stampeding writers produce exactly one write,
+        counted under ``exp.cache.dedup`` for the other N-1.
+        """
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = {
-            "key": path.stem,
-            "code_token": self.token,
-            "spec": spec.to_dict(),
-            "result": result.to_dict(),
-        }
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(envelope, fh, sort_keys=True, separators=(",", ":"))
-                fh.write("\n")
-            os.replace(tmp, path)
-        except BaseException:
-            self._remove(Path(tmp))
-            raise
-        self._stores.inc()
+        with FileLock.for_path(path):
+            if path.is_file():
+                self._dedup.inc()
+                return path
+            envelope = {
+                "key": path.stem,
+                "code_token": self.token,
+                "spec": spec.to_dict(),
+                "result": result.to_dict(),
+            }
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(
+                        envelope, fh, sort_keys=True, separators=(",", ":")
+                    )
+                    fh.write("\n")
+                os.replace(tmp, path)
+            except BaseException:
+                self._remove(Path(tmp))
+                raise
+            self._stores.inc()
         return path
 
     def invalidate(self, spec: ExperimentSpec) -> bool:

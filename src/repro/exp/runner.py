@@ -37,6 +37,7 @@ each execution attempt; tests inject failures and timeouts through it.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -178,6 +179,7 @@ class SweepOutcome:
     attempts: int = 0
     duration_s: float = 0.0
     error: Optional[str] = None
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -192,6 +194,8 @@ class SweepReport:
     outcomes: List[SweepOutcome] = field(default_factory=list)
     wall_s: float = 0.0
     jobs: int = 1
+    #: Was the sweep stopped early (SIGINT/SIGTERM or ``request_stop``)?
+    interrupted: bool = False
     #: Wall seconds per runner phase (cache/prewarm/pool/serial).
     phase_wall_s: Dict[str, float] = field(default_factory=dict)
     #: Per-task execution durations (executed specs only, not cache hits).
@@ -204,8 +208,13 @@ class SweepReport:
 
     @property
     def failures(self) -> List[SweepOutcome]:
-        """Outcomes that exhausted their retries."""
+        """Outcomes that exhausted their retries (cancellations included)."""
         return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cancelled(self) -> int:
+        """How many specs were cancelled by a graceful stop."""
+        return sum(1 for o in self.outcomes if o.cancelled)
 
     @property
     def from_cache(self) -> int:
@@ -230,6 +239,7 @@ class SweepRunner:
         fault_hook: Optional[FaultHook] = None,
         progress: Optional[Callable[[SweepOutcome, int, int], None]] = None,
         profiler=None,
+        stop_event: Optional[threading.Event] = None,
     ) -> None:
         self.cache = cache
         self.jobs = max(1, int(jobs))
@@ -237,12 +247,32 @@ class SweepRunner:
         self.retries = max(0, int(retries))
         self.fault_hook = fault_hook
         self.progress = progress
+        # Graceful-stop flag: settable from a signal handler or another
+        # thread; the runner checks it between tasks (never mid-task)
+        # and marks everything still pending as cancelled.
+        self.stop_event = (
+            stop_event if stop_event is not None else threading.Event()
+        )
         # Sweeps always carry a profiler: the spans are phase-level
         # (4-5 per run), so the cost is negligible and every report can
         # attribute its wall clock.  Pass ``profiler=`` to share one.
         self.profiler = Profiler() if profiler is None else as_profiler(profiler)
 
     # -- public API -----------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the sweep to stop after the task currently executing.
+
+        Safe to call from a signal handler or another thread.  Pending
+        tasks come back as cancelled outcomes; completed results (and
+        anything already in the cache) are kept.
+        """
+        self.stop_event.set()
+
+    @property
+    def stopped(self) -> bool:
+        """Has a graceful stop been requested?"""
+        return self.stop_event.is_set()
 
     def run(self, specs: Sequence[ExperimentSpec]) -> SweepReport:
         """Execute every spec; never raises for individual task failures.
@@ -278,7 +308,7 @@ class SweepRunner:
                     else:
                         to_run.append(i)
 
-            if to_run:
+            if to_run and not self.stopped:
                 if self.jobs > 1 and len(to_run) > 1:
                     with profiler.span("sweep.prewarm"):
                         self._prewarm_traces(
@@ -290,11 +320,16 @@ class SweepRunner:
                     retry = to_run
                 with profiler.span("sweep.serial", items=len(retry)):
                     self._run_serial(outcomes, retry, report)
+            elif to_run:
+                for i in to_run:
+                    self._cancel(outcomes[i])
+                    report(outcomes[i])
 
         report_obj = SweepReport(
             outcomes=outcomes,
             wall_s=time.monotonic() - start,
             jobs=self.jobs,
+            interrupted=self.stopped,
         )
         for record in profiler.records[first_record:]:
             if record.depth == 1 and record.name.startswith("sweep."):
@@ -339,6 +374,11 @@ class SweepRunner:
         if self.cache is not None:
             self.cache.put(outcome.spec, result)
 
+    @staticmethod
+    def _cancel(outcome: SweepOutcome) -> None:
+        outcome.cancelled = True
+        outcome.error = "cancelled"
+
     def _run_pool(
         self,
         outcomes: List[SweepOutcome],
@@ -360,6 +400,8 @@ class SweepRunner:
             futures: Dict[int, object] = {}
             try:
                 for c, chunk in enumerate(chunks):
+                    if self.stopped:
+                        break
                     futures[c] = pool.submit(
                         _execute_chunk,
                         [outcomes[i].spec for i in chunk],
@@ -370,6 +412,11 @@ class SweepRunner:
             for c, chunk in enumerate(chunks):
                 future = futures.get(c)
                 if future is None or broken:
+                    retry.extend(chunk)
+                    continue
+                if self.stopped and future.cancel():
+                    # Not started yet: hand it to the serial phase, which
+                    # converts it into a cancelled outcome.
                     retry.extend(chunk)
                     continue
                 timeout = (
@@ -450,8 +497,15 @@ class SweepRunner:
         """Serial (in-process) execution with bounded retries."""
         for i in indices:
             outcome = outcomes[i]
+            if self.stopped:
+                self._cancel(outcome)
+                report(outcome)
+                continue
             first = outcome.attempts  # pool attempt counts toward retries
             for attempt in range(first, self.retries + 1):
+                if self.stopped:
+                    self._cancel(outcome)
+                    break
                 t0 = time.monotonic()
                 try:
                     result = execute_spec(

@@ -1,0 +1,48 @@
+"""``repro.serve``: the persistent sweep service.
+
+The one-shot ``repro sweep`` CLI becomes a long-running, multi-tenant
+service in three layers (see ``docs/SERVICE.md``):
+
+* :mod:`repro.serve.queue` — a durable job queue of
+  :class:`~repro.exp.spec.ExperimentSpec` batches, journaled to an
+  append-only JSONL file with atomic compaction and crash recovery;
+* :mod:`repro.serve.scheduler` — worker threads that drain the queue
+  through the existing :class:`~repro.exp.runner.SweepRunner`,
+  deduplicating in-flight identical specs by spec hash and sharing the
+  content-addressed :class:`~repro.exp.cache.ResultCache` and
+  :class:`~repro.store.TraceStore` across tenants under the
+  cross-process file-lock single-writer discipline of
+  :mod:`repro.common.locks`;
+* :mod:`repro.serve.api` / :mod:`repro.serve.client` — a local HTTP
+  status/results API on stdlib ``http.server`` plus the thin client
+  behind ``repro submit|status|results|cancel``.
+
+Every job records queue-wait/run/total timings, a per-job profiler
+:class:`~repro.obs.prof.RunReport`, and the sweep-level attribution
+summary as telemetry; service counters live under ``serve.*`` in the
+scheduler's :class:`~repro.obs.registry.MetricsRegistry`.
+"""
+
+from repro.serve.api import ENDPOINT_FILE, ServeServer, default_serve_dir
+from repro.serve.client import ServeClient
+from repro.serve.queue import (
+    ACTIVE_STATES,
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+)
+from repro.serve.scheduler import Scheduler
+
+__all__ = [
+    "ACTIVE_STATES",
+    "ENDPOINT_FILE",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobQueue",
+    "Scheduler",
+    "ServeClient",
+    "ServeServer",
+    "default_serve_dir",
+]

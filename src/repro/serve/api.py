@@ -1,0 +1,312 @@
+"""The status/results API: stdlib HTTP in front of the scheduler.
+
+A deliberately small, local-first service — ``http.server`` with a
+threading mixin, JSON bodies, no authentication (bind it to loopback).
+The server binds an ephemeral port by default (``port=0``) and writes a
+discovery file, ``serve.json``, into the serve directory so clients on
+the same machine find it without configuration:
+
+.. code-block:: json
+
+    {"url": "http://127.0.0.1:43721", "pid": 4242, "started_at": ...}
+
+Endpoints (all JSON):
+
+==================================  =======================================
+``GET  /health``                    liveness + pid + queue counts
+``GET  /jobs``                      job summaries (``?tenant=&state=``)
+``GET  /jobs/<id>``                 one job, including its specs
+``GET  /jobs/<id>/results``         cached results for a finished job
+``POST /submit``                    ``{"specs": [...], "tenant": "..."}``
+``POST /jobs/<id>/cancel``          request cancellation
+``GET  /metrics``                   the scheduler's metric namespace
+==================================  =======================================
+
+Errors follow the queue's convention: unknown job ids are 404, malformed
+requests are 400, both with a one-line ``{"error": ...}`` body.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.common.errors import ServeError
+from repro.exp.spec import ExperimentSpec
+from repro.serve.queue import JOB_STATES
+from repro.serve.scheduler import Scheduler
+
+#: Environment variable overriding the serve directory.
+SERVE_DIR_ENV = "REPRO_SERVE_DIR"
+
+#: Discovery file written next to the queue journal while serving.
+ENDPOINT_FILE = "serve.json"
+
+
+def default_serve_dir() -> Path:
+    """``$REPRO_SERVE_DIR`` or ``~/.cache/repro/serve``."""
+    env = os.environ.get(SERVE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "serve"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ServeServer`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # the serve loop has its own logger, so silence the built-in one.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    @property
+    def serve(self) -> "ServeServer":
+        return self.server.serve  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServeError("empty request body")
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServeError(f"request body is not JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ServeError("request body must be a JSON object")
+        return data
+
+    def _dispatch(self, method: str) -> None:
+        parts = urlsplit(self.path)
+        segments = [s for s in parts.path.split("/") if s]
+        query = {k: v[-1] for k, v in parse_qs(parts.query).items()}
+        try:
+            handled = self.serve.handle(method, segments, query, self._body
+                                        if method == "POST" else None)
+        except ServeError as exc:
+            status = 404 if getattr(exc, "not_found", False) else 400
+            self._error(status, str(exc))
+            return
+        if handled is None:
+            self._error(404, f"no such endpoint: {method} {parts.path}")
+            return
+        self._reply(200, handled)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("POST")
+
+
+class ServeServer:
+    """The HTTP face of a :class:`Scheduler` + :class:`JobQueue` pair."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        directory: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.directory = Path(directory) if directory else default_serve_dir()
+        self.host = host
+        self.requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self.started_at: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The bound address (valid after :meth:`start`)."""
+        if self._httpd is None:
+            raise ServeError("the server is not running")
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def endpoint_path(self) -> Path:
+        return self.directory / ENDPOINT_FILE
+
+    def start(self) -> None:
+        """Bind, publish ``serve.json``, start scheduler + HTTP thread."""
+        if self._httpd is not None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        httpd = ThreadingHTTPServer((self.host, self.requested_port), _Handler)
+        httpd.daemon_threads = True
+        httpd.serve = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.started_at = time.time()
+        self._write_endpoint()
+        self.scheduler.start()
+        # serve_forever must run off the caller's thread: shutdown()
+        # deadlocks when called from the serving thread itself, and the
+        # CLI's main thread has to stay free to wait on signals.
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting requests, stop the scheduler, drop serve.json."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.scheduler.stop()
+        try:
+            self.endpoint_path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _write_endpoint(self) -> None:
+        """Atomically publish the discovery file (readers never see a torn one)."""
+        payload = {
+            "url": self.url,
+            "pid": os.getpid(),
+            "started_at": self.started_at,
+            "queue": str(self.scheduler.queue.path),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".tmp-", suffix=".json"
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.endpoint_path)
+
+    # -- routing ---------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        segments: List[str],
+        query: Dict[str, str],
+        body_fn,
+    ) -> Optional[Dict[str, Any]]:
+        """Resolve one request; ``None`` means no such route (404)."""
+        if method == "GET":
+            if segments == ["health"]:
+                return self._health()
+            if segments == ["metrics"]:
+                return {"metrics": self.scheduler.metrics.collect()}
+            if segments == ["jobs"]:
+                return self._jobs(query)
+            if len(segments) == 2 and segments[0] == "jobs":
+                return {"job": self._job(segments[1]).to_dict()}
+            if (
+                len(segments) == 3
+                and segments[0] == "jobs"
+                and segments[2] == "results"
+            ):
+                return self._results(segments[1])
+            return None
+        if method == "POST":
+            if segments == ["submit"]:
+                return self._submit(body_fn())
+            if (
+                len(segments) == 3
+                and segments[0] == "jobs"
+                and segments[2] == "cancel"
+            ):
+                job = self.scheduler.cancel(self._job(segments[1]).job_id)
+                return {"job": job.to_dict(specs=False)}
+            return None
+        return None
+
+    def _job(self, job_id: str):
+        try:
+            return self.scheduler.queue.get(job_id)
+        except ServeError as exc:
+            exc.not_found = True  # type: ignore[attr-defined]
+            raise
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "started_at": self.started_at,
+            "queue": self.scheduler.queue.counts(),
+        }
+
+    def _jobs(self, query: Dict[str, str]) -> Dict[str, Any]:
+        state = query.get("state")
+        if state is not None and state not in JOB_STATES:
+            raise ServeError(
+                f"unknown state {state!r}; expected one of {JOB_STATES}"
+            )
+        jobs = self.scheduler.queue.jobs(
+            tenant=query.get("tenant"), state=state
+        )
+        return {
+            "counts": self.scheduler.queue.counts(),
+            "jobs": [job.to_dict(specs=False) for job in jobs],
+        }
+
+    def _submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        raw_specs = body.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ServeError('"specs" must be a non-empty list of spec dicts')
+        try:
+            specs = [ExperimentSpec.from_dict(entry) for entry in raw_specs]
+        except Exception as exc:
+            raise ServeError(f"malformed spec: {exc}")
+        tenant = body.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ServeError('"tenant" must be a non-empty string')
+        job = self.scheduler.submit(specs, tenant=tenant)
+        return {"job": job.to_dict(specs=False)}
+
+    def _results(self, job_id: str) -> Dict[str, Any]:
+        job = self._job(job_id)
+        results: List[Dict[str, Any]] = []
+        missing = 0
+        for spec in job.specs:
+            result = self.scheduler.cache.get(spec)
+            if result is None:
+                missing += 1
+                results.append({"spec": spec.to_dict(), "result": None})
+            else:
+                results.append(
+                    {"spec": spec.to_dict(), "result": result.to_dict()}
+                )
+        return {
+            "job": job.to_dict(specs=False),
+            "results": results,
+            "missing": missing,
+        }

@@ -1,0 +1,159 @@
+"""The thin client behind ``repro submit|status|results|cancel``.
+
+Plain ``urllib`` against the local :class:`~repro.serve.api.ServeServer`.
+The endpoint is discovered from the ``serve.json`` file the server
+writes into its serve directory (:meth:`ServeClient.from_endpoint`), or
+given explicitly as a URL.  Errors come back as
+:class:`~repro.common.errors.ServeError` carrying the server's one-line
+message, so CLI commands can print them verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.common.errors import ServeError
+from repro.exp.spec import ExperimentSpec
+from repro.serve.queue import TERMINAL_STATES
+
+#: Per-request socket timeout; local servers answer in milliseconds.
+REQUEST_TIMEOUT_S = 30.0
+
+
+class ServeClient:
+    """JSON-over-HTTP calls to a running sweep service."""
+
+    def __init__(self, url: str, timeout_s: float = REQUEST_TIMEOUT_S) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def from_endpoint(
+        cls,
+        directory: Optional[Union[str, Path]] = None,
+        timeout_s: float = REQUEST_TIMEOUT_S,
+    ) -> "ServeClient":
+        """Discover the server via ``serve.json`` in the serve directory."""
+        from repro.serve.api import ENDPOINT_FILE, default_serve_dir
+
+        serve_dir = Path(directory) if directory else default_serve_dir()
+        path = serve_dir / ENDPOINT_FILE
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                endpoint = json.load(fh)
+            url = endpoint["url"]
+        except FileNotFoundError:
+            raise ServeError(
+                f"no running service found ({path} is missing); "
+                "start one with: repro serve"
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise ServeError(f"{path}: unreadable endpoint file: {exc}")
+        return cls(url, timeout_s=timeout_s)
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:
+                message = f"HTTP {exc.code}"
+            raise ServeError(message)
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach the service at {self.url}: {exc.reason}"
+            )
+        except (ValueError, OSError) as exc:
+            raise ServeError(f"bad response from {self.url}: {exc}")
+        if not isinstance(payload, dict):
+            raise ServeError(f"bad response from {self.url}: not an object")
+        return payload
+
+    # -- API -------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe: pid, uptime and queue counts."""
+        return self._request("GET", "/health")
+
+    def submit(
+        self, specs: List[ExperimentSpec], tenant: str = "default"
+    ) -> Dict[str, Any]:
+        """Queue a batch of specs; returns the job summary dict."""
+        body = {
+            "specs": [spec.to_dict() for spec in specs],
+            "tenant": tenant,
+        }
+        return self._request("POST", "/submit", body)["job"]
+
+    def status(
+        self,
+        job_id: Optional[str] = None,
+        tenant: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One job's status, or the whole queue when ``job_id`` is None."""
+        if job_id is not None:
+            return self._request("GET", f"/jobs/{job_id}")["job"]
+        query = []
+        if tenant:
+            query.append(f"tenant={tenant}")
+        if state:
+            query.append(f"state={state}")
+        suffix = "?" + "&".join(query) if query else ""
+        return self._request("GET", "/jobs" + suffix)
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        """A finished job's results, read from the shared cache."""
+        return self._request("GET", f"/jobs/{job_id}/results")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; running jobs stop between tasks."""
+        return self._request("POST", f"/jobs/{job_id}/cancel", {})["job"]
+
+    def metrics(self) -> Dict[str, float]:
+        """The server's ``serve.*`` (and cache/store) metric namespace."""
+        return self._request("GET", "/metrics")["metrics"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.5,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its dict."""
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while True:
+            job = self.status(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {job['state']} after {timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,466 @@
+"""Durable job queue: an append-only JSONL journal with crash recovery.
+
+A *job* is one client submission — a named tenant plus an ordered list
+of :class:`~repro.exp.spec.ExperimentSpec` — moving through the states
+``pending → running → done|failed|cancelled``.  The queue survives
+restarts because every mutation is appended to a journal
+(``queue.jsonl`` in the queue directory) and fsynced before the caller
+sees it:
+
+* ``{"kind": "submit", "job": {...}}`` — a new job, full payload;
+* ``{"kind": "state", "job_id": ..., "state": ...}`` — a transition,
+  carrying the timestamps, error and telemetry that changed with it.
+
+**Recovery** replays the journal on open.  A truncated or corrupt
+*trailing* record is the signature of a crash mid-append: it is dropped
+with a one-line warning naming the line (the same convention the
+observability log readers use), never a traceback.  A corrupt record
+anywhere *else* means real corruption and raises
+:class:`~repro.common.errors.ServeError` with the line number.  Jobs
+that were ``running`` when the process died are requeued as ``pending``
+— the result cache makes re-execution cheap, and the requeue itself is
+journaled so a second crash cannot lose it.
+
+**Compaction** rewrites the journal as one ``submit`` record per live
+job (atomic temp-file + ``os.replace``), automatically once the journal
+accumulates :data:`COMPACT_EVERY` records and always on ``close``.
+
+**Single writer.**  The queue takes a non-blocking
+:class:`~repro.common.locks.FileLock` on the journal for its lifetime,
+so a second ``repro serve`` pointed at the same directory fails fast
+instead of interleaving appends.  In-process access is serialized by an
+internal mutex; many *clients* talk to the single owning process over
+the HTTP API instead of touching the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.common.errors import LockTimeout, ServeError
+from repro.common.locks import FileLock
+from repro.exp.spec import ExperimentSpec
+
+logger = logging.getLogger("repro.serve")
+
+#: Journal record format version (folded into every record).
+JOURNAL_VERSION = 1
+
+#: Journal file name inside the queue directory.
+JOURNAL_NAME = "queue.jsonl"
+
+#: Auto-compact once the journal holds this many records.
+COMPACT_EVERY = 512
+
+ACTIVE_STATES = ("pending", "running")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+JOB_STATES = ACTIVE_STATES + TERMINAL_STATES
+
+
+def _new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One submission moving through the queue."""
+
+    job_id: str
+    tenant: str
+    specs: List[ExperimentSpec]
+    state: str = "pending"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: Set while a *running* job has been asked to cancel; the scheduler
+    #: observes it cooperatively (pending jobs cancel immediately).
+    cancel_requested: bool = False
+    #: Filled at completion: timings, executed/cached/deduped counts,
+    #: the per-job profiler RunReport and the attribution summary.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        """Is the job in a final state?"""
+        return self.state in TERMINAL_STATES
+
+    def spec_hashes(self) -> List[str]:
+        """The content hash of each spec, in submission order."""
+        return [spec.spec_hash() for spec in self.specs]
+
+    def queue_wait_s(self) -> Optional[float]:
+        """Seconds spent pending before the scheduler claimed the job."""
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
+
+    def to_dict(self, specs: bool = True) -> Dict[str, Any]:
+        """JSON-safe snapshot (``specs=False`` for compact listings)."""
+        out: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "n_specs": len(self.specs),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+            "telemetry": dict(self.telemetry),
+        }
+        if specs:
+            out["specs"] = [spec.to_dict() for spec in self.specs]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        """Rebuild (and re-validate) a job from :meth:`to_dict` output."""
+        try:
+            specs = [ExperimentSpec.from_dict(s) for s in data["specs"]]
+            state = str(data.get("state", "pending"))
+            if state not in JOB_STATES:
+                raise ServeError(f"unknown job state {state!r}")
+            return cls(
+                job_id=str(data["job_id"]),
+                tenant=str(data.get("tenant", "default")),
+                specs=specs,
+                state=state,
+                submitted_at=float(data.get("submitted_at", 0.0)),
+                started_at=data.get("started_at"),
+                finished_at=data.get("finished_at"),
+                error=data.get("error"),
+                cancel_requested=bool(data.get("cancel_requested", False)),
+                telemetry=dict(data.get("telemetry") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed job payload: {exc}") from exc
+
+
+class JobQueue:
+    """The durable, journaled queue one serve process owns."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        compact_every: int = COMPACT_EVERY,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_NAME
+        self.compact_every = max(2, int(compact_every))
+        self._mu = threading.RLock()
+        self._flock = FileLock.for_path(self.path)
+        try:
+            self._flock.acquire(timeout=0)
+        except LockTimeout:
+            raise ServeError(
+                f"queue journal {self.path} is already owned by another "
+                f"process (is a 'repro serve' running on this directory?)"
+            ) from None
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._records = 0
+        self._fh = None
+        try:
+            requeued = self._recover()
+            self._fh = open(self.path, "a", encoding="utf-8")
+            # Journal the crash requeues so a second crash cannot lose
+            # them; this also re-persists cancel_requested resets.
+            for job_id in requeued:
+                self._append_state(self._jobs[job_id])
+        except BaseException:
+            self._flock.release()
+            raise
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Compact, flush, and release journal ownership."""
+        with self._mu:
+            if self._fh is None:
+                return
+            self.compact()
+            self._fh.close()
+            self._fh = None
+            self._flock.release()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- journal ---------------------------------------------------------------
+
+    def _recover(self) -> List[str]:
+        """Replay the journal; returns job ids requeued running→pending."""
+        if not self.path.is_file():
+            return []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        numbered = [
+            (i, line) for i, line in enumerate(lines, 1) if line.strip()
+        ]
+        for position, (lineno, line) in enumerate(numbered):
+            trailing = position == len(numbered) - 1
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("expected a JSON object")
+                self._apply(record, lineno)
+            except (ValueError, KeyError, TypeError, ServeError) as exc:
+                if trailing:
+                    logger.warning(
+                        "%s:%d: dropping truncated trailing record (%s)",
+                        self.path, lineno, exc,
+                    )
+                    break
+                raise ServeError(
+                    f"{self.path}:{lineno}: corrupt journal record: {exc}"
+                ) from exc
+            self._records += 1
+        requeued = []
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if job.state == "running":
+                # The owning process died mid-job; results it completed
+                # are in the shared cache, so re-running is cheap.
+                job.state = "pending"
+                job.started_at = None
+                job.cancel_requested = False
+                requeued.append(job_id)
+        return requeued
+
+    def _apply(self, record: Dict[str, Any], lineno: int) -> None:
+        kind = record.get("kind")
+        if kind == "submit":
+            job = Job.from_dict(record["job"])
+            if job.job_id not in self._jobs:
+                self._order.append(job.job_id)
+            self._jobs[job.job_id] = job
+        elif kind == "state":
+            job = self._jobs.get(str(record.get("job_id")))
+            if job is None:
+                logger.warning(
+                    "%s:%d: state record for unknown job %r (skipped)",
+                    self.path, lineno, record.get("job_id"),
+                )
+                return
+            state = str(record["state"])
+            if state not in JOB_STATES:
+                raise ServeError(f"unknown job state {state!r}")
+            job.state = state
+            job.started_at = record.get("started_at", job.started_at)
+            job.finished_at = record.get("finished_at", job.finished_at)
+            job.error = record.get("error", job.error)
+            job.cancel_requested = bool(
+                record.get("cancel_requested", job.cancel_requested)
+            )
+            if record.get("telemetry") is not None:
+                job.telemetry = dict(record["telemetry"])
+        else:
+            raise ServeError(f"unknown journal record kind {kind!r}")
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        record = {"v": JOURNAL_VERSION, "t": time.time(), **record}
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._records += 1
+        if self._records >= self.compact_every:
+            self.compact()
+
+    def _append_state(self, job: Job) -> None:
+        self._append(
+            {
+                "kind": "state",
+                "job_id": job.job_id,
+                "state": job.state,
+                "started_at": job.started_at,
+                "finished_at": job.finished_at,
+                "error": job.error,
+                "cancel_requested": job.cancel_requested,
+                "telemetry": job.telemetry or None,
+            }
+        )
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal as one record per live job.
+
+        Returns the number of records dropped.  Safe at any point: the
+        snapshot is written to a temp file in the queue directory and
+        swapped in with ``os.replace``, so a crash mid-compaction leaves
+        either the old journal or the new one, never a mix.
+        """
+        with self._mu:
+            before = self._records
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.directory), prefix=".queue-", suffix=".jsonl"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    for job_id in self._order:
+                        record = {
+                            "v": JOURNAL_VERSION,
+                            "t": time.time(),
+                            "kind": "submit",
+                            "job": self._jobs[job_id].to_dict(),
+                        }
+                        fh.write(
+                            json.dumps(
+                                record, sort_keys=True, separators=(",", ":")
+                            )
+                            + "\n"
+                        )
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                if self._fh is not None:
+                    self._fh.close()
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            finally:
+                if self._fh is not None:
+                    self._fh = open(self.path, "a", encoding="utf-8")
+            self._records = len(self._order)
+            return before - self._records
+
+    # -- operations ------------------------------------------------------------
+
+    def submit(
+        self,
+        specs: Iterable[ExperimentSpec],
+        tenant: str = "default",
+    ) -> Job:
+        """Append a new pending job; durable once this returns."""
+        specs = list(specs)
+        if not specs:
+            raise ServeError("a job needs at least one spec")
+        with self._mu:
+            job = Job(
+                job_id=_new_job_id(),
+                tenant=str(tenant) or "default",
+                specs=specs,
+                submitted_at=time.time(),
+            )
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self._append({"kind": "submit", "job": job.to_dict()})
+            return job
+
+    def claim_next(self) -> Optional[Job]:
+        """Atomically move the oldest pending job to ``running``."""
+        with self._mu:
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.state == "pending":
+                    job.state = "running"
+                    job.started_at = time.time()
+                    self._append_state(job)
+                    return job
+            return None
+
+    def mark_done(self, job_id: str, telemetry: Dict[str, Any]) -> Job:
+        """Record successful completion (with telemetry)."""
+        return self._finish(job_id, "done", telemetry=telemetry)
+
+    def mark_failed(
+        self,
+        job_id: str,
+        error: str,
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> Job:
+        """Record failure; ``error`` is a one-line summary for clients."""
+        return self._finish(job_id, "failed", error=error, telemetry=telemetry)
+
+    def mark_cancelled(
+        self, job_id: str, telemetry: Optional[Dict[str, Any]] = None
+    ) -> Job:
+        """Record cancellation of a running job."""
+        return self._finish(job_id, "cancelled", telemetry=telemetry)
+
+    def _finish(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> Job:
+        with self._mu:
+            job = self.get(job_id)
+            if job.terminal:
+                raise ServeError(
+                    f"job {job_id} is already {job.state}; cannot mark "
+                    f"{state}"
+                )
+            job.state = state
+            job.finished_at = time.time()
+            job.error = error
+            if telemetry is not None:
+                job.telemetry = dict(telemetry)
+            self._append_state(job)
+            return job
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediately when pending, cooperatively when
+        running (the scheduler stops its sweep between tasks), a no-op
+        once terminal."""
+        with self._mu:
+            job = self.get(job_id)
+            if job.state == "pending":
+                job.state = "cancelled"
+                job.finished_at = time.time()
+                self._append_state(job)
+            elif job.state == "running" and not job.cancel_requested:
+                job.cancel_requested = True
+                self._append_state(job)
+            return job
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """The job with ``job_id``; raises :class:`ServeError` if unknown."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(
+        self,
+        tenant: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> List[Job]:
+        """Jobs in submission order, optionally filtered."""
+        with self._mu:
+            out = [self._jobs[job_id] for job_id in self._order]
+        if tenant is not None:
+            out = [j for j in out if j.tenant == tenant]
+        if state is not None:
+            out = [j for j in out if j.state == state]
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: count}`` over every known job (all states present)."""
+        out = {state: 0 for state in JOB_STATES}
+        with self._mu:
+            for job in self._jobs.values():
+                out[job.state] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -1,0 +1,383 @@
+"""The serve scheduler: drain the queue through the SweepRunner.
+
+Each worker thread claims the oldest pending job and runs it through a
+per-job :class:`~repro.exp.runner.SweepRunner` against the *shared*
+:class:`~repro.exp.cache.ResultCache` — results live once, keyed by
+content, and every tenant reads the same entries.  Two mechanisms keep
+concurrent identical submissions from simulating anything twice:
+
+* **cache sharing** — the runner checks the cache before executing, so
+  a spec another job already finished is a hit, not a run;
+* **in-flight dedup** — specs are claimed by spec hash in a
+  process-wide registry before running; a job that finds its spec
+  already claimed *waits* for the owner to finish and then reads the
+  result from the cache instead of racing it.
+
+Before running, each job pre-records the distinct workload traces its
+specs need into the shared :class:`~repro.store.TraceStore`
+(record-once/replay-many), which the store's file-lock single-writer
+discipline makes safe across threads and processes.
+
+Per-job telemetry is written back into the queue journal at
+completion: queue-wait/run/total timings, executed/cached/deduped
+counts, the sweep's attribution summary, and a profiler
+:class:`~repro.obs.prof.RunReport`.  Service counters live under
+``serve.*`` in the scheduler's
+:class:`~repro.obs.registry.MetricsRegistry`:
+
+=============================  ============================================
+``serve.jobs.submitted``       jobs accepted into the queue
+``serve.jobs.completed``       jobs finished successfully
+``serve.jobs.failed``          jobs with at least one failed spec
+``serve.jobs.cancelled``       jobs cancelled (client or shutdown)
+``serve.jobs.running``         gauge: jobs executing right now
+``serve.specs.executed``       specs that ran a simulation
+``serve.specs.cached``         specs served from the shared result cache
+``serve.specs.deduped``        specs that waited on an in-flight twin
+``serve.specs.failed``         specs that exhausted their retries
+``serve.specs.duplicate_runs`` specs executed more than once — 0 by
+                               construction; a positive value is a bug
+``serve.queue.wait_s``         histogram of queue wait per job
+``serve.job.run_s``            histogram of run time per job
+=============================  ============================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ServeError
+from repro.exp.cache import ResultCache
+from repro.exp.runner import SweepRunner
+from repro.exp.spec import ExperimentSpec
+from repro.obs.attrib import sweep_attribution
+from repro.obs.prof import Profiler, RunReport
+from repro.obs.registry import MetricsRegistry
+from repro.serve.queue import Job, JobQueue
+
+#: How long a deduped spec waits for its in-flight owner before the
+#: job reports it failed (the owner crashed without publishing).
+DEDUP_WAIT_S = 600.0
+
+
+class Scheduler:
+    """Worker threads draining a :class:`JobQueue` through sweeps."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        cache: ResultCache,
+        *,
+        workers: int = 1,
+        jobs: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        poll_s: float = 0.1,
+        prerecord: bool = True,
+        fault_hook=None,
+    ) -> None:
+        if cache is None:
+            raise ServeError(
+                "the serve scheduler needs a shared ResultCache; "
+                "serving without one would re-simulate every submission"
+            )
+        self.queue = queue
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        self.jobs = max(1, int(jobs))
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.poll_s = float(poll_s)
+        self.prerecord = prerecord
+        self.fault_hook = fault_hook
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_submitted = self.metrics.counter("serve.jobs.submitted")
+        self._m_completed = self.metrics.counter("serve.jobs.completed")
+        self._m_failed = self.metrics.counter("serve.jobs.failed")
+        self._m_cancelled = self.metrics.counter("serve.jobs.cancelled")
+        self._m_running = self.metrics.gauge("serve.jobs.running")
+        self._m_executed = self.metrics.counter("serve.specs.executed")
+        self._m_cached = self.metrics.counter("serve.specs.cached")
+        self._m_deduped = self.metrics.counter("serve.specs.deduped")
+        self._m_spec_failed = self.metrics.counter("serve.specs.failed")
+        self._m_duplicates = self.metrics.counter(
+            "serve.specs.duplicate_runs"
+        )
+        self._m_wait = self.metrics.histogram("serve.queue.wait_s")
+        self._m_run = self.metrics.histogram("serve.job.run_s")
+        self._mu = threading.Lock()
+        #: spec hash -> Event set when the owning job publishes results.
+        self._inflight: Dict[str, threading.Event] = {}
+        #: every spec hash this server has ever executed (duplicate audit).
+        self._executed_hashes: set = set()
+        #: job_id -> the live runner, for cooperative cancellation.
+        self._runners: Dict[str, SweepRunner] = {}
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for n in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"serve-worker-{n}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, wait: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Graceful shutdown: stop claiming, cancel in-flight sweeps.
+
+        Running jobs get a cooperative stop (their pending tasks come
+        back cancelled and the job is journaled as ``cancelled``);
+        queued jobs stay ``pending`` in the journal and resume when the
+        service next starts.
+        """
+        self._stop.set()
+        with self._mu:
+            runners = list(self._runners.values())
+        for runner in runners:
+            runner.request_stop()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        self._threads = []
+
+    @property
+    def stopping(self) -> bool:
+        """Has shutdown been requested?"""
+        return self._stop.is_set()
+
+    def drain(self) -> int:
+        """Run queued jobs to completion on the calling thread.
+
+        Returns the number of jobs processed — the synchronous mode
+        behind ``repro serve --once`` and the test suite.
+        """
+        processed = 0
+        while not self._stop.is_set():
+            job = self.queue.claim_next()
+            if job is None:
+                break
+            self._run_job(job)
+            processed += 1
+        return processed
+
+    # -- submissions -----------------------------------------------------------
+
+    def submit(
+        self, specs: List[ExperimentSpec], tenant: str = "default"
+    ) -> Job:
+        """Queue a job (counted under ``serve.jobs.submitted``)."""
+        if self.stopping:
+            raise ServeError("the service is shutting down")
+        job = self.queue.submit(specs, tenant=tenant)
+        self._m_submitted.inc()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; running jobs stop between tasks."""
+        job = self.queue.request_cancel(job_id)
+        with self._mu:
+            runner = self._runners.get(job_id)
+        if runner is not None:
+            runner.request_stop()
+        if job.state == "cancelled":
+            self._m_cancelled.inc()
+        return job
+
+    # -- execution -------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim_next()
+            if job is None:
+                self._stop.wait(self.poll_s)
+                continue
+            try:
+                self._run_job(job)
+            except Exception as exc:  # never kill the worker loop
+                try:
+                    self.queue.mark_failed(
+                        job.job_id, f"{type(exc).__name__}: {exc}"
+                    )
+                except ServeError:
+                    pass
+                self._m_failed.inc()
+
+    def _claim_specs(
+        self, specs: List[ExperimentSpec]
+    ) -> Tuple[List[ExperimentSpec], List[Tuple[ExperimentSpec, threading.Event]]]:
+        """Partition a job's specs into owned vs in-flight elsewhere."""
+        owned: List[ExperimentSpec] = []
+        waiting: List[Tuple[ExperimentSpec, threading.Event]] = []
+        with self._mu:
+            for spec in specs:
+                spec_hash = spec.spec_hash()
+                event = self._inflight.get(spec_hash)
+                if event is None:
+                    self._inflight[spec_hash] = threading.Event()
+                    owned.append(spec)
+                else:
+                    waiting.append((spec, event))
+        return owned, waiting
+
+    def _release_specs(self, owned: List[ExperimentSpec]) -> None:
+        with self._mu:
+            for spec in owned:
+                event = self._inflight.pop(spec.spec_hash(), None)
+                if event is not None:
+                    event.set()
+
+    def _prerecord_traces(self, specs: List[ExperimentSpec]) -> None:
+        """Record each distinct workload trace once before the sweep.
+
+        The store's ``put`` is lock-protected and dedups against an
+        existing readable container, so concurrent jobs (and worker
+        processes) pre-recording the same workload write it once.
+        """
+        from repro.store import default_store
+        from repro.workloads import record_workload
+
+        if default_store() is None:
+            return
+        seen = set()
+        for spec in specs:
+            key = (spec.workload, spec.scale, spec.seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                record_workload(spec.workload, scale=spec.scale, seed=spec.seed)
+            except Exception:
+                pass  # the sweep surfaces the failure per spec
+
+    def _run_job(self, job: Job) -> None:
+        run_t0 = time.monotonic()
+        queue_wait = job.queue_wait_s() or 0.0
+        self._m_wait.add(queue_wait)
+        self._m_running.set(self._m_running.value + 1)
+        owned, waiting = self._claim_specs(job.specs)
+        if waiting:
+            self._m_deduped.inc(len(waiting))
+        profiler = Profiler()
+        runner = SweepRunner(
+            cache=self.cache,
+            jobs=self.jobs,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+            fault_hook=self.fault_hook,
+            profiler=profiler,
+        )
+        with self._mu:
+            self._runners[job.job_id] = runner
+        if job.cancel_requested or self.stopping:
+            runner.request_stop()
+        try:
+            if self.prerecord and owned:
+                with profiler.span("serve.prerecord"):
+                    self._prerecord_traces(owned)
+            report = runner.run(owned)
+        finally:
+            with self._mu:
+                self._runners.pop(job.job_id, None)
+            self._release_specs(owned)
+            self._m_running.set(max(0.0, self._m_running.value - 1))
+
+        # Audit: a spec executed twice by this server means the dedup or
+        # cache discipline broke — surfaced as serve.specs.duplicate_runs.
+        with self._mu:
+            for outcome in report.outcomes:
+                if outcome.ok and not outcome.cached:
+                    spec_hash = outcome.spec.spec_hash()
+                    if spec_hash in self._executed_hashes:
+                        self._m_duplicates.inc()
+                    self._executed_hashes.add(spec_hash)
+
+        # Specs another job owned: wait for it, then read the shared cache.
+        dedup_served = 0
+        dedup_failed = 0
+        for spec, event in waiting:
+            while not event.wait(timeout=self.poll_s):
+                if self.stopping or time.monotonic() - run_t0 > DEDUP_WAIT_S:
+                    break
+            if self.cache.get(spec) is not None:
+                dedup_served += 1
+            else:
+                dedup_failed += 1
+
+        self._m_executed.inc(report.executed)
+        self._m_cached.inc(report.from_cache)
+        failed = len(report.failures) - report.cancelled + dedup_failed
+        self._m_spec_failed.inc(max(0, failed))
+        run_s = time.monotonic() - run_t0
+        self._m_run.add(run_s)
+
+        telemetry = self._telemetry(
+            job, report, profiler, queue_wait, run_s,
+            dedup_served, dedup_failed,
+        )
+        if report.interrupted:
+            self.queue.mark_cancelled(job.job_id, telemetry=telemetry)
+            self._m_cancelled.inc()
+        elif failed > 0:
+            self.queue.mark_failed(
+                job.job_id,
+                f"{failed} of {len(job.specs)} spec(s) failed",
+                telemetry=telemetry,
+            )
+            self._m_failed.inc()
+        else:
+            self.queue.mark_done(job.job_id, telemetry=telemetry)
+            self._m_completed.inc()
+
+    def _telemetry(
+        self,
+        job: Job,
+        report,
+        profiler: Profiler,
+        queue_wait: float,
+        run_s: float,
+        dedup_served: int,
+        dedup_failed: int,
+    ) -> Dict[str, Any]:
+        """The job's completion payload (journaled, served by the API)."""
+        run_report = RunReport.from_profiler(
+            f"serve/{job.job_id}",
+            profiler,
+            command=f"serve job {job.job_id}",
+            metrics={
+                "serve.queue_wait_s": queue_wait,
+                "serve.run_s": run_s,
+                "serve.executed": float(report.executed),
+                "serve.cached": float(report.from_cache),
+                "serve.deduped": float(dedup_served + dedup_failed),
+            },
+            context={"tenant": job.tenant, "n_specs": len(job.specs)},
+        )
+        return {
+            "specs": len(job.specs),
+            "executed": report.executed,
+            "cached": report.from_cache,
+            "deduped": dedup_served,
+            "failures": len(report.failures) - report.cancelled + dedup_failed,
+            "cancelled": report.cancelled,
+            "interrupted": report.interrupted,
+            "queue_wait_s": queue_wait,
+            "run_s": run_s,
+            "total_s": queue_wait + run_s,
+            "errors": [
+                {"spec": o.spec.label(), "error": o.error}
+                for o in report.failures
+                if not o.cancelled
+            ],
+            "attribution": sweep_attribution(report.outcomes),
+            "profile": run_report.to_dict(),
+        }

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.common.errors import TraceError, TraceStoreError
+from repro.common.locks import FileLock
 from repro.obs.prof import as_profiler
 from repro.obs.registry import MetricsRegistry
 from repro.store.format import (
@@ -167,6 +168,7 @@ class TraceStore:
         self._misses = registry.counter("store.misses")
         self._stores = registry.counter("store.stores")
         self._invalidations = registry.counter("store.invalidations")
+        self._dedup = registry.counter("store.dedup")
         self._bytes_read = registry.counter("store.bytes_read")
         self._bytes_written = registry.counter("store.bytes_written")
         self._decode_s = registry.histogram("store.decode_seconds")
@@ -195,6 +197,7 @@ class TraceStore:
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": int(self._invalidations.value),
+            "dedup": int(self._dedup.value),
             "bytes_read": int(self._bytes_read.value),
             "bytes_written": int(self._bytes_written.value),
             "decode_seconds": float(self._decode_s.total),
@@ -285,17 +288,34 @@ class TraceStore:
         return reader
 
     def put(self, identity: Dict[str, object], trace: Trace) -> Path:
-        """Atomically record ``trace`` under ``identity``'s key."""
+        """Atomically record ``trace`` under ``identity``'s key.
+
+        Writers take a sibling file lock and re-check for a readable
+        container before writing, so N processes recording the same
+        workload concurrently produce exactly one write — the other N-1
+        skip (counted under ``store.dedup``).  An unreadable existing
+        container is overwritten.
+        """
         path = self.path_for(identity)
-        with self.profiler.span("store.record", items=len(trace)):
-            nbytes = write_container(
-                path,
-                trace,
-                identity=canonical_identity(identity),
-                chunk_records=self.chunk_records,
-            )
-        self._stores.inc()
-        self._bytes_written.inc(nbytes)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with FileLock.for_path(path):
+            if path.is_file():
+                try:
+                    ContainerReader(path).close()
+                except TraceError:
+                    pass  # unreadable: fall through and rewrite
+                else:
+                    self._dedup.inc()
+                    return path
+            with self.profiler.span("store.record", items=len(trace)):
+                nbytes = write_container(
+                    path,
+                    trace,
+                    identity=canonical_identity(identity),
+                    chunk_records=self.chunk_records,
+                )
+            self._stores.inc()
+            self._bytes_written.inc(nbytes)
         return path
 
     def get_or_record(

@@ -1,0 +1,128 @@
+"""Cross-process file locks and the stampede discipline they enforce.
+
+The stampede test spawns real processes: N writers race ``put`` on the
+same cache key, and exactly one write may win (the rest dedup).  The
+worker functions live at module level so they stay picklable.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.common.errors import ConfigurationError, LockTimeout
+from repro.common.locks import LOCK_SUFFIX, FileLock
+from repro.exp.cache import ResultCache
+from repro.exp.spec import ExperimentSpec
+from repro.trace.policysim import PolicySimResult
+
+SPEC = ExperimentSpec(workload="database", scale=0.05, kind="trace")
+
+
+def make_result() -> PolicySimResult:
+    return PolicySimResult(
+        label="Mig/Rep", total_misses=100, local_misses=60,
+        stall_ns=66_000.0, overhead_ns=700_000.0,
+        migrations=2, replications=1,
+    )
+
+
+class TestFileLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        assert not lock.held
+        lock.acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+        lock.acquire()  # reusable after release
+        lock.release()
+
+    def test_context_manager(self, tmp_path):
+        with FileLock(tmp_path / "x.lock") as lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_for_path_names_a_sibling(self, tmp_path):
+        lock = FileLock.for_path(tmp_path / "entry.json")
+        assert lock.path == tmp_path / ("entry.json" + LOCK_SUFFIX)
+
+    def test_double_acquire_is_an_error(self, tmp_path):
+        with FileLock(tmp_path / "x.lock") as lock:
+            with pytest.raises(ConfigurationError):
+                lock.acquire()
+
+    def test_release_without_acquire_is_noop(self, tmp_path):
+        FileLock(tmp_path / "x.lock").release()
+
+    def test_contenders_time_out(self, tmp_path):
+        # flock is per file descriptor, so a second instance contends
+        # even within one process — the cheap way to test exclusion.
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            with pytest.raises(LockTimeout):
+                FileLock(path).acquire(timeout=0)
+            with pytest.raises(LockTimeout):
+                FileLock(path).acquire(timeout=0.05)
+
+    def test_waiter_proceeds_after_release(self, tmp_path):
+        path = tmp_path / "x.lock"
+        first = FileLock(path).acquire()
+        first.release()
+        with FileLock(path, timeout=0.5) as second:
+            assert second.held
+
+    def test_lock_file_left_in_place(self, tmp_path):
+        # Unlinking on release would split the lock for any process
+        # that had already opened the old inode.
+        path = tmp_path / "x.lock"
+        with FileLock(path):
+            pass
+        assert path.exists()
+
+
+def _stampede_worker(directory, barrier, out):
+    cache = ResultCache(directory=directory, token="stampede")
+    barrier.wait()  # maximise contention: all writers release together
+    cache.put(SPEC, make_result())
+    out.put(cache.stats())
+
+
+class TestWriteStampede:
+    def test_exactly_one_write_wins(self, tmp_path):
+        n = 6
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(n)
+        out = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_stampede_worker, args=(str(tmp_path), barrier, out)
+            )
+            for _ in range(n)
+        ]
+        for proc in workers:
+            proc.start()
+        stats = [out.get(timeout=30) for _ in range(n)]
+        for proc in workers:
+            proc.join(timeout=30)
+            assert proc.exitcode == 0
+
+        # Exactly one write wins; every other writer deduped.
+        assert sum(s["stores"] for s in stats) == 1
+        assert sum(s["dedup"] for s in stats) == n - 1
+
+        # And the single surviving entry is intact.
+        cache = ResultCache(directory=tmp_path, token="stampede")
+        entry = cache.path_for(SPEC)
+        envelope = json.loads(entry.read_text(encoding="utf-8"))
+        assert envelope["result"] == make_result().to_dict()
+        got = cache.get(SPEC)
+        assert got is not None
+        assert got.to_dict() == make_result().to_dict()
+
+    def test_serial_put_put_dedups_in_process(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, token="t")
+        cache.put(SPEC, make_result())
+        cache.put(SPEC, make_result())
+        assert cache.stats()["stores"] == 1
+        assert cache.stats()["dedup"] == 1

@@ -79,6 +79,7 @@ class TestHitMiss:
         assert cache.get(spec) is None
         assert cache.stats() == {
             "hits": 0, "misses": 1, "stores": 0, "invalidations": 0,
+            "dedup": 0,
         }
 
     def test_system_result_round_trip(self, cache, spec):

@@ -190,3 +190,58 @@ class TestSweepProfile:
         names = [r.name for r in profiler.records if r.depth == 0]
         assert names == ["sweep.run"]
         assert profiler.items("sweep.run") == 2
+
+
+class TestGracefulStop:
+    def test_stop_before_run_cancels_everything(self):
+        runner = SweepRunner(jobs=1)
+        runner.request_stop()
+        report = runner.run(trace_specs(3))
+        assert report.interrupted
+        assert report.cancelled == 3
+        assert report.executed == 0
+        assert all(o.error == "cancelled" for o in report.outcomes)
+
+    def test_stop_mid_run_keeps_completed_results(self):
+        runner = SweepRunner(jobs=1)
+        seen = []
+
+        def progress(outcome, done, total):
+            seen.append(outcome)
+            if len(seen) == 1:
+                runner.request_stop()
+
+        runner.progress = progress
+        report = runner.run(trace_specs(3))
+        assert report.interrupted
+        assert report.executed == 1
+        assert report.cancelled == 2
+        assert report.outcomes[0].ok
+
+    def test_stop_still_serves_cache_hits(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, token="t")
+        specs = trace_specs(2)
+        SweepRunner(cache=cache).run(specs)
+        warm = SweepRunner(cache=cache)
+        warm.request_stop()
+        report = warm.run(specs)
+        # The cache phase runs before the stop check: hits are free.
+        assert report.from_cache == 2
+        assert report.cancelled == 0
+
+    def test_shared_stop_event(self):
+        import threading
+
+        stop = threading.Event()
+        runner = SweepRunner(jobs=1, stop_event=stop)
+        stop.set()
+        assert runner.stopped
+        report = runner.run(trace_specs(2))
+        assert report.interrupted
+
+    def test_cancelled_specs_not_cached(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, token="t")
+        runner = SweepRunner(cache=cache, jobs=1)
+        runner.request_stop()
+        runner.run(trace_specs(2))
+        assert cache.stats()["stores"] == 0

@@ -1,0 +1,193 @@
+"""The HTTP API + client: roundtrips, errors, concurrent submission."""
+
+import json
+import threading
+
+import pytest
+
+from repro.common.errors import ServeError
+from repro.exp.cache import ResultCache, _load_result
+from repro.exp.runner import SweepRunner
+from repro.exp.spec import sweep
+from repro.obs.registry import MetricsRegistry
+from repro.serve import (
+    ENDPOINT_FILE,
+    JobQueue,
+    Scheduler,
+    ServeClient,
+    ServeServer,
+)
+
+SCALE = 0.02
+
+
+def specs(n=2):
+    return sweep(
+        ("database", "splash", "raytrace", "engineering")[:n],
+        kinds=("trace",), policies=("ft", "migrep"), scales=(SCALE,),
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+    queue = JobQueue(tmp_path / "queue")
+    scheduler = Scheduler(
+        queue, cache, workers=2, metrics=registry,
+        prerecord=False, poll_s=0.01,
+    )
+    srv = ServeServer(scheduler, tmp_path / "serve")
+    srv.start()
+    yield srv
+    srv.stop()
+    queue.close()
+
+
+@pytest.fixture
+def client(server, tmp_path):
+    return ServeClient.from_endpoint(tmp_path / "serve")
+
+
+class TestDiscovery:
+    def test_endpoint_file_published_and_removed(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+        queue = JobQueue(tmp_path / "queue")
+        scheduler = Scheduler(queue, cache, metrics=registry, prerecord=False)
+        srv = ServeServer(scheduler, tmp_path / "serve")
+        try:
+            srv.start()
+            endpoint = json.loads(
+                (tmp_path / "serve" / ENDPOINT_FILE).read_text()
+            )
+            assert endpoint["url"] == srv.url
+            assert endpoint["url"].startswith("http://127.0.0.1:")
+        finally:
+            srv.stop()
+            queue.close()
+        assert not (tmp_path / "serve" / ENDPOINT_FILE).exists()
+
+    def test_missing_endpoint_file_is_actionable(self, tmp_path):
+        with pytest.raises(ServeError, match="repro serve"):
+            ServeClient.from_endpoint(tmp_path / "nowhere")
+
+
+class TestRoundtrip:
+    def test_submit_wait_results(self, server, client):
+        grid = specs(1)
+        health = client.health()
+        assert health["ok"]
+
+        job = client.submit(grid, tenant="alice")
+        assert job["tenant"] == "alice"
+        done = client.wait(job["job_id"], timeout_s=120)
+        assert done["state"] == "done"
+        assert done["telemetry"]["executed"] == len(grid)
+
+        payload = client.results(job["job_id"])
+        assert payload["missing"] == 0
+        assert len(payload["results"]) == len(grid)
+        listing = client.status()
+        assert listing["counts"]["done"] == 1
+        metrics = client.metrics()
+        assert metrics["serve.jobs.completed"] == 1
+        assert metrics["serve.specs.duplicate_runs"] == 0
+
+    def test_cancel_pending_job(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+        queue = JobQueue(tmp_path / "queue")
+        # No workers started: the job stays pending until cancelled.
+        scheduler = Scheduler(queue, cache, metrics=registry, prerecord=False)
+        srv = ServeServer(scheduler, tmp_path / "serve")
+        try:
+            srv.start()
+            client = ServeClient(srv.url)
+            job = client.submit(specs(1))
+            cancelled = client.cancel(job["job_id"])
+            assert cancelled["state"] == "cancelled"
+            assert client.status(job["job_id"])["state"] == "cancelled"
+        finally:
+            srv.stop()
+            queue.close()
+
+
+class TestErrors:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError, match="unknown job"):
+            client.status("no-such-job")
+        with pytest.raises(ServeError, match="unknown job"):
+            client.results("no-such-job")
+        with pytest.raises(ServeError, match="unknown job"):
+            client.cancel("no-such-job")
+
+    def test_malformed_submit_is_400(self, client):
+        with pytest.raises(ServeError, match="non-empty list"):
+            client._request("POST", "/submit", {"specs": []})
+        with pytest.raises(ServeError, match="malformed spec"):
+            client._request(
+                "POST", "/submit", {"specs": [{"workload": "quantum"}]}
+            )
+        with pytest.raises(ServeError, match="tenant"):
+            client._request(
+                "POST", "/submit",
+                {"specs": [specs(1)[0].to_dict()], "tenant": ""},
+            )
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError, match="no such endpoint"):
+            client._request("GET", "/frobnicate")
+
+    def test_bad_state_filter_is_400(self, client):
+        with pytest.raises(ServeError, match="unknown state"):
+            client.status(state="limbo")
+
+
+class TestConcurrentClients:
+    def test_identical_grids_run_once_and_match_serial(self, server, tmp_path):
+        """The PR's acceptance bar: two clients racing the same grid —
+        every spec simulates at most once, and the served results are
+        byte-identical to a serial SweepRunner over the same specs."""
+        grid = specs(2)
+        jobs, errors = [], []
+
+        def submit_and_wait():
+            try:
+                client = ServeClient.from_endpoint(tmp_path / "serve")
+                job = client.submit(grid)
+                jobs.append(client.wait(job["job_id"], timeout_s=300))
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit_and_wait) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not errors
+        assert [job["state"] for job in jobs] == ["done", "done"]
+
+        # At most one execution per spec across both jobs.
+        total_executed = sum(job["telemetry"]["executed"] for job in jobs)
+        assert total_executed <= len(grid)
+        client = ServeClient.from_endpoint(tmp_path / "serve")
+        assert client.metrics()["serve.specs.duplicate_runs"] == 0
+
+        # Served results are byte-identical to a serial sweep.
+        serial = SweepRunner(
+            cache=ResultCache(tmp_path / "serial-cache", token="t")
+        ).run(grid)
+        serial_bytes = [
+            json.dumps(o.result.to_dict(), sort_keys=True)
+            for o in serial.outcomes
+        ]
+        for job in jobs:
+            payload = client.results(job["job_id"])
+            served_bytes = [
+                json.dumps(
+                    _load_result(entry["result"]).to_dict(), sort_keys=True
+                )
+                for entry in payload["results"]
+            ]
+            assert served_bytes == serial_bytes

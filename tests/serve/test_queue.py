@@ -1,0 +1,268 @@
+"""The durable job queue: journal, recovery, compaction, ownership."""
+
+import json
+import logging
+
+import pytest
+
+from repro.common.errors import ServeError
+from repro.exp.spec import ExperimentSpec, sweep
+from repro.serve.queue import JOB_STATES, JOURNAL_NAME, Job, JobQueue
+
+SCALE = 0.02
+
+
+def specs(n=2):
+    return sweep(
+        ("database", "splash", "raytrace", "engineering")[:n],
+        kinds=("trace",), policies=("ft",), scales=(SCALE,),
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    q = JobQueue(tmp_path / "q")
+    yield q
+    q.close()
+
+
+class TestLifecycle:
+    def test_submit_claim_done(self, queue):
+        job = queue.submit(specs(), tenant="alice")
+        assert job.state == "pending"
+        assert job.tenant == "alice"
+        assert len(job.spec_hashes()) == 2
+
+        claimed = queue.claim_next()
+        assert claimed.job_id == job.job_id
+        assert claimed.state == "running"
+        assert claimed.queue_wait_s() is not None
+        assert queue.claim_next() is None  # nothing else pending
+
+        done = queue.mark_done(job.job_id, telemetry={"executed": 2})
+        assert done.terminal
+        assert done.telemetry == {"executed": 2}
+
+    def test_submit_empty_rejected(self, queue):
+        with pytest.raises(ServeError):
+            queue.submit([])
+
+    def test_claims_in_submission_order(self, queue):
+        first = queue.submit(specs(1))
+        second = queue.submit(specs(1))
+        assert queue.claim_next().job_id == first.job_id
+        assert queue.claim_next().job_id == second.job_id
+
+    def test_mark_failed_records_error(self, queue):
+        job = queue.submit(specs(1))
+        queue.claim_next()
+        failed = queue.mark_failed(job.job_id, "1 of 1 spec(s) failed")
+        assert failed.state == "failed"
+        assert failed.error == "1 of 1 spec(s) failed"
+
+    def test_double_finish_rejected(self, queue):
+        job = queue.submit(specs(1))
+        queue.claim_next()
+        queue.mark_done(job.job_id, telemetry={})
+        with pytest.raises(ServeError):
+            queue.mark_failed(job.job_id, "late")
+
+    def test_unknown_job_rejected(self, queue):
+        with pytest.raises(ServeError):
+            queue.get("no-such-job")
+
+    def test_cancel_pending_is_immediate(self, queue):
+        job = queue.submit(specs(1))
+        cancelled = queue.request_cancel(job.job_id)
+        assert cancelled.state == "cancelled"
+        assert cancelled.finished_at is not None
+        assert queue.claim_next() is None
+
+    def test_cancel_running_is_cooperative(self, queue):
+        job = queue.submit(specs(1))
+        queue.claim_next()
+        flagged = queue.request_cancel(job.job_id)
+        assert flagged.state == "running"
+        assert flagged.cancel_requested
+        # Terminal cancel is a no-op, not an error.
+        queue.mark_cancelled(job.job_id)
+        again = queue.request_cancel(job.job_id)
+        assert again.state == "cancelled"
+
+    def test_queries(self, queue):
+        a = queue.submit(specs(1), tenant="alice")
+        queue.submit(specs(1), tenant="bob")
+        assert len(queue) == 2
+        assert [j.tenant for j in queue.jobs()] == ["alice", "bob"]
+        assert [j.job_id for j in queue.jobs(tenant="alice")] == [a.job_id]
+        counts = queue.counts()
+        assert set(counts) == set(JOB_STATES)
+        assert counts["pending"] == 2
+
+    def test_to_dict_round_trip(self, queue):
+        job = queue.submit(specs(), tenant="alice")
+        clone = Job.from_dict(job.to_dict())
+        assert clone.job_id == job.job_id
+        assert clone.specs == job.specs
+        compact = job.to_dict(specs=False)
+        assert "specs" not in compact
+        assert compact["n_specs"] == 2
+
+
+class TestDurability:
+    def test_reopen_restores_jobs(self, tmp_path):
+        with JobQueue(tmp_path / "q") as queue:
+            job = queue.submit(specs(), tenant="alice")
+            queue.claim_next()
+            queue.mark_done(job.job_id, telemetry={"executed": 2})
+            pending = queue.submit(specs(1), tenant="bob")
+
+        with JobQueue(tmp_path / "q") as reopened:
+            done = reopened.get(job.job_id)
+            assert done.state == "done"
+            assert done.telemetry == {"executed": 2}
+            assert done.specs == job.specs
+            assert reopened.get(pending.job_id).state == "pending"
+
+    def test_running_jobs_requeue_on_recovery(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        job = queue.submit(specs(1))
+        queue.claim_next()
+        queue.request_cancel(job.job_id)
+        # Simulate a crash: drop the lock without closing cleanly.
+        queue._fh.close()
+        queue._flock.release()
+
+        with JobQueue(tmp_path / "q") as recovered:
+            requeued = recovered.get(job.job_id)
+            assert requeued.state == "pending"
+            assert requeued.started_at is None
+            assert not requeued.cancel_requested
+            # The requeue is journaled immediately: a second recovery
+            # (without any new appends) sees the same pending state.
+        with JobQueue(tmp_path / "q") as again:
+            assert again.get(job.job_id).state == "pending"
+
+    def test_second_owner_fails_fast(self, tmp_path):
+        with JobQueue(tmp_path / "q"):
+            with pytest.raises(ServeError, match="already owned"):
+                JobQueue(tmp_path / "q")
+
+    def test_reopen_after_close_succeeds(self, tmp_path):
+        JobQueue(tmp_path / "q").close()
+        JobQueue(tmp_path / "q").close()
+
+
+class TestCrashRecovery:
+    def _journal(self, tmp_path):
+        return tmp_path / "q" / JOURNAL_NAME
+
+    def test_truncated_trailing_record_dropped(self, tmp_path, caplog):
+        with JobQueue(tmp_path / "q") as queue:
+            kept = queue.submit(specs(1), tenant="alice")
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "submit", "job": {"job_id": "torn"')  # no \n
+
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            with JobQueue(tmp_path / "q") as recovered:
+                assert recovered.get(kept.job_id).state == "pending"
+                assert len(recovered) == 1
+        assert any(
+            "dropping truncated trailing record" in r.getMessage()
+            for r in caplog.records
+        )
+        assert str(path) in caplog.text or path.name in caplog.text
+
+    def test_corrupt_middle_record_raises_with_line(self, tmp_path):
+        with JobQueue(tmp_path / "q") as queue:
+            queue.submit(specs(1))
+            queue.submit(specs(1))
+        path = self._journal(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][:20]  # corrupt a non-trailing record
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        with pytest.raises(ServeError, match=rf"{path.name}:1: "):
+            JobQueue(tmp_path / "q")
+
+    def test_state_for_unknown_job_skipped(self, tmp_path, caplog):
+        with JobQueue(tmp_path / "q") as queue:
+            queue.submit(specs(1))
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps({"kind": "state", "job_id": "ghost",
+                            "state": "done"}) + "\n"
+            )
+            # A valid trailing record after it, so the ghost is not
+            # excused as a torn tail.
+            fh.write(
+                json.dumps({"kind": "state", "job_id": "ghost2",
+                            "state": "done"}) + "\n"
+            )
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            with JobQueue(tmp_path / "q") as recovered:
+                assert len(recovered) == 1
+        assert "unknown job" in caplog.text
+
+    def test_unknown_record_kind_is_corruption(self, tmp_path):
+        with JobQueue(tmp_path / "q") as queue:
+            queue.submit(specs(1))
+        path = self._journal(tmp_path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "mystery"}) + "\n")
+            fh.write(json.dumps({"kind": "mystery2"}) + "\n")
+        with pytest.raises(ServeError, match="corrupt journal record"):
+            JobQueue(tmp_path / "q")
+
+
+class TestCompaction:
+    def test_close_compacts_to_one_record_per_job(self, tmp_path):
+        with JobQueue(tmp_path / "q") as queue:
+            job = queue.submit(specs(1))
+            queue.claim_next()
+            queue.mark_done(job.job_id, telemetry={"executed": 1})
+            queue.submit(specs(1))
+        lines = [
+            json.loads(line)
+            for line in self._read_lines(tmp_path)
+        ]
+        assert len(lines) == 2
+        assert all(record["kind"] == "submit" for record in lines)
+
+    def test_auto_compaction_bounds_journal(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", compact_every=8)
+        job = queue.submit(specs(1))
+        for _ in range(20):
+            queue.claim_next()
+            queue.mark_done(job.job_id, telemetry={})
+            job.state = "pending"  # requeue in memory to keep cycling
+            job.started_at = None
+            job.finished_at = None
+        assert len(self._read_lines(tmp_path)) <= 8
+        queue.close()
+
+    def test_compact_preserves_states(self, tmp_path):
+        with JobQueue(tmp_path / "q") as queue:
+            done = queue.submit(specs(1))
+            queue.claim_next()
+            queue.mark_done(done.job_id, telemetry={"executed": 1})
+            cancelled = queue.submit(specs(1))
+            queue.request_cancel(cancelled.job_id)
+            pending = queue.submit(specs(1))
+            dropped = queue.compact()
+            assert dropped >= 0
+            assert queue.get(done.job_id).state == "done"
+
+        with JobQueue(tmp_path / "q") as reopened:
+            assert reopened.get(done.job_id).state == "done"
+            assert reopened.get(cancelled.job_id).state == "cancelled"
+            assert reopened.get(pending.job_id).state == "pending"
+
+    def _read_lines(self, tmp_path):
+        path = tmp_path / "q" / JOURNAL_NAME
+        return [
+            line for line in
+            path.read_text(encoding="utf-8").splitlines() if line.strip()
+        ]

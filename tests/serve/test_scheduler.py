@@ -1,0 +1,213 @@
+"""The serve scheduler: drain, telemetry, dedup, cancellation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ServeError
+from repro.exp.cache import ResultCache
+from repro.exp.runner import SweepRunner
+from repro.exp.spec import sweep
+from repro.obs.registry import MetricsRegistry
+from repro.serve.queue import JobQueue
+from repro.serve.scheduler import Scheduler
+
+SCALE = 0.02
+
+# The in-flight dedup test needs a hook that blocks the owning job
+# until released; module-level state keeps it picklable-shaped even
+# though the scheduler tests all run jobs=1 (in-process).
+_GATE = threading.Event()
+_ENTERED = threading.Event()
+
+
+def gate_hook(spec, attempt):
+    _ENTERED.set()
+    _GATE.wait(timeout=30)
+
+
+def fail_hook(spec, attempt):
+    raise RuntimeError("injected fault")
+
+
+def specs(n=2):
+    return sweep(
+        ("database", "splash", "raytrace", "engineering")[:n],
+        kinds=("trace",), policies=("ft",), scales=(SCALE,),
+    )
+
+
+@pytest.fixture
+def stack(tmp_path):
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+    queue = JobQueue(tmp_path / "queue")
+    scheduler = Scheduler(queue, cache, metrics=registry, prerecord=False)
+    yield scheduler, queue, cache, registry
+    scheduler.stop(wait=True)
+    queue.close()
+
+
+def metric(registry, name):
+    return registry.collect()[name]
+
+
+class TestDrain:
+    def test_job_runs_to_done_with_telemetry(self, stack):
+        scheduler, queue, cache, registry = stack
+        job = scheduler.submit(specs(), tenant="alice")
+        assert scheduler.drain() == 1
+
+        done = queue.get(job.job_id)
+        assert done.state == "done"
+        telemetry = done.telemetry
+        assert telemetry["specs"] == 2
+        assert telemetry["executed"] == 2
+        assert telemetry["cached"] == 0
+        assert telemetry["failures"] == 0
+        assert telemetry["queue_wait_s"] >= 0
+        assert telemetry["run_s"] > 0
+        assert telemetry["total_s"] >= telemetry["run_s"]
+        assert "summary" in telemetry["attribution"]
+        assert telemetry["profile"]["kind"] == "report"
+        assert metric(registry, "serve.jobs.completed") == 1
+        assert metric(registry, "serve.specs.executed") == 2
+
+    def test_identical_resubmission_is_fully_cached(self, stack):
+        scheduler, queue, cache, registry = stack
+        first = scheduler.submit(specs())
+        second = scheduler.submit(specs())
+        assert scheduler.drain() == 2
+
+        assert queue.get(first.job_id).telemetry["executed"] == 2
+        resubmit = queue.get(second.job_id).telemetry
+        assert resubmit["executed"] == 0
+        assert resubmit["cached"] == 2
+        assert metric(registry, "serve.specs.duplicate_runs") == 0
+
+    def test_failures_mark_job_failed(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+        queue = JobQueue(tmp_path / "queue")
+        scheduler = Scheduler(
+            queue, cache, metrics=registry, retries=0,
+            prerecord=False, fault_hook=fail_hook,
+        )
+        try:
+            job = scheduler.submit(specs(1))
+            scheduler.drain()
+            failed = queue.get(job.job_id)
+            assert failed.state == "failed"
+            assert "1 of 1" in failed.error
+            assert failed.telemetry["failures"] == 1
+            assert failed.telemetry["errors"][0]["error"]
+            assert metric(registry, "serve.jobs.failed") == 1
+        finally:
+            scheduler.stop(wait=True)
+            queue.close()
+
+    def test_requires_a_cache(self, tmp_path):
+        queue = JobQueue(tmp_path / "queue")
+        try:
+            with pytest.raises(ServeError, match="ResultCache"):
+                Scheduler(queue, None)
+        finally:
+            queue.close()
+
+    def test_submit_after_stop_rejected(self, stack):
+        scheduler, queue, cache, registry = stack
+        scheduler.stop(wait=True)
+        with pytest.raises(ServeError, match="shutting down"):
+            scheduler.submit(specs(1))
+
+
+class TestWorkers:
+    def test_worker_thread_processes_queue(self, stack):
+        scheduler, queue, cache, registry = stack
+        scheduler.start()
+        job = scheduler.submit(specs(1))
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if queue.get(job.job_id).terminal:
+                break
+            time.sleep(0.05)
+        assert queue.get(job.job_id).state == "done"
+
+    def test_inflight_dedup_across_concurrent_jobs(self, tmp_path):
+        """Two jobs over the same spec: one executes, the other waits
+        on the in-flight claim and serves the result from the cache."""
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+        queue = JobQueue(tmp_path / "queue")
+        scheduler = Scheduler(
+            queue, cache, workers=2, metrics=registry,
+            prerecord=False, fault_hook=gate_hook, poll_s=0.01,
+        )
+        _GATE.clear()
+        _ENTERED.clear()
+        try:
+            first = scheduler.submit(specs(1))
+            second = scheduler.submit(specs(1))
+            scheduler.start()
+            # Wait until worker A is inside the simulation, then let
+            # worker B claim the second job against the held spec.
+            assert _ENTERED.wait(timeout=30)
+            time.sleep(0.2)
+            _GATE.set()
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                jobs = [queue.get(first.job_id), queue.get(second.job_id)]
+                if all(j.terminal for j in jobs):
+                    break
+                time.sleep(0.05)
+            states = {queue.get(first.job_id).state,
+                      queue.get(second.job_id).state}
+            assert states == {"done"}
+            telemetries = [
+                queue.get(first.job_id).telemetry,
+                queue.get(second.job_id).telemetry,
+            ]
+            # Exactly one execution between the two jobs; the twin was
+            # deduped (in-flight wait) or cached, never re-run.
+            assert sum(t["executed"] for t in telemetries) == 1
+            assert metric(registry, "serve.specs.duplicate_runs") == 0
+            assert (
+                sum(t["deduped"] for t in telemetries)
+                + sum(t["cached"] for t in telemetries)
+                == 1
+            )
+        finally:
+            _GATE.set()
+            scheduler.stop(wait=True)
+            queue.close()
+
+
+class TestCancellation:
+    def test_cancel_pending_job(self, stack):
+        scheduler, queue, cache, registry = stack
+        job = scheduler.submit(specs(1))
+        cancelled = scheduler.cancel(job.job_id)
+        assert cancelled.state == "cancelled"
+        assert scheduler.drain() == 0
+        assert metric(registry, "serve.jobs.cancelled") == 1
+
+    def test_cancel_requested_before_claim_cancels_run(self, stack):
+        scheduler, queue, cache, registry = stack
+        job = scheduler.submit(specs())
+        # Flag the job while "running" (claimed manually), as the API
+        # does when the sweep is mid-flight.
+        queue.claim_next()
+        queue.request_cancel(job.job_id)
+        scheduler._run_job(queue.get(job.job_id))
+        finished = queue.get(job.job_id)
+        assert finished.state == "cancelled"
+        assert finished.telemetry["interrupted"]
+        assert finished.telemetry["cancelled"] == 2
+
+    def test_stop_requests_runner_stop(self, stack):
+        scheduler, queue, cache, registry = stack
+        runner = SweepRunner(cache=cache)
+        scheduler._runners["x"] = runner
+        scheduler.stop(wait=False)
+        assert runner.stopped

@@ -673,3 +673,119 @@ class TestAnalyzeCommand:
     def test_missing_file_is_an_error(self, tmp_path, capsys):
         assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+def test_sweep_task_flag_aliases():
+    parser = build_parser()
+    new = parser.parse_args(
+        ["sweep", "--grid", "fig9", "--task-timeout", "5", "--task-retries", "2"]
+    )
+    assert new.timeout == 5.0 and new.retries == 2
+    old = parser.parse_args(
+        ["sweep", "--grid", "fig9", "--timeout", "7", "--retries", "3"]
+    )
+    assert old.timeout == 7.0 and old.retries == 3
+
+
+class TestServeCommands:
+    def _dirs(self, tmp_path):
+        return str(tmp_path / "serve"), str(tmp_path / "cache")
+
+    def test_serve_once_drains_queued_jobs(self, tmp_path, capsys):
+        from repro.exp.spec import sweep as sweep_specs
+        from repro.serve import JobQueue
+
+        serve_dir, cache_dir = self._dirs(tmp_path)
+        with JobQueue(serve_dir) as queue:
+            job = queue.submit(sweep_specs(
+                ("database",), kinds=("trace",), policies=("ft",),
+                scales=(0.02,),
+            ))
+        assert main([
+            "serve", "--once", "--serve-dir", serve_dir,
+            "--cache-dir", cache_dir,
+            "--metrics-out", str(tmp_path / "metrics.json"),
+        ]) == 0
+        assert "processed 1 job(s)" in capsys.readouterr().out
+        with JobQueue(serve_dir) as queue:
+            assert queue.get(job.job_id).state == "done"
+        with open(tmp_path / "metrics.json") as fh:
+            metrics = json.load(fh)
+        assert metrics["serve.jobs.completed"] == 1
+
+    def test_client_commands_roundtrip(self, tmp_path, capsys):
+        from repro.exp.cache import ResultCache
+        from repro.obs.registry import MetricsRegistry
+        from repro.serve import JobQueue, Scheduler, ServeServer
+
+        serve_dir, cache_dir = self._dirs(tmp_path)
+        registry = MetricsRegistry()
+        cache = ResultCache(cache_dir, metrics=registry, token="t")
+        queue = JobQueue(serve_dir)
+        scheduler = Scheduler(queue, cache, metrics=registry, prerecord=False)
+        server = ServeServer(scheduler, serve_dir)
+        server.start()
+        try:
+            assert main([
+                "submit", "--workloads", "database", "--kind", "trace",
+                "--policies", "ft,migrep", "--scale", "0.02",
+                "--serve-dir", serve_dir, "--wait",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "submitted job" in out
+            assert "state done" in out
+            assert "2 executed" in out
+
+            assert main(["status", "--serve-dir", serve_dir]) == 0
+            out = capsys.readouterr().out
+            assert "done" in out and "Tenant" in out
+
+            job_id = json.loads(
+                _capture_json(["status", "--serve-dir", serve_dir, "--json"],
+                              capsys)
+            )["jobs"][0]["job_id"]
+
+            results_path = tmp_path / "results.json"
+            assert main([
+                "results", job_id, "--serve-dir", serve_dir,
+                "--out", str(results_path),
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "trace:database:ft" in out
+            with open(results_path) as fh:
+                payload = json.load(fh)
+            assert payload["missing"] == 0
+
+            assert main(["cancel", job_id, "--serve-dir", serve_dir]) == 0
+            assert "already done" in capsys.readouterr().out
+        finally:
+            server.stop()
+            queue.close()
+
+    def test_submit_without_service_is_actionable(self, tmp_path, capsys):
+        serve_dir, _ = self._dirs(tmp_path)
+        assert main([
+            "submit", "--grid", "fig9", "--serve-dir", serve_dir,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "repro serve" in err
+
+    def test_second_serve_on_same_dir_fails_fast(self, tmp_path, capsys):
+        from repro.serve import JobQueue
+
+        serve_dir, cache_dir = self._dirs(tmp_path)
+        owner = JobQueue(serve_dir)
+        try:
+            assert main([
+                "serve", "--once", "--serve-dir", serve_dir,
+                "--cache-dir", cache_dir,
+            ]) == 2
+            assert "already owned" in capsys.readouterr().err
+        finally:
+            owner.close()
+
+
+def _capture_json(args, capsys):
+    assert main(args) == 0
+    return capsys.readouterr().out
