@@ -7,6 +7,9 @@ The subcommands cover the common flows:
   one machine, FT or the dynamic policy, summary to stdout;
 * ``repro tracesim`` — the contentionless trace-driven comparison
   (Section 8 methodology) across the six policies or the four metrics;
+* ``repro ptsim`` — the page-table placement comparison
+  (``docs/PTPOLICY.md``): PT-FT, PT-Migr, PT-Repl and CoPlace replayed
+  under the TLB-walk model, with end-to-end event reconciliation;
 * ``repro chains`` — Figure 4's read-chain analysis for one workload;
 * ``repro inspect`` — replay a ``--trace-out`` JSONL log into per-page
   decision histories, summaries and Chrome trace timelines;
@@ -32,6 +35,7 @@ Examples::
     repro run --workload engineering --machine ccnow --tracked-flush
     repro run --workload splash --trace-out run.jsonl --metrics-out m.json
     repro tracesim --workload raytrace --scale 0.25 --metrics
+    repro ptsim --workload database --scale 0.1 --trace-out pt.jsonl
     repro chains --workload database --scale 0.25
     repro inspect run.jsonl --page 512
     repro tracesim --workload engineering --trace-out mr.jsonl --trace-misses
@@ -80,6 +84,7 @@ from repro.obs.attrib import (
     Attribution,
     diff_attributions,
     expected_from_policysim,
+    expected_from_ptpol,
     expected_from_system,
     format_diff,
     format_ledger,
@@ -101,6 +106,13 @@ from repro.obs.inspect import format_history, history_for, summarize
 from repro.obs.tracer import Tracer
 from repro.policy.metrics import ALL_METRICS
 from repro.policy.parameters import PolicyParameters
+from repro.ptpol import (
+    PT_POLICIES,
+    PT_POLICY_LABELS,
+    PtPolicySimulator,
+    params_for_pt_policy,
+    reconcile_events,
+)
 from repro.sim.simulator import (
     SimulatorOptions,
     SystemSimulator,
@@ -420,6 +432,102 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
             )
     _write_profile(
         args, f"tracesim/{args.workload}", profiler,
+        metrics=_attrib_metrics(attrib) if attrib is not None else None,
+        context={"workload": args.workload, "scale": args.scale,
+                 "seed": args.seed,
+                 "engine": args.engine or "auto"},
+    )
+    return 0
+
+
+def cmd_ptsim(args: argparse.Namespace) -> int:
+    """Page-table policy comparison (the repro.ptpol subsystem)."""
+    spec, trace = load_workload(args.workload, scale=args.scale, seed=args.seed)
+    user = trace.user_only()
+    config_kwargs = dict(n_cpus=spec.n_cpus, n_nodes=spec.n_nodes)
+    if args.engine:
+        config_kwargs["engine"] = args.engine
+    config = PolicySimConfig(**config_kwargs)
+    profiler = _make_profiler(args)
+    trigger = params_for(args.workload, args.trigger).trigger_threshold
+    # The traced run is the flagship CoPlace leg; walk reconciliation
+    # needs the per-miss stream, so misses are always recorded.
+    tracer = (
+        _make_tracer(args.trace_out, include_misses=True)
+        if args.trace_out
+        else None
+    )
+    traced = None  # (result, tally) of the CoPlace leg
+    rows = []
+    try:
+        for policy in PT_POLICIES:
+            sim = PtPolicySimulator(
+                config,
+                tracer=tracer if policy == "coplace" else None,
+                profiler=profiler,
+            )
+            r = sim.simulate(
+                user,
+                params_for_pt_policy(policy, trigger=trigger),
+                label=PT_POLICY_LABELS[policy],
+            )
+            if policy == "coplace" and tracer is not None:
+                traced = (r, sim.tally)
+            walks = r.extra.get("pt_walks", 0.0)
+            local_walks = r.extra.get("pt_local_walks", 0.0)
+            rows.append(
+                [
+                    r.label,
+                    r.local_fraction * 100,
+                    (local_walks / walks * 100) if walks else 0.0,
+                    r.stall_ns / 1e9,
+                    r.overhead_ns / 1e9,
+                    int(r.extra.get("pt_replications", 0.0)),
+                    int(r.extra.get("thread_migrations", 0.0)),
+                ]
+            )
+    except ConfigurationError as exc:
+        # e.g. --engine vector: the PT policies are scalar-only.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    print(
+        format_table(
+            f"{args.workload}: page-table policies (walk stall included)",
+            ["Policy", "Local %", "Walk local %", "Stall (s)",
+             "Overhead (s)", "PT repl", "Thr migr"],
+            rows,
+        )
+    )
+    attrib = None
+    if tracer is not None and traced is not None:
+        result, tally = traced
+        print(f"wrote {tracer.emitted} events to {args.trace_out}")
+        try:
+            attrib = _reconcile_trace(
+                args.trace_out, expected_from_ptpol(result)
+            )
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        errors = reconcile_events(tally, iter_events(args.trace_out))
+        if errors:
+            print(
+                "error: ptpol tally reconciliation failed for "
+                + args.trace_out + ": " + "; ".join(errors),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"ptpol reconciled: {attrib.events} events, "
+            f"{attrib.pt_walks} walks ({tally.local_walk_fraction:.1%} "
+            f"local), {attrib.pt_replications} PT replications, "
+            f"{attrib.thread_migrations} thread migrations"
+        )
+    _write_profile(
+        args, f"ptsim/{args.workload}", profiler,
         metrics=_attrib_metrics(attrib) if attrib is not None else None,
         context={"workload": args.workload, "scale": args.scale,
                  "seed": args.seed,
@@ -1499,7 +1607,8 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--policies", metavar="A,B,...", default="migrep",
-        help="custom grid: policies (rr,ft,pf,migr,repl,migrep)",
+        help="custom grid: policies (rr,ft,pf,migr,repl,migrep; "
+        "page-table family: ptft,ptmigr,ptrepl,coplace)",
     )
     parser.add_argument(
         "--triggers", metavar="N,N,...", default=None,
@@ -1636,6 +1745,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_option(p)
     _add_profile_option(p)
     p.set_defaults(func=cmd_tracesim)
+
+    p = sub.add_parser(
+        "ptsim",
+        help="page-table policy comparison (PT-FT/PT-Migr/PT-Repl/CoPlace)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="stream the CoPlace run (decisions AND misses/walks) to a "
+        "JSONL log and reconcile it against the result and the PT tally",
+    )
+    _add_engine_option(p)
+    _add_profile_option(p)
+    p.set_defaults(func=cmd_ptsim)
 
     p = sub.add_parser("chains", help="read-chain analysis (Figure 4)")
     _add_common(p)

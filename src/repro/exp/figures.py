@@ -14,8 +14,9 @@ from typing import Dict, List, Sequence, Tuple
 from repro.analysis.tables import format_table
 from repro.exp.runner import POLICY_LABELS, SweepOutcome
 from repro.exp.spec import (
+    FIG6_POLICIES,
     FIG9_TRIGGERS,
-    TRACE_POLICIES,
+    PT_TRACE_POLICIES,
     USER_WORKLOADS,
     ExperimentSpec,
 )
@@ -25,6 +26,8 @@ FIGURE_ARTIFACTS = {
     "fig3": "fig3_summary",
     "fig6": "fig6_summary",
     "fig9": "fig9_trigger",
+    "ptpol6": "ptpol6_summary",
+    "ptpol9": "ptpol9_trigger",
 }
 
 
@@ -105,21 +108,87 @@ def fig6_table(outcomes: Sequence[SweepOutcome]) -> str:
     rows = []
     for name in USER_WORKLOADS:
         policies = by_workload.get(name, {})
-        if set(TRACE_POLICIES) - set(policies):
+        if set(FIG6_POLICIES) - set(policies):
             continue
         baseline = policies["rr"].run_time_ns()
         rows.append(
             [name]
             + [
                 policies[p].run_time_ns() / baseline
-                for p in TRACE_POLICIES
+                for p in FIG6_POLICIES
             ]
         )
     return format_table(
         "Figure 6 summary: run time normalised to RR",
-        ["Workload"] + [POLICY_LABELS[p] for p in TRACE_POLICIES],
+        ["Workload"] + [POLICY_LABELS[p] for p in FIG6_POLICIES],
         rows,
         float_format="{:.3f}",
+    )
+
+
+def ptpol6_table(outcomes: Sequence[SweepOutcome]) -> str:
+    """PT-policy comparison: run times normalised to PT-FT.
+
+    Run times include page-table walk stall, so the columns compare
+    only within this table — PT-FT is the shared do-nothing baseline
+    the way RR is for Figure 6.
+    """
+    results = _index(outcomes)
+    by_workload: Dict[str, Dict[str, object]] = {}
+    for spec, r in results.items():
+        by_workload.setdefault(spec.workload, {})[spec.policy] = r
+    rows = []
+    for name in USER_WORKLOADS:
+        policies = by_workload.get(name, {})
+        if set(PT_TRACE_POLICIES) - set(policies):
+            continue
+        baseline = policies["ptft"].run_time_ns()
+        row: List[object] = [name]
+        row += [
+            policies[p].run_time_ns() / baseline for p in PT_TRACE_POLICIES
+        ]
+        co = policies["coplace"]
+        row.append(co.extra.get("pt_replications", 0.0))
+        row.append(co.extra.get("thread_migrations", 0.0))
+        rows.append(row)
+    return format_table(
+        "PT-policy summary: run time normalised to PT-FT "
+        "(walk stall included)",
+        ["Workload"]
+        + [POLICY_LABELS[p] for p in PT_TRACE_POLICIES]
+        + ["Co PT-repl", "Co thr-migr"],
+        rows,
+        float_format="{:.3f}",
+    )
+
+
+def ptpol9_table(outcomes: Sequence[SweepOutcome]) -> str:
+    """Trigger sweep for the co-placement policy (fig9 style)."""
+    results = _index(outcomes)
+    rows: List[List[object]] = []
+    for spec, r in results.items():
+        walks = r.extra.get("pt_walks", 0.0)
+        local_walks = r.extra.get("pt_local_walks", 0.0)
+        rows.append(
+            [
+                spec.workload,
+                spec.trigger,
+                r.local_fraction * 100,
+                (local_walks / walks * 100) if walks else 0.0,
+                (r.stall_ns + r.overhead_ns) / 1e9,
+                r.overhead_ns / 1e9,
+                int(r.extra.get("pt_replications", 0.0)),
+                int(r.extra.get("thread_migrations", 0.0)),
+            ]
+        )
+    order = {w: i for i, w in enumerate(USER_WORKLOADS)}
+    trigger_order = {t: i for i, t in enumerate(FIG9_TRIGGERS)}
+    rows.sort(key=lambda row: (order[row[0]], trigger_order[row[1]]))
+    return format_table(
+        "CoPlace trigger sweep (walk trigger = data trigger / 2)",
+        ["Workload", "Trigger", "Local %", "Walk local %",
+         "Stall+Ovhd (s)", "Overhead (s)", "PT repl", "Thr migr"],
+        rows,
     )
 
 
@@ -127,6 +196,8 @@ FIGURE_TABLES = {
     "fig3": fig3_table,
     "fig6": fig6_table,
     "fig9": fig9_table,
+    "ptpol6": ptpol6_table,
+    "ptpol9": ptpol9_table,
 }
 
 

@@ -64,6 +64,8 @@ from repro.workloads import load_workload
 POLICY_LABELS = {
     "rr": "RR", "ft": "FT", "pf": "PF",
     "migr": "Migr", "repl": "Repl", "migrep": "Mig/Rep",
+    "ptft": "PT-FT", "ptmigr": "PT-Migr",
+    "ptrepl": "PT-Repl", "coplace": "CoPlace",
 }
 
 _STATIC_POLICIES = {
@@ -153,12 +155,28 @@ def execute_spec(
     # both engines are byte-identical, so cached results stay valid
     # whichever engine produced them.
     stream = trace.kernel_only() if spec.kernel_trace else trace.user_only()
+    label = POLICY_LABELS[spec.policy]
+    if spec.pt_policy:
+        # Page-table policies are scalar-only (no vectorized twin), so
+        # the engine is pinned rather than inherited from
+        # $REPRO_REPLAY_ENGINE — a vector-engined sweep can still run
+        # its PT cells, and there is no identity concern because no
+        # second engine exists to diverge from.
+        from repro.ptpol import PtPolicySimulator
+
+        pt_sim = PtPolicySimulator(
+            PolicySimConfig(
+                n_cpus=workload_spec.n_cpus,
+                n_nodes=workload_spec.n_nodes,
+                engine="scalar",
+            )
+        )
+        return pt_sim.simulate(stream, spec.params(), label=label)
     sim = TracePolicySimulator(
         PolicySimConfig(
             n_cpus=workload_spec.n_cpus, n_nodes=workload_spec.n_nodes
         )
     )
-    label = POLICY_LABELS[spec.policy]
     if spec.policy in _STATIC_POLICIES:
         return sim.simulate_static(stream, _STATIC_POLICIES[spec.policy])
     return sim.simulate_dynamic(

@@ -49,7 +49,16 @@ KINDS = ("system", "trace")
 #: against the dynamic Mig/Rep policy; the trace-driven simulator adds
 #: the other static placements and the single-mechanism policies.
 SYSTEM_POLICIES = ("ft", "migrep")
-TRACE_POLICIES = ("rr", "ft", "pf", "migr", "repl", "migrep")
+
+#: The six trace-driven policies of Figure 6 (the paper's own matrix).
+FIG6_POLICIES = ("rr", "ft", "pf", "migr", "repl", "migrep")
+
+#: The page-table policy family (:mod:`repro.ptpol`): replayed with the
+#: walk-cost model, scalar-only, compared among themselves (their run
+#: times include walk stall the six paper policies do not model).
+PT_TRACE_POLICIES = ("ptft", "ptmigr", "ptrepl", "coplace")
+
+TRACE_POLICIES = FIG6_POLICIES + PT_TRACE_POLICIES
 
 #: Information sources of Section 8.3 (Figure 8), by label.
 METRIC_LABELS = ("FC", "SC", "FT", "ST")
@@ -131,10 +140,26 @@ class ExperimentSpec:
     @property
     def dynamic(self) -> bool:
         """Does this run move pages?"""
-        return self.policy in ("migr", "repl", "migrep")
+        return self.policy in ("migr", "repl", "migrep",
+                               "ptmigr", "ptrepl", "coplace")
+
+    @property
+    def pt_policy(self) -> bool:
+        """Is this a page-table policy run (:mod:`repro.ptpol`)?"""
+        return self.policy in PT_TRACE_POLICIES
 
     def params(self) -> PolicyParameters:
         """The policy parameters this spec's run uses."""
+        if self.pt_policy:
+            from repro.ptpol import params_for_pt_policy
+
+            base = params_for(self.workload, self.trigger)
+            params = params_for_pt_policy(
+                self.policy, trigger=base.trigger_threshold
+            )
+            if self.hotspot:
+                params = params.replace(hotspot_migration=True)
+            return params
         base = params_for(self.workload, self.trigger)
         if self.policy == "migr":
             base = base.replace(enable_replication=False)
@@ -270,7 +295,7 @@ def figure3_grid(scale: float = 0.25, seed: int = 0) -> List[ExperimentSpec]:
 def figure6_grid(scale: float = 0.25, seed: int = 0) -> List[ExperimentSpec]:
     """Figure 6: the six trace-driven policies on the user workloads."""
     return sweep(
-        USER_WORKLOADS, kinds=("trace",), policies=TRACE_POLICIES,
+        USER_WORKLOADS, kinds=("trace",), policies=FIG6_POLICIES,
         scales=(scale,), seeds=(seed,),
     )
 
@@ -283,9 +308,36 @@ def figure9_grid(scale: float = 0.25, seed: int = 0) -> List[ExperimentSpec]:
     )
 
 
+def ptpol6_grid(scale: float = 0.25, seed: int = 0) -> List[ExperimentSpec]:
+    """Figure 6-style comparison of the four page-table policies.
+
+    PT-family run times include page-table walk stall, so the cells are
+    comparable among themselves (normalised to PT-FT) but not to the
+    fig6 cells, which do not model walks.
+    """
+    return sweep(
+        USER_WORKLOADS, kinds=("trace",), policies=PT_TRACE_POLICIES,
+        scales=(scale,), seeds=(seed,),
+    )
+
+
+def ptpol9_grid(scale: float = 0.25, seed: int = 0) -> List[ExperimentSpec]:
+    """Figure 9-style trigger sweep for the co-placement policy.
+
+    The walk trigger scales with the data trigger (half, floor 1), so
+    one axis moves both thresholds in lockstep.
+    """
+    return sweep(
+        USER_WORKLOADS, kinds=("trace",), policies=("coplace",),
+        triggers=FIG9_TRIGGERS, scales=(scale,), seeds=(seed,),
+    )
+
+
 #: Named grids `repro sweep --grid` and `repro figures` expose.
 NAMED_GRIDS = {
     "fig3": figure3_grid,
     "fig6": figure6_grid,
     "fig9": figure9_grid,
+    "ptpol6": ptpol6_grid,
+    "ptpol9": ptpol9_grid,
 }

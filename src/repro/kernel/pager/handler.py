@@ -35,7 +35,7 @@ from repro.obs.events import (
 )
 from repro.obs.tracer import as_tracer
 from repro.machine.directory import DirectoryArray, HotBatch
-from repro.policy.decision import Action, Reason, decide
+from repro.policy.decision import Action, Decision, Reason, decide
 from repro.policy.parameters import PolicyParameters
 
 
@@ -148,6 +148,9 @@ class PagerHandler:
         cpu_of_process: Callable[[int], Optional[int]],
         shootdown_mode: ShootdownMode = ShootdownMode.ALL_CPUS,
         tracer=None,
+        decision_hook: Optional[
+            Callable[[int, object, "Decision"], Optional["Decision"]]
+        ] = None,
     ) -> None:
         self.vm = vm
         self.directory = directory
@@ -159,6 +162,13 @@ class PagerHandler:
         self.node_of_process = node_of_process
         self.cpu_of_process = cpu_of_process
         self.shootdown_mode = shootdown_mode
+        #: Optional policy seam: called after the decision tree as
+        #: ``decision_hook(now_ns, hot_event, decision)``; returning a
+        #: :class:`~repro.policy.decision.Decision` replaces the tree's
+        #: verdict (returning None keeps it).  The co-placement layer
+        #: uses this to substitute "move the thread" for "move the page"
+        #: when the cost model says the thread is cheaper.
+        self.decision_hook = decision_hook
         self.tracer = as_tracer(tracer)
         self.shootdown = ShootdownPlanner(
             shootdown_mode,
@@ -286,6 +296,10 @@ class PagerHandler:
             self.params,
             memory_pressure=pressure,
         )
+        if self.decision_hook is not None:
+            override = self.decision_hook(now_ns, event, decision)
+            if override is not None:
+                decision = override
         action = decision.action
         # Hotspot migration targets the dominant sharer, not the requester.
         target_cpu = (

@@ -18,11 +18,19 @@ the occasional gratuitous move a real priority scheduler produces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import SchedulerError
 from repro.common.rng import make_rng
 from repro.kernel.sched.process import Epoch, Process, Schedule
+
+#: Signature of the re-home hook: ``(now_ns, pid, src_cpu, dst_cpu,
+#: reason) -> bool``.  ``reason`` is ``"idle-pull"`` (load balancing) or
+#: ``"rebalance"`` (gratuitous churn).  Returning False vetoes a
+#: gratuitous move; idle-pulls always proceed (they fix a starving
+#: queue) but still notify, so a placement policy can track where every
+#: thread's home is.
+RehomeHook = Callable[[int, int, int, int, str], bool]
 
 
 class AffinityScheduler:
@@ -36,6 +44,7 @@ class AffinityScheduler:
         rebalance_probability: float = 0.02,
         max_moves_per_quantum: int = 1,
         seed: int = 0,
+        rehome_hook: Optional[RehomeHook] = None,
     ) -> None:
         if n_cpus <= 0:
             raise SchedulerError("need at least one CPU")
@@ -53,6 +62,11 @@ class AffinityScheduler:
         self.rebalance_probability = rebalance_probability
         self.max_moves_per_quantum = max_moves_per_quantum
         self.seed = seed
+        #: Optional placement-policy seam (see :data:`RehomeHook`).  The
+        #: co-placement policy uses it to keep thread homes aligned with
+        #: the page tables those threads walk — and to veto the churny
+        #: moves that would strand a thread away from its PT replicas.
+        self.rehome_hook = rehome_hook
 
     def build(self, processes: Sequence[Process], duration_ns: int) -> Schedule:
         """Generate the schedule for ``processes`` over ``duration_ns``."""
@@ -77,7 +91,7 @@ class AffinityScheduler:
                     last_ran[proc.pid] = -1
                 if self.duty_cycle >= 1.0 or rng.random() < self.duty_cycle:
                     runnable.append(proc.pid)
-            self._balance(runnable, home, last_ran, idle_streak, rng)
+            self._balance(time, runnable, home, last_ran, idle_streak, rng)
             running = self._pick_runners(runnable, home, last_ran)
             for pid in running.values():
                 last_ran[pid] = quantum_index
@@ -115,6 +129,7 @@ class AffinityScheduler:
 
     def _balance(
         self,
+        now_ns: int,
         runnable: List[int],
         home: Dict[int, int],
         last_ran: Dict[int, int],
@@ -145,11 +160,21 @@ class AffinityScheduler:
             waiters.sort(key=lambda p: (last_ran[p], p))
             mover = waiters[-1] if len(waiters) > 1 else waiters[0]
             target = idle.pop(0)
+            if self.rehome_hook is not None:
+                # Notify-only for idle pulls: the move fixes starvation.
+                self.rehome_hook(now_ns, mover, deepest, target, "idle-pull")
             home[mover] = target
             counts[deepest] -= 1
             counts[target] += 1
             moves_left -= 1
-        # Occasional gratuitous rebalance (priority churn in a real kernel).
+        # Occasional gratuitous rebalance (priority churn in a real
+        # kernel).  The RNG draws happen before the hook so a veto does
+        # not perturb the schedule of later quanta.
         if runnable and rng.random() < self.rebalance_probability:
             mover = runnable[int(rng.integers(0, len(runnable)))]
-            home[mover] = int(rng.integers(0, self.n_cpus))
+            target = int(rng.integers(0, self.n_cpus))
+            if self.rehome_hook is not None and not self.rehome_hook(
+                now_ns, mover, home[mover], target, "rebalance"
+            ):
+                return
+            home[mover] = target

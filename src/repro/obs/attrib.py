@@ -23,6 +23,13 @@ whether it paid off and where the remaining stall time lives:
 * **Run diffing** (:func:`diff_attributions`) — per-page divergence
   ranking between two runs of the same spec (policy vs. policy, or
   scalar vs. auto engine logs, which must not diverge at all).
+* **Page-table decisions** — streams from the PT-policy family
+  (:mod:`repro.ptpol`) carry walk-flagged :class:`MissServiced` events
+  plus :class:`PtReplicate` / :class:`ThreadMigrate` decisions; they
+  land in the same ledger with their own counterfactuals (would this
+  walk have been local without the replica?  would this miss have been
+  local had the thread stayed put?), so ``repro analyze --ledger``
+  audits PT replication and thread migration next to page migration.
 
 Conservation is the design invariant: every stall nanosecond and every
 action in the stream lands in exactly one page, one requesting node and
@@ -46,17 +53,21 @@ from repro.obs.events import (
     MigrationDecision,
     MissServiced,
     NoActionDecision,
+    PtReplicate,
     ReplicationDecision,
     RunMeta,
     ShootdownEvent,
     SpanEvent,
+    ThreadMigrate,
     TraceEvent,
     TriggerAdjusted,
 )
 from repro.obs.tracer import Sink
 
-#: Schema version of :meth:`Attribution.to_dict` output.
-ATTRIB_SCHEMA_VERSION = 1
+#: Schema version of :meth:`Attribution.to_dict` output.  Version 2
+#: added the page-table dimension: walk totals, ``pt-replication`` /
+#: ``thread-migration`` ledger records, and the ``pt_ledger`` export.
+ATTRIB_SCHEMA_VERSION = 2
 
 #: Relative tolerance for float-mode reconciliation (system-sim runs
 #: accumulate contention latencies in a different order than we do).
@@ -74,7 +85,7 @@ class DecisionRecord:
     window; costs are what the events say was charged.
     """
 
-    kind: str                    # "migration" | "replication"
+    kind: str  # "migration" | "replication" | "pt-replication" | "thread-migration"
     t: int
     page: int
     cpu: int
@@ -266,6 +277,24 @@ class Attribution:
         self.action_cost_ns = 0.0
         self.shootdowns = 0
         self.shootdown_cost_ns = 0.0
+        # Page-table dimension (PT-policy streams only; all stay 0 on
+        # data-only logs, so version-1 consumers see unchanged numbers).
+        self.pt_walks = 0            # weighted walk-flagged misses
+        self.pt_local_walks = 0
+        self.pt_walk_stall_ns = 0.0
+        self.pt_replications = 0
+        self.thread_migrations = 0
+        self.pt_ledger: List[DecisionRecord] = []
+        self.thread_ledger: List[DecisionRecord] = []
+        self._pt_copies: Dict[int, Set[int]] = {}   # pt_page -> replica nodes
+        self._pt_pre: Dict[int, Set[int]] = {}      # pre-decision snapshots
+        self._pt_open: Dict[int, DecisionRecord] = {}
+        self._thread_open: Dict[int, DecisionRecord] = {}
+        self._cpu_home: Dict[int, int] = {}         # re-homed CPUs
+        self._walk_local_ref: Optional[float] = None
+        self._walk_remote_ref: Optional[float] = None
+        self._pt_span = 0
+        self._last_pt_rec: Optional[DecisionRecord] = None
         self.interval_resets = 0
         self.engine_fallbacks = 0
         self.trigger_adjustments = 0
@@ -284,7 +313,15 @@ class Attribution:
     # -- topology / reference latencies ---------------------------------------
 
     def _node_of_cpu(self, cpu: int) -> int:
-        """Requesting node of ``cpu``; -1 when topology is unknown."""
+        """Requesting node of ``cpu``; -1 when topology is unknown.
+
+        A :class:`ThreadMigrate` event re-homes its CPU, overriding the
+        static topology for everything the CPU requests afterwards —
+        exactly as the simulator's mutable CPU->node map does.
+        """
+        home = self._cpu_home.get(cpu)
+        if home is not None:
+            return home
         if self._cpus_per_node > 0:
             return cpu // self._cpus_per_node
         return -1
@@ -319,19 +356,16 @@ class Attribution:
     @property
     def regrets(self) -> List[DecisionRecord]:
         """Every net-regret decision, worst first."""
-        out = [
-            d
-            for p in self.pages.values()
-            for d in p.ledger
-            if d.regret
-        ]
+        out = [d for d in self.ledger if d.regret]
         out.sort(key=lambda d: d.net_ns)
         return out
 
     @property
     def ledger(self) -> List[DecisionRecord]:
-        """Every successful decision, in event order."""
+        """Every successful decision (data and PT), in event order."""
         out = [d for p in self.pages.values() for d in p.ledger]
+        out += self.pt_ledger
+        out += self.thread_ledger
         out.sort(key=lambda d: (d.t, d.page))
         return out
 
@@ -366,6 +400,15 @@ class Attribution:
         elif isinstance(event, ShootdownEvent):
             self.shootdowns += 1
             self.shootdown_cost_ns += event.cost_ns
+            # A pt-root flush is part of the replica installation that
+            # immediately precedes it; charge it to that decision.
+            if event.mode == "pt-root" and self._last_pt_rec is not None:
+                self._last_pt_rec.cost_ns += event.cost_ns
+                self._last_pt_rec = None
+        elif isinstance(event, PtReplicate):
+            self._feed_pt_replicate(event)
+        elif isinstance(event, ThreadMigrate):
+            self._feed_thread_migrate(event)
         elif isinstance(event, IntervalReset):
             self._flush_interval(end_t=t, next_index=event.index + 1)
             self.interval_resets += 1
@@ -386,6 +429,12 @@ class Attribution:
             self._local_ref = meta.local_ns
         if meta.remote_ns > 0:
             self._remote_ref = meta.remote_ns
+        if meta.pt_walk_local_ns > 0:
+            self._walk_local_ref = meta.pt_walk_local_ns
+        if meta.pt_walk_remote_ns > 0:
+            self._walk_remote_ref = meta.pt_walk_remote_ns
+        if meta.pt_span_pages > 0:
+            self._pt_span = meta.pt_span_pages
 
     def _page(self, page_id: int) -> PageAttribution:
         page = self.pages.get(page_id)
@@ -415,12 +464,15 @@ class Attribution:
         contrib = event.latency_ns * w
         if self._integral and not float(contrib).is_integer():
             self._integral = False
+        walk = event.walk
         page = self._page(event.page)
-        if page.first_touch_t < 0:
+        if not walk and page.first_touch_t < 0:
             page.first_touch_t = event.t
             page.first_node = event.node
             # The first miss is served by the page's only copy; seed the
             # copy-set model from it (decisions keep it current after).
+            # Walk events never seed: their node field is the *PT* copy
+            # that served the walk, not a data-page residence.
             if not page.copies:
                 self._set_copies(page, {event.node})
         page.misses += w
@@ -436,9 +488,20 @@ class Attribution:
             self.local_misses += w
             self.local_stall_ns += contrib
             self._cur.local += w
-        # Learn reference latencies when no RunMeta header supplied them.
+        # Learn reference latencies when no RunMeta header supplied them
+        # (walks and data misses have separate reference pairs).
         per_weight = event.latency_ns
-        if event.remote:
+        if walk:
+            self.pt_walks += w
+            self.pt_walk_stall_ns += contrib
+            if not event.remote:
+                self.pt_local_walks += w
+            if event.remote:
+                if self._walk_remote_ref is None:
+                    self._walk_remote_ref = per_weight
+            elif self._walk_local_ref is None:
+                self._walk_local_ref = per_weight
+        elif event.remote:
             if self._remote_ref is None:
                 self._remote_ref = per_weight
         elif self._local_ref is None:
@@ -452,6 +515,9 @@ class Attribution:
             if not event.remote:
                 node.local += w
         self._node(event.node).serviced += w
+        if walk:
+            self._walk_payoff(event, w, req)
+            return
         # Payoff: compare against the counterfactual pre-decision copies.
         open_rec = page.open_decision
         if open_rec is not None:
@@ -468,6 +534,56 @@ class Attribution:
                     open_rec.saved_ns += delta
                 elif event.remote and would_local:
                     open_rec.saved_ns -= delta
+        # Thread-migration payoff: had the thread stayed on its source
+        # node, would this miss have been local?  (Counterfactual varies
+        # the thread's position; the page's actual copies stand.)
+        trec = self._thread_open.get(event.process)
+        if (
+            trec is not None
+            and self._local_ref is not None
+            and self._remote_ref is not None
+        ):
+            trec.misses_after += w
+            would_local = trec.src in page.copies
+            delta = (self._remote_ref - self._local_ref) * w
+            if not event.remote and not would_local:
+                trec.saved_ns += delta
+            elif event.remote and would_local:
+                trec.saved_ns -= delta
+
+    def _walk_payoff(self, event: MissServiced, w: int, req: int) -> None:
+        """Payoff accounting for one page-table walk.
+
+        Needs the PT span from :class:`RunMeta` to key the walk by PT
+        page; streams without it still conserve walk stall but cannot
+        audit per-decision payoff.
+        """
+        if self._pt_span <= 0:
+            return
+        pt_page = event.page // self._pt_span
+        copies = self._pt_copies.get(pt_page)
+        if copies is None:
+            # First sighting: the serving node is the PT page's home.
+            copies = self._pt_copies[pt_page] = {event.node}
+        if self._walk_local_ref is None or self._walk_remote_ref is None:
+            return
+        delta = (self._walk_remote_ref - self._walk_local_ref) * w
+        rec = self._pt_open.get(pt_page)
+        if rec is not None:
+            rec.misses_after += w
+            would_local = req >= 0 and req in self._pt_pre.get(pt_page, ())
+            if not event.remote and not would_local:
+                rec.saved_ns += delta
+            elif event.remote and would_local:
+                rec.saved_ns -= delta
+        trec = self._thread_open.get(event.process)
+        if trec is not None:
+            trec.misses_after += w
+            would_local = trec.src in copies
+            if not event.remote and not would_local:
+                trec.saved_ns += delta
+            elif event.remote and would_local:
+                trec.saved_ns -= delta
 
     def _close_window(self, page: PageAttribution) -> None:
         rec = page.open_decision
@@ -527,6 +643,62 @@ class Attribution:
         rec = page.open_decision
         if rec is not None:
             rec.collapse_cost_ns += event.latency_ns
+
+    def _feed_pt_replicate(self, event: PtReplicate) -> None:
+        self.pt_replications += 1
+        self.action_cost_ns += event.latency_ns
+        self._cur.action_cost_ns += event.latency_ns
+        copies = self._pt_copies.get(event.pt_page)
+        if copies is None:
+            # Decision-only streams (miss events disabled) still audit:
+            # seed the PT copy set from the decision's source (home).
+            copies = self._pt_copies[event.pt_page] = (
+                {event.src} if event.src >= 0 else set()
+            )
+        old = self._pt_open.pop(event.pt_page, None)
+        if old is not None:
+            old.closed = True
+        self._pt_pre[event.pt_page] = set(copies)
+        copies.add(event.node)
+        rec = DecisionRecord(
+            kind="pt-replication",
+            t=event.t,
+            page=event.pt_page,
+            cpu=event.cpu,
+            src=event.src,
+            dst=event.node,
+            reason=event.reason,
+            interval=self._cur.index,
+            cost_ns=event.latency_ns,
+        )
+        self._pt_open[event.pt_page] = rec
+        self.pt_ledger.append(rec)
+        # The pt-root shootdown that follows belongs to this decision.
+        self._last_pt_rec = rec
+
+    def _feed_thread_migrate(self, event: ThreadMigrate) -> None:
+        self.thread_migrations += 1
+        self.action_cost_ns += event.latency_ns
+        self._cur.action_cost_ns += event.latency_ns
+        # The CPU is re-homed from here on; requester attribution and
+        # walk locality follow the simulator's mutable CPU->node map.
+        self._cpu_home[event.cpu] = event.dst
+        old = self._thread_open.pop(event.process, None)
+        if old is not None:
+            old.closed = True
+        rec = DecisionRecord(
+            kind="thread-migration",
+            t=event.t,
+            page=-1,
+            cpu=event.cpu,
+            src=event.src,
+            dst=event.dst,
+            reason=event.reason,
+            interval=self._cur.index,
+            cost_ns=event.latency_ns,
+        )
+        self._thread_open[event.process] = rec
+        self.thread_ledger.append(rec)
 
     def _flush_interval(self, end_t: int, next_index: int) -> None:
         self._cur.end_t = end_t
@@ -630,7 +802,10 @@ class Attribution:
             "local_misses": self.local_misses,
             "stall_ns": self.stall_ns,
             "local_stall_ns": self.local_stall_ns,
-            "overhead_ns": self.action_cost_ns,
+            # Decision latencies plus shootdown rounds; PT-update
+            # propagations have no per-event form, so PT runs subtract
+            # them from the recorded side (see expected_from_ptpol).
+            "overhead_ns": self.action_cost_ns + self.shootdown_cost_ns,
             "migrations": self.migrations,
             "replications": self.replications,
             "collapses": self.collapses,
@@ -638,6 +813,8 @@ class Attribution:
             "no_actions": self.no_actions,
             "no_page": self.failed_actions,
             "decisions": self.decisions,
+            "pt_replications": self.pt_replications,
+            "thread_migrations": self.thread_migrations,
         }
         miss_keys = {
             "total_misses", "local_misses", "stall_ns", "local_stall_ns"
@@ -734,6 +911,11 @@ class Attribution:
                 "action_cost_ns": self.action_cost_ns,
                 "shootdowns": self.shootdowns,
                 "shootdown_cost_ns": self.shootdown_cost_ns,
+                "pt_walks": self.pt_walks,
+                "pt_local_walks": self.pt_local_walks,
+                "pt_walk_stall_ns": self.pt_walk_stall_ns,
+                "pt_replications": self.pt_replications,
+                "thread_migrations": self.thread_migrations,
                 "interval_resets": self.interval_resets,
                 "engine_fallbacks": self.engine_fallbacks,
                 "pages": len(self.pages),
@@ -746,6 +928,13 @@ class Attribution:
                 self.nodes[n].to_dict() for n in sorted(self.nodes)
             ],
             "intervals": self.interval_series(),
+            "pt_ledger": [
+                d.to_dict()
+                for d in sorted(
+                    self.pt_ledger + self.thread_ledger,
+                    key=lambda d: (d.t, d.page),
+                )
+            ],
         }
 
 
@@ -783,6 +972,37 @@ def expected_from_policysim(result) -> Dict[str, float]:
         "collapses": result.collapses,
         "hot_events": result.hot_events,
         "no_actions": result.no_actions,
+    }
+
+
+def expected_from_ptpol(result) -> Dict[str, float]:
+    """Reconciliation targets from a PT-policy :class:`PolicySimResult`.
+
+    Walks are miss events in the stream (flagged ``walk=True``) but the
+    simulator books them in ``result.extra``, not ``total_misses`` —
+    fold them back in.  PT-update propagations are charged to
+    ``overhead_ns`` without a per-event form (they are sub-shootdown
+    bookkeeping writes), so the recorded overhead is reduced by their
+    cost before comparing against attributed decision latencies.
+    """
+    extra = result.extra
+    return {
+        "total_misses": result.total_misses + extra.get("pt_walks", 0.0),
+        "local_misses": (
+            result.local_misses + extra.get("pt_local_walks", 0.0)
+        ),
+        "stall_ns": result.stall_ns,
+        "local_stall_ns": extra.get("local_stall_ns", 0.0),
+        "overhead_ns": (
+            result.overhead_ns - extra.get("pt_update_cost_ns", 0.0)
+        ),
+        "migrations": result.migrations,
+        "replications": result.replications,
+        "collapses": result.collapses,
+        "hot_events": result.hot_events,
+        "no_actions": result.no_actions,
+        "pt_replications": extra.get("pt_replications", 0.0),
+        "thread_migrations": extra.get("thread_migrations", 0.0),
     }
 
 
@@ -935,6 +1155,11 @@ def sweep_attribution(outcomes) -> Dict[str, Any]:
     overhead the policy paid.  Cells whose overhead exceeded the stall
     they recovered are flagged as regressions, the sweep-level version
     of the per-decision regret flag.
+
+    PT-family cells (``ptmigr``/``ptrepl``/``coplace``) baseline on the
+    ``ptft`` cell of the same workload instead: their stall totals
+    include page-table walk stall, which the data-only FT cell never
+    pays, so cross-family comparison would be meaningless.
     """
     def stall_of(result) -> Optional[float]:
         stall = getattr(result, "stall_ns", None)
@@ -961,13 +1186,16 @@ def sweep_attribution(outcomes) -> Dict[str, Any]:
             getattr(spec, "kernel_trace", False),
         )
 
+    pt_family = ("ptmigr", "ptrepl", "coplace")
     baselines: Dict[tuple, float] = {}
+    pt_baselines: Dict[tuple, float] = {}
     for outcome in outcomes:
-        if not outcome.ok or outcome.spec.policy != "ft":
+        if not outcome.ok or outcome.spec.policy not in ("ft", "ptft"):
             continue
         stall = stall_of(outcome.result)
         if stall is not None:
-            baselines[base_key(outcome.spec)] = stall
+            pool = pt_baselines if outcome.spec.policy == "ptft" else baselines
+            pool[base_key(outcome.spec)] = stall
 
     cells: List[Dict[str, Any]] = []
     regressions = 0
@@ -977,13 +1205,14 @@ def sweep_attribution(outcomes) -> Dict[str, Any]:
         if not outcome.ok:
             continue
         spec = outcome.spec
-        if spec.policy in ("rr", "ft", "pf"):
+        if spec.policy in ("rr", "ft", "pf", "ptft"):
             continue
         stall = stall_of(outcome.result)
         if stall is None:
             continue
         overhead = overhead_of(outcome.result)
-        baseline = baselines.get(base_key(spec))
+        pool = pt_baselines if spec.policy in pt_family else baselines
+        baseline = pool.get(base_key(spec))
         saved = baseline - stall if baseline is not None else None
         net = saved - overhead if saved is not None else None
         regret = bool(net is not None and net < 0)
@@ -1066,6 +1295,16 @@ def format_summary(attrib: Attribution) -> str:
             f"shootdowns: {attrib.shootdowns} rounds, "
             f"cost {_fmt_ns(attrib.shootdown_cost_ns)}"
         )
+    if attrib.pt_walks or attrib.pt_replications or attrib.thread_migrations:
+        frac = (
+            attrib.pt_local_walks / attrib.pt_walks if attrib.pt_walks else 0.0
+        )
+        lines.append(
+            f"page tables: {attrib.pt_walks} walks ({frac:.1%} local, "
+            f"stall {_fmt_ns(attrib.pt_walk_stall_ns)}), "
+            f"{attrib.pt_replications} PT replications, "
+            f"{attrib.thread_migrations} thread migrations"
+        )
     ledger = attrib.ledger
     if ledger:
         regrets = attrib.regrets
@@ -1090,14 +1329,14 @@ def format_ledger(attrib: Attribution, top: int = 10) -> str:
     if not ledger:
         return "(no successful decisions in this stream)"
     header = (
-        f"{'t (ms)':>10} {'page':>8} {'action':<11} {'cost':>10} "
+        f"{'t (ms)':>10} {'page':>8} {'action':<16} {'cost':>10} "
         f"{'saved':>10} {'net':>10}  verdict"
     )
     lines = [header, "-" * len(header)]
     for rec in ledger[: top if top > 0 else len(ledger)]:
         verdict = "REGRET" if rec.regret else "paid off"
         lines.append(
-            f"{rec.t / 1e6:>10.2f} {rec.page:>8} {rec.kind:<11} "
+            f"{rec.t / 1e6:>10.2f} {rec.page:>8} {rec.kind:<16} "
             f"{_fmt_ns(rec.total_cost_ns):>10} {_fmt_ns(rec.saved_ns):>10} "
             f"{_fmt_ns(rec.net_ns):>10}  {verdict}"
         )

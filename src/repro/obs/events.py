@@ -22,6 +22,8 @@ event                     emitted when
 :class:`IntervalReset`    a reset interval expires and counters are cleared
 :class:`TriggerAdjusted`  the adaptive controller moves the trigger threshold
 :class:`EngineFallback`   engine=auto downgrades to the scalar replay core
+:class:`PtReplicate`      a page-table page gains a replica on a node
+:class:`ThreadMigrate`    the co-placement policy re-homes a thread
 :class:`SpanEvent`        a profiler span closes (wall-clock, not simulated)
 :class:`RunMeta`          a simulation starts (machine/policy context header)
 ========================  ====================================================
@@ -66,6 +68,8 @@ class MissServiced(TraceEvent):
     latency_ns: float = 0.0      # per-miss latency including queuing
     remote: bool = False
     kernel: bool = False
+    process: int = -1            # requesting process (-1 when untracked)
+    walk: bool = False           # a page-table walk, not a data miss
 
     KIND: ClassVar[str] = "miss"
 
@@ -195,6 +199,49 @@ class EngineFallback(TraceEvent):
 
 
 @dataclass(frozen=True)
+class PtReplicate(TraceEvent):
+    """A page-table page gained a replica on ``node``.
+
+    The PT-replication policy (:mod:`repro.ptpol`) fires when remote
+    page-table walks of one PT page from one node cross the walk
+    trigger — the Mitosis mechanism.  ``latency_ns`` is the one-time
+    replica construction cost charged; write propagation to the replica
+    is charged separately as it happens (``ptpol.pt_update`` costs).
+    """
+
+    process: int = 0             # process whose walk triggered
+    cpu: int = 0                 # CPU whose walk counter triggered
+    pt_page: int = 0             # PT page that was replicated
+    node: int = 0                # node that gained the replica
+    src: int = -1                # node of the primary PT page
+    walks: int = 0               # remote-walk count at trigger time
+    reason: str = ""
+    latency_ns: float = 0.0
+
+    KIND: ClassVar[str] = "pt-replicate"
+
+
+@dataclass(frozen=True)
+class ThreadMigrate(TraceEvent):
+    """The co-placement policy re-homed a thread to its page table.
+
+    Emitted when migrating the thread is cheaper under the cost model
+    than replicating its page table (the Phoenix-style tie-break; see
+    docs/PTPOLICY.md).  After this event the thread's misses and walks
+    are costed from ``dst``.
+    """
+
+    process: int = 0
+    cpu: int = 0                 # CPU the thread was re-homed on
+    src: int = -1                # node the thread left
+    dst: int = -1                # node it was co-placed on
+    reason: str = ""
+    latency_ns: float = 0.0
+
+    KIND: ClassVar[str] = "thread-migrate"
+
+
+@dataclass(frozen=True)
 class SpanEvent(TraceEvent):
     """A profiler span closed (see :mod:`repro.obs.prof`).
 
@@ -234,6 +281,9 @@ class RunMeta(TraceEvent):
     trigger: int = 0             # hot-page trigger threshold
     reset_interval_ns: int = 0
     engine: str = ""             # replay engine ("" for the system sim)
+    pt_walk_local_ns: float = 0.0   # PT-walk latencies (0 when the run
+    pt_walk_remote_ns: float = 0.0  # has no page-table model)
+    pt_span_pages: int = 0          # data pages per PT page (0 = no PT model)
 
     KIND: ClassVar[str] = "run-meta"
 
@@ -250,6 +300,8 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     IntervalReset,
     TriggerAdjusted,
     EngineFallback,
+    PtReplicate,
+    ThreadMigrate,
     SpanEvent,
     RunMeta,
 )

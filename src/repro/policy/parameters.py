@@ -46,6 +46,25 @@ class PolicyParameters:
     sharer's node anyway, trading one node's controller congestion for
     fewer total remote misses."""
 
+    enable_pt_replication: bool = False
+    """Replicate a process's page table onto a node once that node's
+    remote-walk counter crosses :attr:`pt_trigger_threshold` (the
+    Mitosis mechanism; see :mod:`repro.ptpol`)."""
+
+    enable_thread_migration: bool = False
+    """On a PT trigger, let the co-placement policy arbitrate between
+    replicating the page table and re-homing the thread next to it
+    (the Phoenix mechanism); implies PT replication as the fallback."""
+
+    pt_trigger_threshold: int = 64
+    """Remote page-table walks (per process per node, per reset
+    interval) after which the PT policy acts — the walk-counter analog
+    of :attr:`trigger_threshold`."""
+
+    max_thread_migrations: int = 1
+    """Thread re-homings allowed per process per reset interval, so the
+    co-placement policy cannot thrash a thread between nodes."""
+
     def __post_init__(self) -> None:
         if self.trigger_threshold <= 0:
             raise ConfigurationError("trigger threshold must be positive")
@@ -63,6 +82,17 @@ class PolicyParameters:
             raise ConfigurationError("sampling rate must be >= 1")
         if self.batch_pages <= 0:
             raise ConfigurationError("batch size must be positive")
+        if self.pt_trigger_threshold <= 0:
+            raise ConfigurationError("PT trigger threshold must be positive")
+        if self.max_thread_migrations < 0:
+            raise ConfigurationError(
+                "max thread migrations must be non-negative"
+            )
+        if self.enable_thread_migration and not self.enable_pt_replication:
+            raise ConfigurationError(
+                "thread migration arbitrates against PT replication; "
+                "enable_pt_replication must be set too"
+            )
 
     # -- canonical policies ----------------------------------------------------
 
@@ -93,6 +123,22 @@ class PolicyParameters:
     def replication_only(cls, **overrides) -> "PolicyParameters":
         """The Repl policy of Figure 6."""
         overrides.setdefault("enable_migration", False)
+        return cls.base(**overrides)
+
+    @classmethod
+    def pt_replication(cls, **overrides) -> "PolicyParameters":
+        """The PT-Repl policy: replicate page tables, leave data alone."""
+        overrides.setdefault("enable_migration", False)
+        overrides.setdefault("enable_replication", False)
+        overrides.setdefault("enable_pt_replication", True)
+        return cls.base(**overrides)
+
+    @classmethod
+    def co_placement(cls, **overrides) -> "PolicyParameters":
+        """The CoPlace policy: data migration plus the PT/thread tie-break."""
+        overrides.setdefault("enable_replication", False)
+        overrides.setdefault("enable_pt_replication", True)
+        overrides.setdefault("enable_thread_migration", True)
         return cls.base(**overrides)
 
     def replace(self, **changes) -> "PolicyParameters":

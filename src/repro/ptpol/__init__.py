@@ -1,0 +1,43 @@
+"""Page-table replication and thread/page co-placement policies.
+
+The first policy family beyond the source paper: where the six Section 8
+policies place *data* pages, this package places *page tables* — either
+replicating a process's PT onto the nodes that walk it remotely (the
+Mitosis mechanism) or, when the cost model says it is cheaper, re-homing
+the thread next to its page table instead (the Phoenix-style
+co-placement tie-break).  See docs/PTPOLICY.md for the state machine and
+the cost-charging rules.
+
+Public surface:
+
+* :class:`PtPolicySimulator` / :func:`simulate_ptpol` — the replay core;
+* :class:`PtCostModel` — PT action costs derived from the kernel model;
+* :class:`PtTally` / :class:`PtReplicaTable` — run state;
+* :func:`reconcile_events` — tally-vs-event-stream exactness check;
+* :data:`PT_POLICIES` / :data:`PT_POLICY_LABELS` /
+  :func:`params_for_pt_policy` — the policy tokens the experiment grids
+  use.
+"""
+
+from repro.ptpol.costs import DEFAULT_PT_COSTS, PtCostModel
+from repro.ptpol.sim import (
+    PT_POLICIES,
+    PT_POLICY_LABELS,
+    PtPolicySimulator,
+    params_for_pt_policy,
+    simulate_ptpol,
+)
+from repro.ptpol.state import PtReplicaTable, PtTally, reconcile_events
+
+__all__ = [
+    "DEFAULT_PT_COSTS",
+    "PT_POLICIES",
+    "PT_POLICY_LABELS",
+    "PtCostModel",
+    "PtPolicySimulator",
+    "PtReplicaTable",
+    "PtTally",
+    "params_for_pt_policy",
+    "reconcile_events",
+    "simulate_ptpol",
+]

@@ -1,0 +1,82 @@
+"""Page-table operation costs, derived from the kernel cost model.
+
+The PT-replication and co-placement policies (see docs/PTPOLICY.md) pay
+for their actions with the same Table 5 step costs the pager pays for
+data-page operations — a page table *is* a page, so replicating one
+costs an allocation, a copy, a links/mapping pass and a policy-end pass;
+propagating a PT write to a replica costs the links-mapping lock hold;
+and installing a replica on a node swaps the root pointer under that
+node's CPUs, which costs a TLB flush round.
+
+Nothing here is free-standing calibration: every field of
+:class:`PtCostModel` is assembled from :class:`KernelCostModel` fields
+by :meth:`PtCostModel.from_kernel`, so machine scaling (CC-NOW's
+stretched copies and flushes) carries through automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.kernel.pager.costs import KernelCostModel
+
+
+@dataclass(frozen=True)
+class PtCostModel:
+    """Per-action page-table policy costs, in nanoseconds."""
+
+    pt_replicate_ns: int
+    """One-time cost of building a PT replica on a node: page allocation,
+    page copy, replica chaining and the policy-end mapping pass."""
+
+    pt_update_ns: int
+    """Cost of propagating one PT write to one replica (the
+    links-mapping lock hold); charged per replica per write."""
+
+    pt_shootdown_base_ns: int
+    """Base cost of the flush round installing a replica's root pointer."""
+
+    pt_shootdown_per_cpu_ns: int
+    """Per-CPU cost of that flush round."""
+
+    thread_migrate_ns: int
+    """Cost of re-homing a thread onto its page table's node: the pager
+    interrupt, the decision, and a policy-end pass re-pointing the
+    scheduler's affinity hint."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pt_replicate_ns", "pt_update_ns", "pt_shootdown_base_ns",
+            "pt_shootdown_per_cpu_ns", "thread_migrate_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_kernel(cls, kernel: KernelCostModel) -> "PtCostModel":
+        """Assemble the PT action costs from the Table 5 step costs."""
+        return cls(
+            pt_replicate_ns=(
+                kernel.page_alloc_ns
+                + kernel.page_copy_ns
+                + kernel.links_mapping_repl_ns
+                + kernel.policy_end_repl_ns
+            ),
+            pt_update_ns=kernel.memlock_hold_links_ns,
+            pt_shootdown_base_ns=kernel.tlb_flush_base_ns,
+            pt_shootdown_per_cpu_ns=kernel.tlb_flush_per_cpu_ns,
+            thread_migrate_ns=(
+                kernel.interrupt_ns
+                + kernel.decision_ns
+                + kernel.policy_end_migr_ns
+            ),
+        )
+
+    def shootdown_ns(self, cpus: int) -> int:
+        """Cost of one root-pointer flush round over ``cpus`` CPUs."""
+        return self.pt_shootdown_base_ns + self.pt_shootdown_per_cpu_ns * cpus
+
+
+#: The default model, derived from the default kernel cost model.
+DEFAULT_PT_COSTS = PtCostModel.from_kernel(KernelCostModel())

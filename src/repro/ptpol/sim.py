@@ -1,0 +1,563 @@
+"""Trace-driven replay of the page-table placement policies.
+
+The simulator extends the Section 8 methodology one level down the
+address-translation path: besides the data misses the existing policies
+fight over, every TLB miss forces a *page-table walk*, and a walk
+against a remote page-table page is a dependent chain of remote
+references.  PT pages — radix-tree leaves, each mapping
+``pt_span_pages`` data pages of the shared address space — are homed
+first-touch: on the node whose CPU first faulted a page in their span.
+In a parallel workload that is usually one node, so every other node
+walks those PT pages remotely; that is the Mitosis problem.  Four
+policies replay under the same walk model so their run times compare:
+
+* **PT-FT** — first-touch data placement, PT pages stay where they were
+  first faulted (the do-nothing baseline);
+* **PT-Migr** — the paper's data-page migration policy on top of the
+  same static page tables;
+* **PT-Repl** — Mitosis-style page-table replication: a per-(PT page,
+  node) remote-walk counter bank (the walk analog of the hot-page miss
+  counters) triggers a replica of the walked PT page on the walking
+  node;
+* **CoPlace** — Phoenix-style co-placement: data migration plus, on a
+  walk trigger, a cost-model arbitration between *replicating the PT
+  page* onto the thread's node and *re-homing the thread* onto the PT
+  page's node — whichever is cheaper under
+  :class:`~repro.ptpol.costs.PtCostModel`.
+
+Data-page decisions run through the very same ``_pager_act`` state
+machine as the existing dynamic policies, with one twist: the CPU->node
+map is a mutable list, so a thread re-homing by the co-placement policy
+immediately re-costs that CPU's subsequent misses and walks.  (Threads
+are modelled at CPU granularity — the affinity scheduler pins one
+runnable thread per CPU in the trace generator, so "migrate the thread
+on CPU c" and "re-home CPU c" coincide.)
+
+Replica maintenance is charged, not assumed free: the first fault of a
+data page is a PT write (a mapping is created) and propagates to every
+standing replica of its PT page at ``pt_update_ns`` each; a data-page
+migration rewrites the mapping and propagates the same way; installing
+a replica swaps the node's root pointers under a TLB shootdown round.
+All of it lands in :class:`~repro.ptpol.state.PtTally`, which must
+reconcile exactly with the emitted
+:class:`~repro.obs.events.PtReplicate` /
+:class:`~repro.obs.events.ThreadMigrate` events
+(:func:`~repro.ptpol.state.reconcile_events`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError, TraceError
+from repro.obs.events import (
+    HotPageTriggered,
+    IntervalReset,
+    MissServiced,
+    PtReplicate,
+    ShootdownEvent,
+    ThreadMigrate,
+)
+from repro.policy.parameters import PolicyParameters
+from repro.ptpol.costs import DEFAULT_PT_COSTS, PtCostModel
+from repro.ptpol.state import PtReplicaTable, PtTally
+from repro.trace.policysim import (
+    PolicySimResult,
+    TracePolicySimulator,
+    _pager_act,
+)
+from repro.trace.record import Trace
+from repro.trace.tlbsim import derive_tlb_trace
+
+#: The PT policy family, in presentation order.
+PT_POLICIES = ("ptft", "ptmigr", "ptrepl", "coplace")
+
+#: Display labels, keyed by policy token.
+PT_POLICY_LABELS = {
+    "ptft": "PT-FT",
+    "ptmigr": "PT-Migr",
+    "ptrepl": "PT-Repl",
+    "coplace": "CoPlace",
+}
+
+
+def params_for_pt_policy(policy: str, trigger: int = 128) -> PolicyParameters:
+    """The :class:`PolicyParameters` encoding one PT-family policy.
+
+    ``trigger`` is the *data* hot-page trigger; the walk trigger scales
+    with it (half, floor 1) because a walk-counter increment stands for
+    a burst of TLB misses the same way a weighted miss record stands
+    for a burst of cache misses.
+    """
+    pt_trigger = max(1, trigger // 2)
+    if policy == "ptft":
+        return PolicyParameters.base(
+            trigger_threshold=trigger,
+            enable_migration=False,
+            enable_replication=False,
+            pt_trigger_threshold=pt_trigger,
+        )
+    if policy == "ptmigr":
+        return PolicyParameters.migration_only(
+            trigger_threshold=trigger,
+            pt_trigger_threshold=pt_trigger,
+        )
+    if policy == "ptrepl":
+        return PolicyParameters.pt_replication(
+            trigger_threshold=trigger,
+            pt_trigger_threshold=pt_trigger,
+        )
+    if policy == "coplace":
+        return PolicyParameters.co_placement(
+            trigger_threshold=trigger,
+            pt_trigger_threshold=pt_trigger,
+        )
+    raise ConfigurationError(
+        f"unknown PT policy {policy!r}; expected one of {PT_POLICIES}"
+    )
+
+
+class PtPolicySimulator(TracePolicySimulator):
+    """Replay a trace under the page-table placement policies.
+
+    Scalar-only: the PT state machine is stateful per PT page *and* per
+    node and has no vectorized twin, so ``engine="vector"`` raises (use
+    ``--engine scalar``; ``"auto"`` picks the scalar core here).
+    """
+
+    def __init__(
+        self,
+        config=None,
+        tracer=None,
+        metrics=None,
+        profiler=None,
+        costs: Optional[PtCostModel] = None,
+    ) -> None:
+        super().__init__(
+            config=config, tracer=tracer, metrics=metrics, profiler=profiler
+        )
+        self.costs = costs or DEFAULT_PT_COSTS
+        #: Tally of the most recent :meth:`simulate` run.
+        self.tally: PtTally = PtTally()
+        #: Replica table of the most recent run.
+        self.replicas: PtReplicaTable = PtReplicaTable()
+
+    # -- entry point ---------------------------------------------------------------
+
+    def simulate(
+        self,
+        trace: Trace,
+        params: PolicyParameters,
+        label: Optional[str] = None,
+        driver_trace: Optional[Trace] = None,
+    ) -> PolicySimResult:
+        """Replay ``trace`` under one PT-family policy.
+
+        ``driver_trace`` is the TLB-miss stream (derived from ``trace``
+        when omitted); it both costs walk stall and drives the walk
+        counters.  The data-page side of ``params`` behaves exactly as
+        in :meth:`simulate_dynamic`.
+        """
+        cfg = self.config
+        if cfg.engine == "vector":
+            raise ConfigurationError(
+                "the PT policies are scalar-only (stateful per-PT-page "
+                "walk counters have no vectorized twin); re-run with "
+                "--engine scalar (or REPRO_REPLAY_ENGINE=scalar, or "
+                "engine 'auto', which picks the scalar core here)"
+            )
+        if driver_trace is None:
+            driver_trace = derive_tlb_trace(trace, n_cpus=cfg.n_cpus)
+        result = PolicySimResult(label=label or self._pt_label(params))
+        self._emit_run_meta(result.label, params, pt=True)
+        n_events = len(trace) + len(driver_trace)
+        with self.profiler.span("replay.ptpol", items=n_events):
+            self._replay_pt(trace, driver_trace, params, result)
+        if self.metrics is not None:
+            self._register_metrics()
+        return result
+
+    # -- the replay core -----------------------------------------------------------
+
+    def _replay_pt(
+        self,
+        trace: Trace,
+        driver: Trace,
+        params: PolicyParameters,
+        result: PolicySimResult,
+    ) -> None:
+        cfg = self.config
+        costs = self.costs
+        tally = self.tally = PtTally()
+        ptrep = self.replicas = PtReplicaTable()
+        # Data-page state, exactly as in _replay_dynamic — except the
+        # CPU->node map is a mutable list so thread re-homing sticks.
+        from repro.machine.directory import MissCounterBank
+
+        copies: Dict[int, Set[int]] = {}
+        bank = MissCounterBank(cfg.n_cpus)
+        armed: Set[int] = set()
+        cpu_node = [cfg.node_of_cpu(c) for c in range(cfg.n_cpus)]
+        cpus_per_node = cfg.n_cpus // cfg.n_nodes
+        span = cfg.pt_span_pages
+        local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
+        walk_local_ns = cfg.pt_walk_local_ns
+        walk_remote_ns = cfg.pt_walk_remote_ns
+        op_cost = cfg.op_cost_ns
+        data_dynamic = params.enable_migration or params.enable_replication
+        pt_dynamic = params.enable_pt_replication
+        coplace = params.enable_thread_migration
+        trigger = params.trigger_threshold
+        pt_trigger = params.pt_trigger_threshold
+        next_reset = params.reset_interval_ns
+        interval_index = 0
+        local_stall = 0.0
+        walk_stall = 0.0
+        local_walk_stall = 0.0
+        update_cost = 0.0
+        shootdown_cost = 0.0
+        pending: deque = deque()     # (due, page, cpu) data hot pages
+        pt_pending: deque = deque()  # (due, leaf, node, cpu, pid, walks)
+        pt_armed: Set[Tuple[int, int]] = set()
+        walk_bank: Dict[Tuple[int, int], int] = {}  # (leaf, node) -> walks
+        # Per-interval demand/maintenance state for the arbitration.
+        data_demand: Dict[Tuple[int, int], int] = {}  # (pid, serving node)
+        leaf_writes: Dict[int, int] = {}              # leaf -> PT writes
+        thread_moves: Dict[int, int] = {}             # pid -> re-homings
+        mapped: Set[int] = set()                      # data pages with a PTE
+        tracer = self.tracer
+        trace_on = tracer.active
+        emit_miss = tracer.wants(MissServiced.KIND)
+
+        def pt_write(leaf: int) -> None:
+            """Charge a PT write's propagation to every standing replica.
+
+            Counted in ``leaf_writes`` even when no replica stands yet —
+            that running count is what the arbitration uses to estimate
+            the propagation tax a *new* replica would start paying.
+            """
+            nonlocal update_cost
+            leaf_writes[leaf] = leaf_writes.get(leaf, 0) + 1
+            replicas = ptrep.replica_count(leaf) - 1
+            if replicas <= 0:
+                return
+            cost = replicas * costs.pt_update_ns
+            result.overhead_ns += cost
+            update_cost += cost
+            tally.pt_updates += replicas
+
+        def act(now: int, page: int, cpu: int) -> None:
+            before = result.migrations
+            _pager_act(
+                now, page, cpu, copies, bank, armed, result, params,
+                cpu_node, op_cost, tracer, trace_on,
+            )
+            if result.migrations > before:
+                # A migration rewrites the page's mapping: the write
+                # propagates to every replica of its PT page.
+                pt_write(page // span)
+
+        def pt_act(
+            now: int, leaf: int, node: int, cpu: int, pid: int, walks: int
+        ) -> None:
+            """Resolve one walk trigger: replicate the PT page or move
+            the thread."""
+            nonlocal shootdown_cost
+            pt_armed.discard((leaf, node))
+            if ptrep.holds(leaf, node):
+                return  # raced: the node gained a replica while pending
+            home = ptrep.home_of(leaf)
+            reason = "walk-trigger"
+            if coplace:
+                tally.arbitrations += 1
+                # Price the alternatives over the current interval's
+                # demand, keyed by *serving* node.  Re-homing the
+                # thread makes its walks of this PT page local for free
+                # and flips its data locality: misses served from the
+                # PT page's home node turn local, misses served from
+                # the thread's current node turn remote — so the data
+                # term can be a net benefit (a negative cost) when the
+                # thread's data already lives with its page table.
+                # Replication makes walks local at a construction +
+                # flush cost plus the standing per-write propagation
+                # tax observed on this PT page so far this interval.
+                served_here = data_demand.get((pid, node), 0)
+                served_home = data_demand.get((pid, home), 0)
+                thread_cost = costs.thread_migrate_ns + (
+                    (served_here - served_home) * (remote_ns - local_ns)
+                )
+                pt_cost = (
+                    costs.pt_replicate_ns
+                    + costs.shootdown_ns(cpus_per_node)
+                    + leaf_writes.get(leaf, 0) * costs.pt_update_ns
+                )
+                if (
+                    thread_cost < pt_cost
+                    and thread_moves.get(pid, 0) < params.max_thread_migrations
+                ):
+                    thread_moves[pid] = thread_moves.get(pid, 0) + 1
+                    cpu_node[cpu] = home
+                    result.overhead_ns += costs.thread_migrate_ns
+                    tally.thread_migrations += 1
+                    if trace_on:
+                        tracer.emit(
+                            ThreadMigrate(
+                                t=now, process=pid, cpu=cpu, src=node,
+                                dst=home, reason="cheaper-than-pt-replica",
+                                latency_ns=float(costs.thread_migrate_ns),
+                            )
+                        )
+                    return
+                reason = "pt-replica-cheaper" if thread_cost >= pt_cost \
+                    else "thread-migrations-capped"
+            ptrep.add_replica(leaf, node)
+            flush = costs.shootdown_ns(cpus_per_node)
+            result.overhead_ns += costs.pt_replicate_ns + flush
+            shootdown_cost += flush
+            tally.pt_replications += 1
+            tally.pt_shootdowns += 1
+            if trace_on:
+                tracer.emit(
+                    PtReplicate(
+                        t=now, process=pid, cpu=cpu, pt_page=leaf,
+                        node=node, src=home, walks=walks, reason=reason,
+                        latency_ns=float(costs.pt_replicate_ns),
+                    )
+                )
+                tracer.emit(
+                    ShootdownEvent(
+                        t=now, origin_cpu=cpu, mode="pt-root",
+                        cpus_flushed=cpus_per_node, frames=1,
+                        cost_ns=float(flush),
+                    )
+                )
+
+        def drain(upto: Optional[int]) -> None:
+            while pending and (upto is None or pending[0][0] <= upto):
+                due, hot_page, hot_cpu = pending.popleft()
+                act(due, hot_page, hot_cpu)
+            while pt_pending and (upto is None or pt_pending[0][0] <= upto):
+                due, leaf, node, cpu, pid, walks = pt_pending.popleft()
+                pt_act(due, leaf, node, cpu, pid, walks)
+
+        for time, cpu, pid, page, weight, is_write, is_cost in (
+            self._merged_process_events(trace, driver)
+        ):
+            drain(time)
+            if time >= next_reset:
+                drain(None)
+                if trace_on:
+                    tracer.emit(
+                        IntervalReset(
+                            t=time,
+                            index=interval_index,
+                            tracked_pages=bank.tracked_pages,
+                            triggers=result.hot_events,
+                        )
+                    )
+                interval_index += 1
+                bank.reset()
+                armed.clear()
+                walk_bank.clear()
+                pt_armed.clear()
+                data_demand.clear()
+                leaf_writes.clear()
+                thread_moves.clear()
+                while next_reset <= time:
+                    next_reset += params.reset_interval_ns
+            node = cpu_node[cpu]
+            leaf = page // span
+            ptrep.observe(leaf, node)
+            if is_cost:
+                # -- a data miss: cost it, then maybe drive the data policy
+                page_copies = copies.get(page)
+                if page_copies is None:
+                    page_copies = copies[page] = {node}
+                if page not in mapped:
+                    mapped.add(page)
+                    pt_write(leaf)  # a new mapping is a PT write
+                local = node in page_copies
+                result.total_misses += weight
+                if local:
+                    result.local_misses += weight
+                    result.stall_ns += weight * local_ns
+                    local_stall += weight * local_ns
+                else:
+                    result.stall_ns += weight * remote_ns
+                if coplace:
+                    key = (pid, node if local else min(page_copies))
+                    data_demand[key] = data_demand.get(key, 0) + weight
+                if emit_miss:
+                    tracer.emit(
+                        MissServiced(
+                            t=time, cpu=cpu, page=page,
+                            node=node if local else min(page_copies),
+                            weight=weight,
+                            latency_ns=float(local_ns if local else remote_ns),
+                            remote=not local, process=pid,
+                        )
+                    )
+                if not data_dynamic:
+                    continue
+                count = bank.record(page, cpu, weight, is_write)
+                if count < trigger or page in armed:
+                    continue
+                if node in page_copies:
+                    continue  # hot but already local
+                result.hot_events += 1
+                armed.add(page)
+                if trace_on:
+                    tracer.emit(
+                        HotPageTriggered(
+                            t=time, page=page, cpu=cpu, count=count,
+                            threshold=trigger,
+                        )
+                    )
+                pending.append((time + cfg.decision_delay_ns, page, cpu))
+            else:
+                # -- a TLB miss: every one costs a page-table walk
+                walk_local = ptrep.holds(leaf, node)
+                tally.walks += weight
+                stall = weight * (walk_local_ns if walk_local else walk_remote_ns)
+                result.stall_ns += stall
+                walk_stall += stall
+                if walk_local:
+                    tally.local_walks += weight
+                    local_walk_stall += stall
+                    local_stall += stall
+                if emit_miss:
+                    tracer.emit(
+                        MissServiced(
+                            t=time, cpu=cpu, page=page,
+                            node=node if walk_local else ptrep.home_of(leaf),
+                            weight=weight,
+                            latency_ns=float(
+                                walk_local_ns if walk_local
+                                else walk_remote_ns
+                            ),
+                            remote=not walk_local, process=pid, walk=True,
+                        )
+                    )
+                if not pt_dynamic or walk_local:
+                    continue
+                key = (leaf, node)
+                count = walk_bank.get(key, 0) + weight
+                walk_bank[key] = count
+                if count < pt_trigger or key in pt_armed:
+                    continue
+                tally.walk_triggers += 1
+                pt_armed.add(key)
+                pt_pending.append(
+                    (time + cfg.decision_delay_ns, leaf, node, cpu, pid, count)
+                )
+        drain(None)
+        result.extra["local_stall_ns"] = local_stall
+        result.extra["pt_walks"] = float(tally.walks)
+        result.extra["pt_local_walks"] = float(tally.local_walks)
+        result.extra["pt_walk_stall_ns"] = walk_stall
+        result.extra["pt_local_walk_stall_ns"] = local_walk_stall
+        result.extra["pt_replications"] = float(tally.pt_replications)
+        result.extra["thread_migrations"] = float(tally.thread_migrations)
+        result.extra["pt_updates"] = float(tally.pt_updates)
+        result.extra["pt_update_cost_ns"] = update_cost
+        result.extra["pt_shootdowns"] = float(tally.pt_shootdowns)
+        result.extra["pt_shootdown_cost_ns"] = shootdown_cost
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _merged_process_events(cost: Trace, driver: Trace):
+        """Merge data misses and walks in time order, with processes.
+
+        The PT twin of ``_merged_events``: driver (walk) events sort
+        *after* cost events at equal timestamps, so a PT action never
+        retroactively cheapens the walk that triggered it — and since
+        every derived TLB record shares a timestamp with the cache-miss
+        record that produced it, the first sighting of a page is always
+        the data miss that faults its mapping in.
+        """
+        if cost.meta is not driver.meta and cost.meta is not None:
+            if driver.meta is not None and cost.meta.name != driver.meta.name:
+                raise TraceError(
+                    "cost and driver traces are from different workloads"
+                )
+        i = j = 0
+        n_cost, n_driver = len(cost), len(driver)
+        c_t, d_t = cost.time_ns.tolist(), driver.time_ns.tolist()
+        c_c, d_c = cost.cpu.tolist(), driver.cpu.tolist()
+        c_pr, d_pr = cost.process.tolist(), driver.process.tolist()
+        c_p, d_p = cost.page.tolist(), driver.page.tolist()
+        c_wt, d_wt = cost.weight.tolist(), driver.weight.tolist()
+        c_w, d_w = cost.is_write.tolist(), driver.is_write.tolist()
+        while i < n_cost or j < n_driver:
+            take_cost = j >= n_driver or (i < n_cost and c_t[i] <= d_t[j])
+            if take_cost:
+                yield (c_t[i], c_c[i], c_pr[i], c_p[i], c_wt[i], c_w[i], True)
+                i += 1
+            else:
+                yield (d_t[j], d_c[j], d_pr[j], d_p[j], d_wt[j], d_w[j], False)
+                j += 1
+
+    def _register_metrics(self) -> None:
+        """Publish the run's tally under the ``ptpol.*`` namespace.
+
+        Callbacks read the live tally, so re-running :meth:`simulate`
+        on the same simulator keeps the registry current without
+        re-registration (the names are claimed once).
+        """
+        tally = lambda: self.tally  # noqa: E731 - late-bound current tally
+        names = (
+            ("ptpol.walks", lambda: float(tally().walks)),
+            ("ptpol.local_walks", lambda: float(tally().local_walks)),
+            ("ptpol.pt_replications", lambda: float(tally().pt_replications)),
+            ("ptpol.thread_migrations",
+             lambda: float(tally().thread_migrations)),
+            ("ptpol.pt_updates", lambda: float(tally().pt_updates)),
+            ("ptpol.pt_shootdowns", lambda: float(tally().pt_shootdowns)),
+            ("ptpol.walk_triggers", lambda: float(tally().walk_triggers)),
+            ("ptpol.arbitrations", lambda: float(tally().arbitrations)),
+        )
+        for name, fn in names:
+            try:
+                self.metrics.register_callback(name, fn)
+            except ConfigurationError:
+                pass  # already registered by an earlier run
+
+    @staticmethod
+    def _pt_label(params: PolicyParameters) -> str:
+        if params.enable_thread_migration:
+            return PT_POLICY_LABELS["coplace"]
+        if params.enable_pt_replication:
+            return PT_POLICY_LABELS["ptrepl"]
+        if params.enable_migration:
+            return PT_POLICY_LABELS["ptmigr"]
+        return PT_POLICY_LABELS["ptft"]
+
+
+def simulate_ptpol(
+    trace: Trace,
+    policy: str,
+    config=None,
+    trigger: int = 128,
+    tracer=None,
+    metrics=None,
+    profiler=None,
+    costs: Optional[PtCostModel] = None,
+    driver_trace: Optional[Trace] = None,
+) -> Tuple[PolicySimResult, PtTally]:
+    """One-call replay of ``trace`` under PT policy token ``policy``.
+
+    Returns the result alongside the run's :class:`PtTally` (which the
+    caller can reconcile against a captured event stream).
+    """
+    sim = PtPolicySimulator(
+        config=config, tracer=tracer, metrics=metrics, profiler=profiler,
+        costs=costs,
+    )
+    params = params_for_pt_policy(policy, trigger=trigger)
+    result = sim.simulate(
+        trace, params, label=PT_POLICY_LABELS[policy],
+        driver_trace=driver_trace,
+    )
+    return result, sim.tally

@@ -1,0 +1,129 @@
+"""Page-table replica state and the PT-policy action tally.
+
+:class:`PtReplicaTable` is the per-process replica state machine the
+simulator replays (see docs/PTPOLICY.md for the state diagram), and
+:class:`PtTally` is its Table 4 counterpart: every PT action the run
+takes lands in exactly one tally bucket, and the decision events emitted
+alongside must reconcile with the tally exactly —
+:func:`reconcile_events` enforces that, and the CI sweep-smoke job runs
+it on every PT-policy cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.obs.events import MissServiced, PtReplicate, ThreadMigrate
+
+
+@dataclass
+class PtTally:
+    """Counts of every PT-policy action and walk the run observed."""
+
+    walks: int = 0               # weighted PT walks (TLB misses)
+    local_walks: int = 0         # walks satisfied by a node-local PT
+    pt_replications: int = 0     # PtReplicate events
+    thread_migrations: int = 0   # ThreadMigrate events
+    pt_updates: int = 0          # write propagations (per replica)
+    pt_shootdowns: int = 0       # root-pointer flush rounds
+    walk_triggers: int = 0       # walk counters crossing the trigger
+    arbitrations: int = 0        # co-placement tie-breaks decided
+
+    @property
+    def remote_walks(self) -> int:
+        return self.walks - self.local_walks
+
+    @property
+    def local_walk_fraction(self) -> float:
+        return self.local_walks / self.walks if self.walks else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "walks": self.walks,
+            "local_walks": self.local_walks,
+            "pt_replications": self.pt_replications,
+            "thread_migrations": self.thread_migrations,
+            "pt_updates": self.pt_updates,
+            "pt_shootdowns": self.pt_shootdowns,
+            "walk_triggers": self.walk_triggers,
+            "arbitrations": self.arbitrations,
+        }
+
+
+class PtReplicaTable:
+    """Which nodes hold a replica of each page-table page.
+
+    A PT page (one radix-tree leaf, mapping ``pt_span_pages`` data
+    pages) is homed first-touch: on the node whose CPU first faulted a
+    data page in its span — which, in a shared address space, is
+    usually *not* every node that later walks it.  Replicas are added
+    by the policy and persist to end of run (there is no replica
+    collapse — PT pages are read-mostly, writes are propagated).
+    """
+
+    def __init__(self) -> None:
+        self.home: Dict[int, int] = {}
+        self.replicas: Dict[int, Set[int]] = {}
+
+    def observe(self, pt_page: int, node: int) -> None:
+        """First sighting of ``pt_page`` homes it on ``node``."""
+        if pt_page not in self.home:
+            self.home[pt_page] = node
+            self.replicas[pt_page] = {node}
+
+    def holds(self, pt_page: int, node: int) -> bool:
+        """Does ``node`` hold a replica (or the primary) of ``pt_page``?"""
+        nodes = self.replicas.get(pt_page)
+        return nodes is not None and node in nodes
+
+    def add_replica(self, pt_page: int, node: int) -> None:
+        self.replicas[pt_page].add(node)
+
+    def replica_count(self, pt_page: int) -> int:
+        return len(self.replicas.get(pt_page, ()))
+
+    def home_of(self, pt_page: int) -> int:
+        return self.home[pt_page]
+
+
+def reconcile_events(tally: PtTally, events) -> List[str]:
+    """Mismatches between a run's PT tally and its event stream.
+
+    Counts the :class:`PtReplicate` / :class:`ThreadMigrate` decision
+    events and the walk-flagged :class:`MissServiced` events in
+    ``events`` and compares them against the tally; an empty return
+    means every PT action the tally recorded was emitted exactly once.
+    Walk counts are only checked when the stream carries miss events
+    (decision-only logs skip them, mirroring ``Attribution.reconcile``).
+    """
+    pt_replications = 0
+    thread_migrations = 0
+    walks = 0
+    local_walks = 0
+    saw_misses = False
+    for event in events:
+        if isinstance(event, PtReplicate):
+            pt_replications += 1
+        elif isinstance(event, ThreadMigrate):
+            thread_migrations += 1
+        elif isinstance(event, MissServiced):
+            saw_misses = True
+            if event.walk:
+                walks += event.weight
+                if not event.remote:
+                    local_walks += event.weight
+    errors: List[str] = []
+    checks = [
+        ("pt_replications", pt_replications, tally.pt_replications),
+        ("thread_migrations", thread_migrations, tally.thread_migrations),
+    ]
+    if saw_misses:
+        checks.append(("walks", walks, tally.walks))
+        checks.append(("local_walks", local_walks, tally.local_walks))
+    for label, got, want in checks:
+        if got != want:
+            errors.append(
+                f"ptpol.{label}: events {got} != tally {want}"
+            )
+    return errors

@@ -94,6 +94,18 @@ class PolicySimConfig:
     is what happens naturally in an unweighted miss stream.
     """
 
+    pt_walk_local_ns: int = 1200
+    """Stall charged per page-table walk satisfied by a node-local PT
+    (a walk is a dependent chain of memory references, so it costs a
+    multiple of a single miss; see :mod:`repro.ptpol`)."""
+
+    pt_walk_remote_ns: int = 4800
+    """Stall charged per walk that must reference a remote page table."""
+
+    pt_span_pages: int = 512
+    """Data pages mapped by one page-table page (4 KB of 8-byte PTEs);
+    the granularity at which PT pages are homed and replicated."""
+
     engine: str = field(default_factory=_engine_from_env)
     """Dynamic-replay engine: ``"auto"``, ``"scalar"`` or ``"vector"``.
 
@@ -115,6 +127,12 @@ class PolicySimConfig:
             raise ConfigurationError("operation cost must be non-negative")
         if self.decision_delay_ns < 0:
             raise ConfigurationError("decision delay must be non-negative")
+        if self.pt_walk_local_ns <= 0 or self.pt_walk_remote_ns < self.pt_walk_local_ns:
+            raise ConfigurationError(
+                "walk latencies must satisfy 0 < local <= remote"
+            )
+        if self.pt_span_pages <= 0:
+            raise ConfigurationError("PT span must be positive")
         if self.engine not in REPLAY_ENGINES:
             raise ConfigurationError(
                 f"unknown replay engine {self.engine!r}; "
@@ -331,11 +349,13 @@ class TracePolicySimulator:
             dtype=np.int64,
         )
 
-    def _emit_run_meta(self, label: str, params=None) -> None:
+    def _emit_run_meta(self, label: str, params=None, pt: bool = False) -> None:
         """Emit the run-context header event (once, at ``t=0``).
 
         Lets post-hoc consumers (``repro analyze``) redo the stall and
-        cost arithmetic without the original config in hand.
+        cost arithmetic without the original config in hand.  ``pt``
+        publishes the page-table walk latencies; runs without a PT
+        model leave them at 0 so old logs and new logs read alike.
         """
         if not self.tracer.wants(RunMeta.KIND):
             return
@@ -354,6 +374,9 @@ class TracePolicySimulator:
                     params.reset_interval_ns if params is not None else 0
                 ),
                 engine=cfg.engine,
+                pt_walk_local_ns=float(cfg.pt_walk_local_ns) if pt else 0.0,
+                pt_walk_remote_ns=float(cfg.pt_walk_remote_ns) if pt else 0.0,
+                pt_span_pages=cfg.pt_span_pages if pt else 0,
             )
         )
 
@@ -826,8 +849,11 @@ class TracePolicySimulator:
         cfg = self.config
         if cfg.engine == "vector":
             raise ConfigurationError(
-                "simulate_competitive is scalar-only; use engine "
-                "'scalar' or 'auto'"
+                "simulate_competitive has no vectorized twin and runs "
+                "only on the scalar replay core; re-run with --engine "
+                "scalar (or REPRO_REPLAY_ENGINE=scalar, or engine "
+                "'auto', which picks the scalar core here) instead of "
+                "engine 'vector'"
             )
         break_even = max(
             1, -(-cfg.op_cost_ns // max(cfg.remote_ns - cfg.local_ns, 1))

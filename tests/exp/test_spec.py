@@ -8,6 +8,7 @@ from repro.common.errors import ConfigurationError
 from repro.exp.spec import (
     FIG9_TRIGGERS,
     SPEC_SCHEMA_VERSION,
+    FIG6_POLICIES,
     TRACE_POLICIES,
     USER_WORKLOADS,
     ExperimentSpec,
@@ -197,7 +198,9 @@ class TestSweep:
         assert all(s.scale == 0.1 and s.seed == 2 for s in fig3)
 
         fig6 = figure6_grid()
-        assert len(fig6) == len(USER_WORKLOADS) * len(TRACE_POLICIES)
+        # The paper's own matrix: the PT-policy family has its own grid
+        # (ptpol6), so fig6 stays at the six Figure 6 policies.
+        assert len(fig6) == len(USER_WORKLOADS) * len(FIG6_POLICIES)
         assert all(s.kind == "trace" for s in fig6)
 
         fig9 = figure9_grid()

@@ -461,7 +461,7 @@ class TestFormatters:
         data = a.to_dict(top=1)
         assert len(data["pages"]) == 1
         assert data["totals"]["pages"] == 2
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == 2  # v2: the PT ledger
 
 
 class TestSweepAttribution:

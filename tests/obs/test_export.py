@@ -15,10 +15,12 @@ from repro.obs.events import (
     MigrationDecision,
     MissServiced,
     NoActionDecision,
+    PtReplicate,
     ReplicationDecision,
     RunMeta,
     ShootdownEvent,
     SpanEvent,
+    ThreadMigrate,
     TriggerAdjusted,
     event_from_dict,
 )
@@ -61,6 +63,10 @@ SAMPLE_EVENTS = [
                     overhead_fraction=0.01, remote_fraction=0.4),
     EngineFallback(t=0, requested="auto", chosen="scalar",
                    reason="active tracer"),
+    PtReplicate(t=950, process=3, cpu=5, pt_page=2, node=1, src=0,
+                walks=64, reason="walk-trigger", latency_ns=310_000.0),
+    ThreadMigrate(t=960, process=3, cpu=5, src=1, dst=0,
+                  reason="cheaper-than-pt-replica", latency_ns=21_000.0),
     SpanEvent(t=1000, name="engine.scalar", path="replay.dynamic/engine.scalar",
               dur_ns=5_000_000, depth=1, items=1234, alloc_bytes=4096),
     RunMeta(t=0, label="engineering:Mig/Rep", n_cpus=8, n_nodes=8,

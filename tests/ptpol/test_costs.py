@@ -1,0 +1,55 @@
+"""PT cost model: kernel derivation, validation, shootdown arithmetic."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.kernel.pager.costs import KernelCostModel
+from repro.ptpol.costs import DEFAULT_PT_COSTS, PtCostModel
+
+
+class TestFromKernel:
+    def test_replication_is_a_full_page_operation(self):
+        kernel = KernelCostModel()
+        costs = PtCostModel.from_kernel(kernel)
+        assert costs.pt_replicate_ns == (
+            kernel.page_alloc_ns
+            + kernel.page_copy_ns
+            + kernel.links_mapping_repl_ns
+            + kernel.policy_end_repl_ns
+        )
+
+    def test_update_is_one_locked_write(self):
+        kernel = KernelCostModel()
+        costs = PtCostModel.from_kernel(kernel)
+        assert costs.pt_update_ns == kernel.memlock_hold_links_ns
+
+    def test_shootdown_tracks_tlb_flush_costs(self):
+        kernel = KernelCostModel()
+        costs = PtCostModel.from_kernel(kernel)
+        assert costs.pt_shootdown_base_ns == kernel.tlb_flush_base_ns
+        assert costs.pt_shootdown_per_cpu_ns == kernel.tlb_flush_per_cpu_ns
+
+    def test_default_instance_matches_default_kernel(self):
+        assert DEFAULT_PT_COSTS == PtCostModel.from_kernel(KernelCostModel())
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        for fld in (
+            "pt_replicate_ns",
+            "pt_update_ns",
+            "pt_shootdown_base_ns",
+            "pt_shootdown_per_cpu_ns",
+            "thread_migrate_ns",
+        ):
+            with pytest.raises(ConfigurationError):
+                dataclasses.replace(DEFAULT_PT_COSTS, **{fld: -1.0})
+
+    def test_shootdown_scales_with_cpus(self):
+        costs = DEFAULT_PT_COSTS
+        assert costs.shootdown_ns(4) == (
+            costs.pt_shootdown_base_ns + 4 * costs.pt_shootdown_per_cpu_ns
+        )
+        assert costs.shootdown_ns(0) == costs.pt_shootdown_base_ns

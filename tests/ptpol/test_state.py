@@ -1,0 +1,99 @@
+"""Replica-table state machine, tally arithmetic, event reconciliation."""
+
+from repro.obs.events import MissServiced, PtReplicate, ThreadMigrate
+from repro.ptpol.state import PtReplicaTable, PtTally, reconcile_events
+
+
+class TestPtReplicaTable:
+    def test_first_touch_homes_the_page(self):
+        table = PtReplicaTable()
+        table.observe(3, node=1)
+        table.observe(3, node=0)  # later sightings do not re-home
+        assert table.home_of(3) == 1
+        assert table.holds(3, 1)
+        assert not table.holds(3, 0)
+
+    def test_replicas_accumulate_and_persist(self):
+        table = PtReplicaTable()
+        table.observe(7, node=0)
+        assert table.replica_count(7) == 1
+        table.add_replica(7, 2)
+        table.add_replica(7, 3)
+        assert table.replica_count(7) == 3
+        for node in (0, 2, 3):
+            assert table.holds(7, node)
+        assert not table.holds(7, 1)
+        # Adding an existing replica is idempotent (a set, not a list).
+        table.add_replica(7, 2)
+        assert table.replica_count(7) == 3
+
+    def test_unseen_page_holds_nothing(self):
+        table = PtReplicaTable()
+        assert not table.holds(9, 0)
+        assert table.replica_count(9) == 0
+
+
+class TestPtTally:
+    def test_derived_walk_fractions(self):
+        tally = PtTally(walks=10, local_walks=4)
+        assert tally.remote_walks == 6
+        assert tally.local_walk_fraction == 0.4
+
+    def test_zero_walks_is_not_a_division(self):
+        assert PtTally().local_walk_fraction == 0.0
+
+    def test_to_dict_round_trips_every_counter(self):
+        tally = PtTally(
+            walks=5, local_walks=2, pt_replications=1, thread_migrations=1,
+            pt_updates=3, pt_shootdowns=1, walk_triggers=2, arbitrations=2,
+        )
+        d = tally.to_dict()
+        assert d == {
+            "walks": 5, "local_walks": 2, "pt_replications": 1,
+            "thread_migrations": 1, "pt_updates": 3, "pt_shootdowns": 1,
+            "walk_triggers": 2, "arbitrations": 2,
+        }
+
+
+def _stream():
+    """An event stream matching walks=3, local_walks=1, one of each decision."""
+    return [
+        MissServiced(t=10, cpu=0, page=0, node=0, weight=2, remote=True,
+                     walk=True),
+        MissServiced(t=20, cpu=1, page=4, node=1, weight=5, remote=True),
+        PtReplicate(t=30, process=0, cpu=0, pt_page=0, node=1, src=0,
+                    walks=2),
+        MissServiced(t=40, cpu=0, page=1, node=0, weight=1, remote=False,
+                     walk=True),
+        ThreadMigrate(t=50, process=1, cpu=1, src=1, dst=0),
+    ]
+
+
+class TestReconcileEvents:
+    def test_matching_stream_is_clean(self):
+        tally = PtTally(walks=3, local_walks=1, pt_replications=1,
+                        thread_migrations=1)
+        assert reconcile_events(tally, _stream()) == []
+
+    def test_data_misses_do_not_count_as_walks(self):
+        # The weight-5 data miss in the stream must not inflate walks.
+        tally = PtTally(walks=8, local_walks=1, pt_replications=1,
+                        thread_migrations=1)
+        errors = reconcile_events(tally, _stream())
+        assert errors == ["ptpol.walks: events 3 != tally 8"]
+
+    def test_every_drift_is_named(self):
+        tally = PtTally(walks=4, local_walks=0, pt_replications=2,
+                        thread_migrations=0)
+        errors = reconcile_events(tally, _stream())
+        assert "ptpol.pt_replications: events 1 != tally 2" in errors
+        assert "ptpol.thread_migrations: events 1 != tally 0" in errors
+        assert "ptpol.walks: events 3 != tally 4" in errors
+        assert "ptpol.local_walks: events 1 != tally 0" in errors
+
+    def test_decision_only_stream_skips_walk_checks(self):
+        # A log captured without miss events can't audit walk counts.
+        events = [e for e in _stream() if not isinstance(e, MissServiced)]
+        tally = PtTally(walks=999, local_walks=42, pt_replications=1,
+                        thread_migrations=1)
+        assert reconcile_events(tally, events) == []

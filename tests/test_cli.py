@@ -209,6 +209,40 @@ def test_tracesim_trace_out(tmp_path, capsys):
     assert events[0].KIND == "run-meta"
 
 
+def test_ptsim_policies(capsys):
+    assert main(
+        ["ptsim", "--workload", "splash", "--scale", "0.05"]
+    ) == 0
+    out = capsys.readouterr().out
+    for label in ("PT-FT", "PT-Migr", "PT-Repl", "CoPlace"):
+        assert label in out
+    assert "walk" in out
+
+
+def test_ptsim_trace_out_reconciles(tmp_path, capsys):
+    path = str(tmp_path / "ptsim.jsonl")
+    assert main(
+        ["ptsim", "--workload", "splash", "--scale", "0.05",
+         "--trace-out", path]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "ptpol reconciled" in out
+    events = read_events(path)
+    assert events[0].KIND == "run-meta"
+    assert events[0].pt_span_pages > 0
+    kinds = {e.KIND for e in events}
+    assert "miss" in kinds          # walk reconciliation needs misses
+
+
+def test_ptsim_vector_engine_refused(capsys):
+    assert main(
+        ["ptsim", "--workload", "splash", "--scale", "0.05",
+         "--engine", "vector"]
+    ) == 2
+    captured = capsys.readouterr()
+    assert "--engine scalar" in captured.out + captured.err
+
+
 def _sweep_args(tmp_path, *extra):
     return [
         "sweep", "--scale", "0.02",
@@ -587,7 +621,7 @@ class TestAnalyzeCommand:
         ]) == 0
         data = json.loads(json_path.read_text())
         assert data["kind"] == "attribution"
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == 2
         assert data["totals"]["misses"] > 0
         rows = [json.loads(l) for l in series_path.read_text().splitlines()]
         assert rows and "local_ratio" in rows[0]

@@ -262,7 +262,8 @@ class TestEngineSelection:
             PolicySimConfig(n_cpus=8, n_nodes=4, engine="vector")
         )
         trace = random_trace(np.random.default_rng(5), n_events=100)
-        with pytest.raises(ConfigurationError):
+        # The refusal must name the fix, not just the failure.
+        with pytest.raises(ConfigurationError, match="--engine scalar"):
             sim.simulate_competitive(trace)
         # auto quietly uses the scalar competitive path.
         auto = TracePolicySimulator(PolicySimConfig(n_cpus=8, n_nodes=4))

@@ -137,3 +137,103 @@ class TestStreamingDerivation:
         )
         # Only the chunk containing the first touch produces records.
         assert len(pieces) == 1
+
+
+class TestEdgeCases:
+    def test_empty_trace_derives_empty(self):
+        tlb = derive_tlb_trace(build([]), n_cpus=2)
+        assert len(tlb) == 0
+
+    def test_empty_trace_without_cpu_hint(self):
+        # n_cpus is inferred from the CPU column; an empty one must not
+        # make the deriver guess wildly or crash.
+        tlb = derive_tlb_trace(build([]))
+        assert len(tlb) == 0
+
+    def test_idle_cpus_carry_no_records(self):
+        # CPUs 0, 2 and 3 exist but never miss; only CPU 1's TLB fills.
+        rows = [(t, 1, 0, t % 8, 10) for t in range(16)]
+        tlb = derive_tlb_trace(
+            build(rows), n_cpus=4, factor_of_page=lambda p: 1.0
+        )
+        assert len(tlb) > 0
+        assert set(tlb.cpu.tolist()) == {1}
+
+    def test_empty_chunk_stream_yields_nothing(self):
+        from repro.trace.tlbsim import derive_tlb_trace_chunks
+
+        assert list(derive_tlb_trace_chunks([], n_cpus=2)) == []
+        assert list(
+            derive_tlb_trace_chunks([build([])], n_cpus=2)
+        ) == []
+
+
+class TestChunkedIdentity:
+    """Satellite check: streamed derivation is byte-identical to the
+    materialized path, and identical all the way through the PT-policy
+    walk counters it ends up driving."""
+
+    ROWS = [(t * 10, t % 2, t % 2, (t * 3) % 11, 5) for t in range(240)]
+
+    def _full_and_streamed(self, size):
+        import numpy as np
+
+        from repro.trace.record import merge_traces
+        from repro.trace.tlbsim import derive_tlb_trace_chunks
+
+        config = TlbConfig(entries=4)
+        trace = build(self.ROWS)
+        full = derive_tlb_trace(
+            trace, n_cpus=2, tlb_config=config, factor_of_page=lambda p: 1.0
+        )
+        chunks = [
+            trace.select(slice(k, k + size))
+            for k in range(0, len(trace), size)
+        ]
+        streamed = merge_traces(
+            list(
+                derive_tlb_trace_chunks(
+                    chunks, n_cpus=2, tlb_config=config,
+                    factor_of_page=lambda p: 1.0,
+                )
+            )
+        )
+        return full, streamed, np
+
+    def test_single_chunk_window_is_byte_identical(self):
+        full, streamed, np = self._full_and_streamed(size=10**9)
+        for column in ("time_ns", "cpu", "process", "page", "weight", "flags"):
+            a, b = getattr(full, column), getattr(streamed, column)
+            assert a.dtype == b.dtype, column
+            assert np.array_equal(a, b), column
+
+    def test_chunked_windows_are_byte_identical(self):
+        for size in (1, 7, 64):
+            full, streamed, np = self._full_and_streamed(size)
+            for column in (
+                "time_ns", "cpu", "process", "page", "weight", "flags"
+            ):
+                assert np.array_equal(
+                    getattr(full, column), getattr(streamed, column)
+                ), (size, column)
+
+    def test_both_paths_drive_identical_pt_walk_counters(self):
+        from repro.ptpol.sim import simulate_ptpol
+        from repro.trace.policysim import PolicySimConfig
+
+        full, streamed, _ = self._full_and_streamed(size=31)
+        trace = build(self.ROWS)
+        config = PolicySimConfig(
+            n_cpus=2, n_nodes=2, pt_span_pages=4,
+            decision_delay_ns=1, engine="scalar",
+        )
+        result_a, tally_a = simulate_ptpol(
+            trace, "ptrepl", config=config, trigger=4, driver_trace=full
+        )
+        result_b, tally_b = simulate_ptpol(
+            trace, "ptrepl", config=config, trigger=4, driver_trace=streamed
+        )
+        assert tally_a.to_dict() == tally_b.to_dict()
+        assert tally_a.walks > 0
+        assert result_a.stall_ns == result_b.stall_ns
+        assert result_a.extra == result_b.extra
