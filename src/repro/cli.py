@@ -398,10 +398,16 @@ def cmd_tracesim(args: argparse.Namespace) -> int:
                      r.overhead_ns / 1e9,
                      r.migrations + r.replications + r.collapses]
                 )
+            if args.competitive:
+                r = sim.simulate_competitive(user)
+                rows.append(
+                    [r.label, r.local_fraction * 100, r.stall_ns / 1e9,
+                     r.overhead_ns / 1e9,
+                     r.migrations + r.replications + r.collapses]
+                )
             title = f"{args.workload}: six policies (Figure 6 methodology)"
     except ConfigurationError as exc:
-        # e.g. --engine vector with --trace-out: the vector engine
-        # cannot emit per-event decision traces.
+        # e.g. a malformed $REPRO_REPLAY_ENGINE value.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -487,7 +493,7 @@ def cmd_ptsim(args: argparse.Namespace) -> int:
                 ]
             )
     except ConfigurationError as exc:
-        # e.g. --engine vector: the PT policies are scalar-only.
+        # e.g. a malformed $REPRO_REPLAY_ENGINE value.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -1585,8 +1591,8 @@ def _add_engine_option(parser: argparse.ArgumentParser) -> None:
         "--engine", choices=("auto", "scalar", "vector"), default=None,
         help=(
             "dynamic-replay engine (default: $REPRO_REPLAY_ENGINE or "
-            "auto; auto = vectorized unless a tracer needs per-event "
-            "emission)"
+            "auto; auto = vectorized on every path, tracing included — "
+            "scalar pins the byte-identical reference core)"
         ),
     )
 
@@ -1741,6 +1747,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-misses", action="store_true",
         help="also record every serviced miss in the log (large!); "
         "lets 'repro analyze' attribute stall time byte-exactly",
+    )
+    p.add_argument(
+        "--competitive", action="store_true",
+        help="add the Black-Gupta-Weber competitive strategy as a "
+        "related-work baseline row (Section 2 comparator)",
     )
     _add_engine_option(p)
     _add_profile_option(p)

@@ -157,18 +157,16 @@ def execute_spec(
     stream = trace.kernel_only() if spec.kernel_trace else trace.user_only()
     label = POLICY_LABELS[spec.policy]
     if spec.pt_policy:
-        # Page-table policies are scalar-only (no vectorized twin), so
-        # the engine is pinned rather than inherited from
-        # $REPRO_REPLAY_ENGINE — a vector-engined sweep can still run
-        # its PT cells, and there is no identity concern because no
-        # second engine exists to diverge from.
+        # Page-table policies inherit the engine like every other cell:
+        # the vectorized PT twin (repro.ptpol.fastpath) is
+        # byte-identical to the scalar core, so sweeps mix engines
+        # freely without invalidating cached results.
         from repro.ptpol import PtPolicySimulator
 
         pt_sim = PtPolicySimulator(
             PolicySimConfig(
                 n_cpus=workload_spec.n_cpus,
                 n_nodes=workload_spec.n_nodes,
-                engine="scalar",
             )
         )
         return pt_sim.simulate(stream, spec.params(), label=label)

@@ -54,8 +54,8 @@ SYSTEM_POLICIES = ("ft", "migrep")
 FIG6_POLICIES = ("rr", "ft", "pf", "migr", "repl", "migrep")
 
 #: The page-table policy family (:mod:`repro.ptpol`): replayed with the
-#: walk-cost model, scalar-only, compared among themselves (their run
-#: times include walk stall the six paper policies do not model).
+#: walk-cost model on either engine, compared among themselves (their
+#: run times include walk stall the six paper policies do not model).
 PT_TRACE_POLICIES = ("ptft", "ptmigr", "ptrepl", "coplace")
 
 TRACE_POLICIES = FIG6_POLICIES + PT_TRACE_POLICIES

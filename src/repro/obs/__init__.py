@@ -8,6 +8,8 @@ same attribution power at runtime:
 * :mod:`repro.obs.events` — the typed event taxonomy;
 * :mod:`repro.obs.tracer` — a zero-cost-when-disabled tracer with a
   bounded ring buffer and pluggable sinks;
+* :mod:`repro.obs.batch` — the order-restoring emission buffer the
+  vectorized replay engines trace through;
 * :mod:`repro.obs.registry` — the metrics namespace the machine, kernel
   and policy layers register into;
 * :mod:`repro.obs.export` — JSONL, Chrome trace-event and plain-text
@@ -118,6 +120,11 @@ from repro.obs.tracer import (
     Tracer,
     as_tracer,
 )
+from repro.obs.batch import (
+    DATA_REPLAY_PHASES,
+    PT_REPLAY_PHASES,
+    BatchEmitter,
+)
 
 __all__ = [
     "ALL_KINDS",
@@ -198,4 +205,7 @@ __all__ = [
     "Sink",
     "Tracer",
     "as_tracer",
+    "BatchEmitter",
+    "DATA_REPLAY_PHASES",
+    "PT_REPLAY_PHASES",
 ]

@@ -21,7 +21,7 @@ event                     emitted when
 :class:`ShootdownEvent`   a TLB flush round is issued
 :class:`IntervalReset`    a reset interval expires and counters are cleared
 :class:`TriggerAdjusted`  the adaptive controller moves the trigger threshold
-:class:`EngineFallback`   engine=auto downgrades to the scalar replay core
+:class:`EngineFallback`   (historical) engine=auto downgraded to scalar
 :class:`PtReplicate`      a page-table page gains a replica on a node
 :class:`ThreadMigrate`    the co-placement policy re-homes a thread
 :class:`SpanEvent`        a profiler span closes (wall-clock, not simulated)
@@ -182,13 +182,13 @@ class TriggerAdjusted(TraceEvent):
 
 @dataclass(frozen=True)
 class EngineFallback(TraceEvent):
-    """``engine="auto"`` fell back to the scalar replay core.
+    """``engine="auto"`` fell back to the scalar replay core (historical).
 
-    A warning-level event in the :class:`TriggerAdjusted` mould: the
-    caller asked for automatic engine selection, a live tracer forced
-    the scalar core (only it emits per-event decisions), and the choice
-    is recorded instead of staying silent.  Mirrored by the
-    ``replay.engine.fallback`` counter.
+    Current runs never emit this: the vector engine traces through the
+    batched emitter (:mod:`repro.obs.batch`), so ``auto`` always picks
+    it and the ``replay.engine.fallback`` counter stays at zero.  The
+    event type is kept so logs written before the vector engine covered
+    tracing still parse and analyze.
     """
 
     requested: str = "auto"

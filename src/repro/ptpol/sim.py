@@ -118,12 +118,395 @@ def params_for_pt_policy(policy: str, trigger: int = 128) -> PolicyParameters:
     )
 
 
+class _PtReplayState:
+    """The PT-policy replay state machine, shared by both engines.
+
+    Holds every piece of mutable replay state — data-page copies and
+    counters, the CPU->node map (mutable, so thread re-homing sticks),
+    the replica table, walk counters, the pending action queues and the
+    per-interval demand/maintenance structures — plus the action
+    handlers that mutate it.  The scalar core drives it one merged
+    record at a time (:meth:`drain` / :meth:`reset` / :meth:`process`);
+    the vector engine (:mod:`repro.ptpol.fastpath`) drives the same
+    object per interval segment, bulk-accounting cold records and
+    sub-replaying hot candidates through :meth:`process`, so every
+    policy action runs through one implementation.
+
+    Two hooks exist only for the vector engine and are inert under the
+    scalar loop:
+
+    * ``em`` — the :class:`~repro.obs.batch.BatchEmitter` the engine
+      traces through (``tracer`` is then the same object);
+    * ``key_of`` — maps an action's due time to its ``(index,
+      data_phase, pt_phase)`` emission key: the global index of the
+      record the scalar core would drain it on.  When set,
+      :meth:`drain` also *interleaves* the two pending queues by that
+      record index (data before PT at the same record), reproducing
+      the scalar core's per-record drain order even though the engine
+      only drains at hot events and segment boundaries.
+    """
+
+    def __init__(self, sim: "PtPolicySimulator", params, result) -> None:
+        # Data-page state, exactly as in _replay_dynamic — except the
+        # CPU->node map is a mutable list so thread re-homing sticks.
+        from repro.machine.directory import MissCounterBank
+
+        cfg = sim.config
+        self.cfg = cfg
+        self.costs = sim.costs
+        self.params = params
+        self.result = result
+        self.tally = sim.tally = PtTally()
+        self.ptrep = sim.replicas = PtReplicaTable()
+        self.copies: Dict[int, Set[int]] = {}
+        self.bank = MissCounterBank(cfg.n_cpus)
+        self.armed: Set[int] = set()
+        self.cpu_node = [cfg.node_of_cpu(c) for c in range(cfg.n_cpus)]
+        self.cpus_per_node = cfg.n_cpus // cfg.n_nodes
+        self.span = cfg.pt_span_pages
+        self.local_ns, self.remote_ns = cfg.local_ns, cfg.remote_ns
+        self.walk_local_ns = cfg.pt_walk_local_ns
+        self.walk_remote_ns = cfg.pt_walk_remote_ns
+        self.op_cost = cfg.op_cost_ns
+        self.data_dynamic = (
+            params.enable_migration or params.enable_replication
+        )
+        self.pt_dynamic = params.enable_pt_replication
+        self.coplace = params.enable_thread_migration
+        self.trigger = params.trigger_threshold
+        self.pt_trigger = params.pt_trigger_threshold
+        self.next_reset = params.reset_interval_ns
+        self.interval_index = 0
+        self.local_stall = 0.0
+        self.walk_stall = 0.0
+        self.local_walk_stall = 0.0
+        self.update_cost = 0.0
+        self.shootdown_cost = 0.0
+        self.pending: deque = deque()     # (due, page, cpu) data hot pages
+        self.pt_pending: deque = deque()  # (due, leaf, node, cpu, pid, walks)
+        self.pt_armed: Set[Tuple[int, int]] = set()
+        self.walk_bank: Dict[Tuple[int, int], int] = {}  # (leaf, node)
+        # Per-interval demand/maintenance state for the arbitration.
+        self.data_demand: Dict[Tuple[int, int], int] = {}  # (pid, node)
+        self.leaf_writes: Dict[int, int] = {}          # leaf -> PT writes
+        self.thread_moves: Dict[int, int] = {}         # pid -> re-homings
+        self.mapped: Set[int] = set()                  # pages with a PTE
+        self.tracer = sim.tracer
+        self.trace_on = sim.tracer.active
+        self.emit_miss = sim.tracer.wants(MissServiced.KIND)
+        self.em = None
+        self.key_of = None
+
+    # -- action handlers -----------------------------------------------------------
+
+    def pt_write(self, leaf: int) -> None:
+        """Charge a PT write's propagation to every standing replica.
+
+        Counted in ``leaf_writes`` even when no replica stands yet —
+        that running count is what the arbitration uses to estimate
+        the propagation tax a *new* replica would start paying.
+        """
+        self.leaf_writes[leaf] = self.leaf_writes.get(leaf, 0) + 1
+        replicas = self.ptrep.replica_count(leaf) - 1
+        if replicas <= 0:
+            return
+        cost = replicas * self.costs.pt_update_ns
+        self.result.overhead_ns += cost
+        self.update_cost += cost
+        self.tally.pt_updates += replicas
+
+    def act(self, now: int, page: int, cpu: int) -> None:
+        before = self.result.migrations
+        _pager_act(
+            now, page, cpu, self.copies, self.bank, self.armed,
+            self.result, self.params, self.cpu_node, self.op_cost,
+            self.tracer, self.trace_on,
+        )
+        if self.result.migrations > before:
+            # A migration rewrites the page's mapping: the write
+            # propagates to every replica of its PT page.
+            self.pt_write(page // self.span)
+
+    def pt_act(
+        self, now: int, leaf: int, node: int, cpu: int, pid: int, walks: int
+    ) -> None:
+        """Resolve one walk trigger: replicate the PT page or move the
+        thread."""
+        costs = self.costs
+        result = self.result
+        tally = self.tally
+        ptrep = self.ptrep
+        self.pt_armed.discard((leaf, node))
+        if ptrep.holds(leaf, node):
+            return  # raced: the node gained a replica while pending
+        home = ptrep.home_of(leaf)
+        reason = "walk-trigger"
+        if self.coplace:
+            tally.arbitrations += 1
+            # Price the alternatives over the current interval's
+            # demand, keyed by *serving* node.  Re-homing the
+            # thread makes its walks of this PT page local for free
+            # and flips its data locality: misses served from the
+            # PT page's home node turn local, misses served from
+            # the thread's current node turn remote — so the data
+            # term can be a net benefit (a negative cost) when the
+            # thread's data already lives with its page table.
+            # Replication makes walks local at a construction +
+            # flush cost plus the standing per-write propagation
+            # tax observed on this PT page so far this interval.
+            served_here = self.data_demand.get((pid, node), 0)
+            served_home = self.data_demand.get((pid, home), 0)
+            thread_cost = costs.thread_migrate_ns + (
+                (served_here - served_home) * (self.remote_ns - self.local_ns)
+            )
+            pt_cost = (
+                costs.pt_replicate_ns
+                + costs.shootdown_ns(self.cpus_per_node)
+                + self.leaf_writes.get(leaf, 0) * costs.pt_update_ns
+            )
+            if (
+                thread_cost < pt_cost
+                and self.thread_moves.get(pid, 0)
+                < self.params.max_thread_migrations
+            ):
+                self.thread_moves[pid] = self.thread_moves.get(pid, 0) + 1
+                self.cpu_node[cpu] = home
+                result.overhead_ns += costs.thread_migrate_ns
+                tally.thread_migrations += 1
+                if self.trace_on:
+                    self.tracer.emit(
+                        ThreadMigrate(
+                            t=now, process=pid, cpu=cpu, src=node,
+                            dst=home, reason="cheaper-than-pt-replica",
+                            latency_ns=float(costs.thread_migrate_ns),
+                        )
+                    )
+                return
+            reason = "pt-replica-cheaper" if thread_cost >= pt_cost \
+                else "thread-migrations-capped"
+        ptrep.add_replica(leaf, node)
+        flush = costs.shootdown_ns(self.cpus_per_node)
+        result.overhead_ns += costs.pt_replicate_ns + flush
+        self.shootdown_cost += flush
+        tally.pt_replications += 1
+        tally.pt_shootdowns += 1
+        if self.trace_on:
+            self.tracer.emit(
+                PtReplicate(
+                    t=now, process=pid, cpu=cpu, pt_page=leaf,
+                    node=node, src=home, walks=walks, reason=reason,
+                    latency_ns=float(costs.pt_replicate_ns),
+                )
+            )
+            self.tracer.emit(
+                ShootdownEvent(
+                    t=now, origin_cpu=cpu, mode="pt-root",
+                    cpus_flushed=self.cpus_per_node, frames=1,
+                    cost_ns=float(flush),
+                )
+            )
+
+    # -- the replay loop pieces ----------------------------------------------------
+
+    def drain(self, upto: Optional[int]) -> None:
+        pending, pt_pending = self.pending, self.pt_pending
+        key_of = self.key_of
+        if key_of is None:
+            # Scalar loop: called at every record, so every due action
+            # lands on this record — the data queue first, then PT.
+            while pending and (upto is None or pending[0][0] <= upto):
+                due, hot_page, hot_cpu = pending.popleft()
+                self.act(due, hot_page, hot_cpu)
+            while pt_pending and (upto is None or pt_pending[0][0] <= upto):
+                due, leaf, node, cpu, pid, walks = pt_pending.popleft()
+                self.pt_act(due, leaf, node, cpu, pid, walks)
+            return
+        # Vector engine: a drain may span several records, so the two
+        # queues are interleaved by the record each action would drain
+        # on (data before PT at the same record) — PT actions re-home
+        # threads and grow replica tables, so a data action landing on
+        # a later record must run after them, as in the scalar core.
+        em = self.em
+        while True:
+            d_ok = bool(pending) and (upto is None or pending[0][0] <= upto)
+            p_ok = bool(pt_pending) and (
+                upto is None or pt_pending[0][0] <= upto
+            )
+            if not d_ok and not p_ok:
+                break
+            if d_ok and p_ok:
+                d_ok = key_of(pending[0][0])[0] \
+                    <= key_of(pt_pending[0][0])[0]
+            if d_ok:
+                due, hot_page, hot_cpu = pending.popleft()
+                if em is not None:
+                    key = key_of(due)
+                    em.index, em.phase = key[0], key[1]
+                self.act(due, hot_page, hot_cpu)
+            else:
+                due, leaf, node, cpu, pid, walks = pt_pending.popleft()
+                if em is not None:
+                    key = key_of(due)
+                    em.index, em.phase = key[0], key[2]
+                self.pt_act(due, leaf, node, cpu, pid, walks)
+        if em is not None:
+            em.phase = None
+
+    def reset(self, time: int) -> None:
+        """Expire the interval ending at ``time`` (the reset block)."""
+        self.drain(None)
+        if self.trace_on:
+            if self.em is not None:
+                self.em.index = self.key_of(None)[0]
+                self.em.phase = None
+            self.tracer.emit(
+                IntervalReset(
+                    t=time,
+                    index=self.interval_index,
+                    tracked_pages=self.bank.tracked_pages,
+                    triggers=self.result.hot_events,
+                )
+            )
+        self.interval_index += 1
+        self.bank.reset()
+        self.armed.clear()
+        self.walk_bank.clear()
+        self.pt_armed.clear()
+        self.data_demand.clear()
+        self.leaf_writes.clear()
+        self.thread_moves.clear()
+        while self.next_reset <= time:
+            self.next_reset += self.params.reset_interval_ns
+        if self.em is not None:
+            self.em.flush()
+
+    def process(
+        self, time, cpu, pid, page, weight, is_write, is_cost
+    ) -> None:
+        """One merged record through the policy state machine."""
+        result = self.result
+        tally = self.tally
+        ptrep = self.ptrep
+        node = self.cpu_node[cpu]
+        leaf = page // self.span
+        ptrep.observe(leaf, node)
+        if is_cost:
+            # -- a data miss: cost it, then maybe drive the data policy
+            page_copies = self.copies.get(page)
+            if page_copies is None:
+                page_copies = self.copies[page] = {node}
+            if page not in self.mapped:
+                self.mapped.add(page)
+                self.pt_write(leaf)  # a new mapping is a PT write
+            local = node in page_copies
+            result.total_misses += weight
+            if local:
+                result.local_misses += weight
+                result.stall_ns += weight * self.local_ns
+                self.local_stall += weight * self.local_ns
+            else:
+                result.stall_ns += weight * self.remote_ns
+            if self.coplace:
+                key = (pid, node if local else min(page_copies))
+                self.data_demand[key] = self.data_demand.get(key, 0) + weight
+            if self.emit_miss:
+                self.tracer.emit(
+                    MissServiced(
+                        t=time, cpu=cpu, page=page,
+                        node=node if local else min(page_copies),
+                        weight=weight,
+                        latency_ns=float(
+                            self.local_ns if local else self.remote_ns
+                        ),
+                        remote=not local, process=pid,
+                    )
+                )
+            if not self.data_dynamic:
+                return
+            count = self.bank.record(page, cpu, weight, is_write)
+            if count < self.trigger or page in self.armed:
+                return
+            if node in page_copies:
+                return  # hot but already local
+            result.hot_events += 1
+            self.armed.add(page)
+            if self.trace_on:
+                self.tracer.emit(
+                    HotPageTriggered(
+                        t=time, page=page, cpu=cpu, count=count,
+                        threshold=self.trigger,
+                    )
+                )
+            self.pending.append(
+                (time + self.cfg.decision_delay_ns, page, cpu)
+            )
+        else:
+            # -- a TLB miss: every one costs a page-table walk
+            walk_local = ptrep.holds(leaf, node)
+            tally.walks += weight
+            stall = weight * (
+                self.walk_local_ns if walk_local else self.walk_remote_ns
+            )
+            result.stall_ns += stall
+            self.walk_stall += stall
+            if walk_local:
+                tally.local_walks += weight
+                self.local_walk_stall += stall
+                self.local_stall += stall
+            if self.emit_miss:
+                self.tracer.emit(
+                    MissServiced(
+                        t=time, cpu=cpu, page=page,
+                        node=node if walk_local else ptrep.home_of(leaf),
+                        weight=weight,
+                        latency_ns=float(
+                            self.walk_local_ns if walk_local
+                            else self.walk_remote_ns
+                        ),
+                        remote=not walk_local, process=pid, walk=True,
+                    )
+                )
+            if not self.pt_dynamic or walk_local:
+                return
+            key = (leaf, node)
+            count = self.walk_bank.get(key, 0) + weight
+            self.walk_bank[key] = count
+            if count < self.pt_trigger or key in self.pt_armed:
+                return
+            tally.walk_triggers += 1
+            self.pt_armed.add(key)
+            self.pt_pending.append(
+                (time + self.cfg.decision_delay_ns, leaf, node, cpu, pid,
+                 count)
+            )
+
+    def finalize(self) -> None:
+        """Publish the run's PT-side aggregates into ``result.extra``."""
+        result = self.result
+        tally = self.tally
+        result.extra["local_stall_ns"] = self.local_stall
+        result.extra["pt_walks"] = float(tally.walks)
+        result.extra["pt_local_walks"] = float(tally.local_walks)
+        result.extra["pt_walk_stall_ns"] = self.walk_stall
+        result.extra["pt_local_walk_stall_ns"] = self.local_walk_stall
+        result.extra["pt_replications"] = float(tally.pt_replications)
+        result.extra["thread_migrations"] = float(tally.thread_migrations)
+        result.extra["pt_updates"] = float(tally.pt_updates)
+        result.extra["pt_update_cost_ns"] = self.update_cost
+        result.extra["pt_shootdowns"] = float(tally.pt_shootdowns)
+        result.extra["pt_shootdown_cost_ns"] = self.shootdown_cost
+
+
 class PtPolicySimulator(TracePolicySimulator):
     """Replay a trace under the page-table placement policies.
 
-    Scalar-only: the PT state machine is stateful per PT page *and* per
-    node and has no vectorized twin, so ``engine="vector"`` raises (use
-    ``--engine scalar``; ``"auto"`` picks the scalar core here).
+    Both engines run it: the scalar core drives :class:`_PtReplayState`
+    one merged record at a time, while ``engine="vector"`` — what
+    ``"auto"`` picks — replays interval segments through
+    :mod:`repro.ptpol.fastpath`, bulk-accounting cold misses and walks
+    and sub-replaying the hot candidates through the very same state
+    machine.  Results and event logs are byte-identical between the
+    two.
     """
 
     def __init__(
@@ -160,20 +543,19 @@ class PtPolicySimulator(TracePolicySimulator):
         in :meth:`simulate_dynamic`.
         """
         cfg = self.config
-        if cfg.engine == "vector":
-            raise ConfigurationError(
-                "the PT policies are scalar-only (stateful per-PT-page "
-                "walk counters have no vectorized twin); re-run with "
-                "--engine scalar (or REPRO_REPLAY_ENGINE=scalar, or "
-                "engine 'auto', which picks the scalar core here)"
-            )
+        engine = self._resolve_engine("ptpol")
         if driver_trace is None:
             driver_trace = derive_tlb_trace(trace, n_cpus=cfg.n_cpus)
         result = PolicySimResult(label=label or self._pt_label(params))
         self._emit_run_meta(result.label, params, pt=True)
         n_events = len(trace) + len(driver_trace)
         with self.profiler.span("replay.ptpol", items=n_events):
-            self._replay_pt(trace, driver_trace, params, result)
+            if engine == "vector":
+                from repro.ptpol.fastpath import replay_pt_vector
+
+                replay_pt_vector(self, trace, driver_trace, params, result)
+            else:
+                self._replay_pt(trace, driver_trace, params, result)
         if self.metrics is not None:
             self._register_metrics()
         return result
@@ -187,282 +569,17 @@ class PtPolicySimulator(TracePolicySimulator):
         params: PolicyParameters,
         result: PolicySimResult,
     ) -> None:
-        cfg = self.config
-        costs = self.costs
-        tally = self.tally = PtTally()
-        ptrep = self.replicas = PtReplicaTable()
-        # Data-page state, exactly as in _replay_dynamic — except the
-        # CPU->node map is a mutable list so thread re-homing sticks.
-        from repro.machine.directory import MissCounterBank
-
-        copies: Dict[int, Set[int]] = {}
-        bank = MissCounterBank(cfg.n_cpus)
-        armed: Set[int] = set()
-        cpu_node = [cfg.node_of_cpu(c) for c in range(cfg.n_cpus)]
-        cpus_per_node = cfg.n_cpus // cfg.n_nodes
-        span = cfg.pt_span_pages
-        local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
-        walk_local_ns = cfg.pt_walk_local_ns
-        walk_remote_ns = cfg.pt_walk_remote_ns
-        op_cost = cfg.op_cost_ns
-        data_dynamic = params.enable_migration or params.enable_replication
-        pt_dynamic = params.enable_pt_replication
-        coplace = params.enable_thread_migration
-        trigger = params.trigger_threshold
-        pt_trigger = params.pt_trigger_threshold
-        next_reset = params.reset_interval_ns
-        interval_index = 0
-        local_stall = 0.0
-        walk_stall = 0.0
-        local_walk_stall = 0.0
-        update_cost = 0.0
-        shootdown_cost = 0.0
-        pending: deque = deque()     # (due, page, cpu) data hot pages
-        pt_pending: deque = deque()  # (due, leaf, node, cpu, pid, walks)
-        pt_armed: Set[Tuple[int, int]] = set()
-        walk_bank: Dict[Tuple[int, int], int] = {}  # (leaf, node) -> walks
-        # Per-interval demand/maintenance state for the arbitration.
-        data_demand: Dict[Tuple[int, int], int] = {}  # (pid, serving node)
-        leaf_writes: Dict[int, int] = {}              # leaf -> PT writes
-        thread_moves: Dict[int, int] = {}             # pid -> re-homings
-        mapped: Set[int] = set()                      # data pages with a PTE
-        tracer = self.tracer
-        trace_on = tracer.active
-        emit_miss = tracer.wants(MissServiced.KIND)
-
-        def pt_write(leaf: int) -> None:
-            """Charge a PT write's propagation to every standing replica.
-
-            Counted in ``leaf_writes`` even when no replica stands yet —
-            that running count is what the arbitration uses to estimate
-            the propagation tax a *new* replica would start paying.
-            """
-            nonlocal update_cost
-            leaf_writes[leaf] = leaf_writes.get(leaf, 0) + 1
-            replicas = ptrep.replica_count(leaf) - 1
-            if replicas <= 0:
-                return
-            cost = replicas * costs.pt_update_ns
-            result.overhead_ns += cost
-            update_cost += cost
-            tally.pt_updates += replicas
-
-        def act(now: int, page: int, cpu: int) -> None:
-            before = result.migrations
-            _pager_act(
-                now, page, cpu, copies, bank, armed, result, params,
-                cpu_node, op_cost, tracer, trace_on,
-            )
-            if result.migrations > before:
-                # A migration rewrites the page's mapping: the write
-                # propagates to every replica of its PT page.
-                pt_write(page // span)
-
-        def pt_act(
-            now: int, leaf: int, node: int, cpu: int, pid: int, walks: int
-        ) -> None:
-            """Resolve one walk trigger: replicate the PT page or move
-            the thread."""
-            nonlocal shootdown_cost
-            pt_armed.discard((leaf, node))
-            if ptrep.holds(leaf, node):
-                return  # raced: the node gained a replica while pending
-            home = ptrep.home_of(leaf)
-            reason = "walk-trigger"
-            if coplace:
-                tally.arbitrations += 1
-                # Price the alternatives over the current interval's
-                # demand, keyed by *serving* node.  Re-homing the
-                # thread makes its walks of this PT page local for free
-                # and flips its data locality: misses served from the
-                # PT page's home node turn local, misses served from
-                # the thread's current node turn remote — so the data
-                # term can be a net benefit (a negative cost) when the
-                # thread's data already lives with its page table.
-                # Replication makes walks local at a construction +
-                # flush cost plus the standing per-write propagation
-                # tax observed on this PT page so far this interval.
-                served_here = data_demand.get((pid, node), 0)
-                served_home = data_demand.get((pid, home), 0)
-                thread_cost = costs.thread_migrate_ns + (
-                    (served_here - served_home) * (remote_ns - local_ns)
-                )
-                pt_cost = (
-                    costs.pt_replicate_ns
-                    + costs.shootdown_ns(cpus_per_node)
-                    + leaf_writes.get(leaf, 0) * costs.pt_update_ns
-                )
-                if (
-                    thread_cost < pt_cost
-                    and thread_moves.get(pid, 0) < params.max_thread_migrations
-                ):
-                    thread_moves[pid] = thread_moves.get(pid, 0) + 1
-                    cpu_node[cpu] = home
-                    result.overhead_ns += costs.thread_migrate_ns
-                    tally.thread_migrations += 1
-                    if trace_on:
-                        tracer.emit(
-                            ThreadMigrate(
-                                t=now, process=pid, cpu=cpu, src=node,
-                                dst=home, reason="cheaper-than-pt-replica",
-                                latency_ns=float(costs.thread_migrate_ns),
-                            )
-                        )
-                    return
-                reason = "pt-replica-cheaper" if thread_cost >= pt_cost \
-                    else "thread-migrations-capped"
-            ptrep.add_replica(leaf, node)
-            flush = costs.shootdown_ns(cpus_per_node)
-            result.overhead_ns += costs.pt_replicate_ns + flush
-            shootdown_cost += flush
-            tally.pt_replications += 1
-            tally.pt_shootdowns += 1
-            if trace_on:
-                tracer.emit(
-                    PtReplicate(
-                        t=now, process=pid, cpu=cpu, pt_page=leaf,
-                        node=node, src=home, walks=walks, reason=reason,
-                        latency_ns=float(costs.pt_replicate_ns),
-                    )
-                )
-                tracer.emit(
-                    ShootdownEvent(
-                        t=now, origin_cpu=cpu, mode="pt-root",
-                        cpus_flushed=cpus_per_node, frames=1,
-                        cost_ns=float(flush),
-                    )
-                )
-
-        def drain(upto: Optional[int]) -> None:
-            while pending and (upto is None or pending[0][0] <= upto):
-                due, hot_page, hot_cpu = pending.popleft()
-                act(due, hot_page, hot_cpu)
-            while pt_pending and (upto is None or pt_pending[0][0] <= upto):
-                due, leaf, node, cpu, pid, walks = pt_pending.popleft()
-                pt_act(due, leaf, node, cpu, pid, walks)
-
+        """The scalar core: one merged record at a time, in order."""
+        st = _PtReplayState(self, params, result)
         for time, cpu, pid, page, weight, is_write, is_cost in (
             self._merged_process_events(trace, driver)
         ):
-            drain(time)
-            if time >= next_reset:
-                drain(None)
-                if trace_on:
-                    tracer.emit(
-                        IntervalReset(
-                            t=time,
-                            index=interval_index,
-                            tracked_pages=bank.tracked_pages,
-                            triggers=result.hot_events,
-                        )
-                    )
-                interval_index += 1
-                bank.reset()
-                armed.clear()
-                walk_bank.clear()
-                pt_armed.clear()
-                data_demand.clear()
-                leaf_writes.clear()
-                thread_moves.clear()
-                while next_reset <= time:
-                    next_reset += params.reset_interval_ns
-            node = cpu_node[cpu]
-            leaf = page // span
-            ptrep.observe(leaf, node)
-            if is_cost:
-                # -- a data miss: cost it, then maybe drive the data policy
-                page_copies = copies.get(page)
-                if page_copies is None:
-                    page_copies = copies[page] = {node}
-                if page not in mapped:
-                    mapped.add(page)
-                    pt_write(leaf)  # a new mapping is a PT write
-                local = node in page_copies
-                result.total_misses += weight
-                if local:
-                    result.local_misses += weight
-                    result.stall_ns += weight * local_ns
-                    local_stall += weight * local_ns
-                else:
-                    result.stall_ns += weight * remote_ns
-                if coplace:
-                    key = (pid, node if local else min(page_copies))
-                    data_demand[key] = data_demand.get(key, 0) + weight
-                if emit_miss:
-                    tracer.emit(
-                        MissServiced(
-                            t=time, cpu=cpu, page=page,
-                            node=node if local else min(page_copies),
-                            weight=weight,
-                            latency_ns=float(local_ns if local else remote_ns),
-                            remote=not local, process=pid,
-                        )
-                    )
-                if not data_dynamic:
-                    continue
-                count = bank.record(page, cpu, weight, is_write)
-                if count < trigger or page in armed:
-                    continue
-                if node in page_copies:
-                    continue  # hot but already local
-                result.hot_events += 1
-                armed.add(page)
-                if trace_on:
-                    tracer.emit(
-                        HotPageTriggered(
-                            t=time, page=page, cpu=cpu, count=count,
-                            threshold=trigger,
-                        )
-                    )
-                pending.append((time + cfg.decision_delay_ns, page, cpu))
-            else:
-                # -- a TLB miss: every one costs a page-table walk
-                walk_local = ptrep.holds(leaf, node)
-                tally.walks += weight
-                stall = weight * (walk_local_ns if walk_local else walk_remote_ns)
-                result.stall_ns += stall
-                walk_stall += stall
-                if walk_local:
-                    tally.local_walks += weight
-                    local_walk_stall += stall
-                    local_stall += stall
-                if emit_miss:
-                    tracer.emit(
-                        MissServiced(
-                            t=time, cpu=cpu, page=page,
-                            node=node if walk_local else ptrep.home_of(leaf),
-                            weight=weight,
-                            latency_ns=float(
-                                walk_local_ns if walk_local
-                                else walk_remote_ns
-                            ),
-                            remote=not walk_local, process=pid, walk=True,
-                        )
-                    )
-                if not pt_dynamic or walk_local:
-                    continue
-                key = (leaf, node)
-                count = walk_bank.get(key, 0) + weight
-                walk_bank[key] = count
-                if count < pt_trigger or key in pt_armed:
-                    continue
-                tally.walk_triggers += 1
-                pt_armed.add(key)
-                pt_pending.append(
-                    (time + cfg.decision_delay_ns, leaf, node, cpu, pid, count)
-                )
-        drain(None)
-        result.extra["local_stall_ns"] = local_stall
-        result.extra["pt_walks"] = float(tally.walks)
-        result.extra["pt_local_walks"] = float(tally.local_walks)
-        result.extra["pt_walk_stall_ns"] = walk_stall
-        result.extra["pt_local_walk_stall_ns"] = local_walk_stall
-        result.extra["pt_replications"] = float(tally.pt_replications)
-        result.extra["thread_migrations"] = float(tally.thread_migrations)
-        result.extra["pt_updates"] = float(tally.pt_updates)
-        result.extra["pt_update_cost_ns"] = update_cost
-        result.extra["pt_shootdowns"] = float(tally.pt_shootdowns)
-        result.extra["pt_shootdown_cost_ns"] = shootdown_cost
+            st.drain(time)
+            if time >= st.next_reset:
+                st.reset(time)
+            st.process(time, cpu, pid, page, weight, is_write, is_cost)
+        st.drain(None)
+        st.finalize()
 
     # -- helpers -------------------------------------------------------------------
 

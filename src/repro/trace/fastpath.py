@@ -37,14 +37,30 @@ addition is exact — so bulk sums reproduce the scalar engine's
 per-event float accumulation bit for bit, in any order.
 
 The public entry points are :func:`replay_dynamic_vector` (whole
-trace, optional merged TLB driver stream) and
-:func:`replay_chunks_vector` (streaming chunks; intervals spanning a
-chunk boundary carry bank/armed/pending state across, with cold
-counter sums written back to the bank in batch).  Results — the full
-:class:`~repro.trace.policysim.PolicySimResult`, including
-``extra["local_stall_ns"]`` — are byte-identical to the scalar engine;
-the differential suites in ``tests/trace/test_fastpath.py`` and
+trace, optional merged TLB driver stream), :func:`replay_chunks_vector`
+(streaming chunks; intervals spanning a chunk boundary carry
+bank/armed/pending state across, with cold counter sums written back to
+the bank in batch), :func:`replay_batches_vector` (pre-merged column
+batches, e.g. the streamed TLB-driver merge of
+:func:`repro.trace.tlbsim.merged_tlb_stream`) and
+:func:`replay_competitive_vector` (the [BGW89] competitive baseline).
+Results — the full :class:`~repro.trace.policysim.PolicySimResult`,
+including ``extra["local_stall_ns"]`` — are byte-identical to the
+scalar engine; the differential suites in
+``tests/trace/test_fastpath.py`` and
 ``tests/integration/test_engine_identity.py`` enforce it.
+
+An active tracer composes with the engine through
+:class:`repro.obs.batch.BatchEmitter`: emissions are buffered with
+their global stream index and flushed in scalar order at every interval
+reset, so traced vector runs produce the *same event sequence* as the
+scalar core.  Deferred pager actions are emitted at the index of the
+record the scalar core would drain them on (the first record whose
+timestamp reaches the due time); between that record and the point the
+vector engine actually executes the action only cold events can occur
+(a hot event at or past the due time would have drained it), and cold
+events never touch a candidate page's state — so the emitted decision
+contents match the scalar core's exactly, not just their order.
 """
 
 from __future__ import annotations
@@ -56,6 +72,13 @@ import numpy as np
 
 from repro.common.errors import TraceError
 from repro.machine.directory import MissCounterBank
+from repro.obs.batch import DATA_REPLAY_PHASES, BatchEmitter
+from repro.obs.events import (
+    CollapseEvent,
+    HotPageTriggered,
+    IntervalReset,
+    MissServiced,
+)
 from repro.obs.prof import as_profiler
 
 
@@ -70,6 +93,7 @@ class _VectorEngine:
         sampling_rate: int,
         placement: Optional[np.ndarray] = None,
         initial_kind: Optional[str] = None,
+        tracer=None,
     ) -> None:
         # Imported here (not at module top) because policysim imports
         # this module lazily from its dispatch path.
@@ -95,9 +119,25 @@ class _VectorEngine:
         self.pending: deque = deque()  # (due_time, page, cpu)
         self.copies: Dict[int, Set[int]] = {}   # materialized candidate sets
         self._dirty: Set[int] = set()           # sets newer than their mask
+        self._cold_tracked: Set[int] = set()    # traced-only cold page count
         self.carry = [0] * config.n_cpus        # sampling remainders per CPU
         self.cur_iid = 0
         self.local_stall = 0.0
+
+        # Batched emission: buffered with global stream indices, flushed
+        # in scalar order at every interval reset (see repro.obs.batch).
+        if tracer is not None and tracer.active:
+            self.em: Optional[BatchEmitter] = BatchEmitter(
+                tracer, DATA_REPLAY_PHASES
+            )
+            self.emit_miss = tracer.wants(MissServiced.KIND)
+        else:
+            self.em = None
+            self.emit_miss = False
+        self.gpos = 0               # global index of the next record
+        self.interval_index = 0
+        self._seg_times = None      # current segment's times (drain keys)
+        self._seg_gstart = 0
 
         if placement is not None:
             # Whole-trace mode: the initial placement array covers every
@@ -196,43 +236,86 @@ class _VectorEngine:
             s, e = bounds[si], bounds[si + 1]
             iid = int(iids[s])
             if iid != self.cur_iid:
-                self._interval_reset()
+                self._interval_reset(self.gpos + s, int(times[s]))
                 self.cur_iid = iid
             self._process_segment(
                 times[s:e], cpus[s:e], pages[s:e], weights[s:e],
                 iswrite[s:e], costmask[s:e], counted[s:e],
+                gstart=self.gpos + s,
                 writeback=streaming and si == last,
             )
+        self.gpos += n
 
     def finish(self) -> None:
         """Flush in-flight pager interrupts and finalise the result."""
-        self._flush_pending()
+        # Remaining interrupts fall due after the last record; the scalar
+        # core drains them after its loop, so they sort last (``gpos``).
+        self._flush_pending(self.gpos, None)
+        if self.em is not None:
+            self.em.flush()
         self.result.extra["local_stall_ns"] = self.local_stall
 
     # -- interval machinery ----------------------------------------------------
 
-    def _flush_pending(self) -> None:
+    def _flush_pending(self, at_gidx: int = 0, at_time=None) -> None:
         pending = self.pending
         act = self._act
         dirty = self._dirty
+        em = self.em
+        if em is None:
+            while pending:
+                due, page, cpu = pending.popleft()
+                dirty.add(page)
+                act(due, page, cpu)
+            return
+        # Traced: entries already due at the flush record drain there
+        # (phase 0, like any drained action); entries flushed before
+        # falling due sort after them (phase 1), before the reset event.
         while pending:
             due, page, cpu = pending.popleft()
             dirty.add(page)
+            em.index = at_gidx
+            em.phase = 0 if (at_time is None or due <= at_time) else 1
             act(due, page, cpu)
+        em.phase = None
 
-    def _interval_reset(self) -> None:
+    def _interval_reset(self, reset_gidx: int, reset_time: int) -> None:
         # Flush in-flight interrupts against pre-reset counters, write
         # any placement changes back to the masks, then start afresh.
-        self._flush_pending()
+        self._flush_pending(reset_gidx, reset_time)
         self._writeback_dirty()
+        em = self.em
+        if em is not None:
+            # Cold pages counted only by the set-aside (see the traced
+            # branch of step 4) join the bank's own page count; a page
+            # can sit in both when an interval spans a chunk boundary.
+            bank_get = self.bank.get
+            tracked = self.bank.tracked_pages + sum(
+                1 for p in self._cold_tracked if bank_get(p) is None
+            )
+            em.index = reset_gidx
+            em.phase = None
+            em.emit(
+                IntervalReset(
+                    t=reset_time,
+                    index=self.interval_index,
+                    tracked_pages=tracked,
+                    triggers=self.result.hot_events,
+                )
+            )
+        self.interval_index += 1
         self.bank.reset()
+        self._cold_tracked.clear()
         self.armed.clear()
+        if em is not None:
+            em.flush()
 
     def _act(self, now: int, page: int, cpu: int) -> None:
+        em = self.em
         self._pager_act(
             now, page, cpu, self.copies, self.bank, self.armed,
             self.result, self.params, self.node_list, self.op_cost,
-            None, False,
+            em, em is not None,
         )
 
     def _writeback_dirty(self) -> None:
@@ -281,11 +364,12 @@ class _VectorEngine:
 
     def _process_segment(
         self, times, cpus, pages, weights, iswrite, costmask, counted,
-        writeback: bool,
+        gstart: int, writeback: bool,
     ) -> None:
         result = self.result
         masks = self.masks
         n_cpus = self.n_cpus
+        em = self.em
 
         # 1. Hot-candidate detection.
         rec = counted > 0
@@ -338,11 +422,48 @@ class _VectorEngine:
                 local_w * self.local_ns + (total_w - local_w) * self.remote_ns
             )
             self.local_stall += float(local_w * self.local_ns)
+            if self.emit_miss:
+                # Cold placements are segment-constant, so the serving
+                # node is the placement node when local and the lowest
+                # replica node (min of the copy set) when remote —
+                # exactly the scalar core's MissServiced fields.
+                cold_pages = pages[cold_cost]
+                cmask = masks[cold_pages]
+                low = np.log2((cmask & -cmask).astype(np.float64)).astype(
+                    np.int64
+                )
+                is_local = local.astype(bool)
+                serving = np.where(
+                    is_local, self.node_arr[cpus[cold_cost]], low
+                )
+                idx_list = (gstart + np.flatnonzero(cold_cost)).tolist()
+                rows = zip(
+                    times[cold_cost].tolist(),
+                    cpus[cold_cost].tolist(),
+                    cold_pages.tolist(),
+                    cw.tolist(),
+                    serving.tolist(),
+                    is_local.tolist(),
+                )
+                lat_l, lat_r = float(self.local_ns), float(self.remote_ns)
+                em.phase = None
+                emit = em.emit
+                for j, (t, cpu, page, w, node, loc) in enumerate(rows):
+                    em.index = idx_list[j]
+                    emit(
+                        MissServiced(
+                            t=t, cpu=cpu, page=page, node=node, weight=w,
+                            latency_ns=lat_l if loc else lat_r,
+                            remote=not loc,
+                        )
+                    )
 
-        # 4. Streaming only: the interval may continue into the next
-        # chunk, so cold pages' counted sums must land in the bank (the
-        # next chunk's carries — and any act on a page that only later
-        # becomes a candidate — read them).
+        # 4. Streaming (and any traced run): the interval may continue
+        # into the next chunk, so cold pages' counted sums must land in
+        # the bank (the next chunk's carries — and any act on a page
+        # that only later becomes a candidate — read them).  Traced runs
+        # also need them so IntervalReset.tracked_pages matches the
+        # scalar core, which records every counted event.
         if writeback and have_pairs:
             cold_pair = ~flag[upages] if len(cand) else np.ones(len(upages), bool)
             if cold_pair.any():
@@ -369,6 +490,17 @@ class _VectorEngine:
                         add_writes = self.bank.add_writes
                         for page, s in zip(wu.tolist(), wsums.tolist()):
                             add_writes(page, s)
+        elif em is not None and have_pairs:
+            # Traced, non-streaming: the interval ends with this segment,
+            # so no later act or carry can read the cold counters — only
+            # ``IntervalReset.tracked_pages`` needs them.  Count the cold
+            # pages instead of materializing their counters (the scalar
+            # core tracks every counted page, hot or cold).
+            cold_pair = ~flag[upages] if len(cand) else np.ones(len(upages), bool)
+            if cold_pair.any():
+                self._cold_tracked.update(
+                    np.unique(upages[cold_pair]).tolist()
+                )
 
         if len(cand):
             flag[cand] = False
@@ -383,22 +515,48 @@ class _VectorEngine:
                 dirty.add(page)
             if hot.any():
                 idx = np.flatnonzero(hot)
+                self._seg_times = times
+                self._seg_gstart = gstart
                 self._replay_hot(
                     times[idx].tolist(), cpus[idx].tolist(),
                     pages[idx].tolist(), weights[idx].tolist(),
                     iswrite[idx].tolist(), costmask[idx].tolist(),
                     counted[idx].tolist(),
+                    (gstart + idx).tolist() if em is not None else None,
                 )
+            # Traced: drain every interrupt already due within this
+            # segment so no due-but-unresolved entry survives a segment
+            # boundary — its emission index is the first record whose
+            # timestamp reaches the due time, resolvable only while
+            # this segment's times are at hand.  (State-identical to
+            # the deferred drain: the skipped-over records are all cold
+            # and cold events never touch a candidate page.)
+            if em is not None and self.pending:
+                last_t = int(times[-1])
+                pending = self.pending
+                dirty = self._dirty
+                act = self._act
+                while pending and pending[0][0] <= last_t:
+                    due, page, cpu = pending.popleft()
+                    dirty.add(page)
+                    em.index = gstart + int(
+                        np.searchsorted(times, due, side="left")
+                    )
+                    em.phase = 0
+                    act(due, page, cpu)
+                em.phase = None
             # 6. Publish placement changes so the next segment's masks
             # (cold accounting + candidate detection) see them.
             self._writeback_dirty()
 
-    def _replay_hot(self, t, c, p, w, iw, cf, cn) -> None:
+    def _replay_hot(self, t, c, p, w, iw, cf, cn, gx=None) -> None:
         """The scalar core, over candidate-page events only.
 
         Mirrors ``policysim._replay_dynamic`` exactly — minus interval
         resets (segments never span one) and sampling (``cn`` holds the
         precomputed surviving weights) — and shares ``_pager_act``.
+        ``gx`` carries each event's global stream index for batched
+        emission (None when untraced).
         """
         result = self.result
         copies = self.copies
@@ -412,31 +570,69 @@ class _VectorEngine:
         delay = self.delay
         act = self._act
         record = bank.record
+        em = self.em
+        emit_miss = self.emit_miss
+        seg_times = self._seg_times
+        seg_gstart = self._seg_gstart
         for k in range(len(t)):
             time = t[k]
             while pending and pending[0][0] <= time:
                 due, hot_page, hot_cpu = pending.popleft()
+                if em is not None:
+                    # The scalar core drains this action at the first
+                    # record (of any temperature) whose time reaches the
+                    # due time — that record's index orders the emission.
+                    em.index = seg_gstart + int(
+                        np.searchsorted(seg_times, due, side="left")
+                    )
+                    em.phase = 0
                 act(due, hot_page, hot_cpu)
             page = p[k]
             cpu = c[k]
             page_copies = copies[page]
             node = node_list[cpu]
+            if em is not None:
+                em.index = gx[k]
+                em.phase = None
             if cf[k]:
                 weight = w[k]
                 if iw[k] and len(page_copies) > 1:
                     # A store to a replicated page: collapse.
                     keep = node if node in page_copies else min(page_copies)
+                    dropped = len(page_copies) - 1
                     page_copies.clear()
                     page_copies.add(keep)
                     result.collapses += 1
                     result.overhead_ns += op_cost
+                    if em is not None:
+                        em.emit(
+                            CollapseEvent(
+                                t=time, page=page, cpu=cpu,
+                                keep_node=int(keep),
+                                replicas_dropped=dropped,
+                                latency_ns=float(op_cost),
+                            )
+                        )
                 result.total_misses += weight
-                if node in page_copies:
+                local = node in page_copies
+                if local:
                     result.local_misses += weight
                     result.stall_ns += weight * local_ns
                     self.local_stall += weight * local_ns
                 else:
                     result.stall_ns += weight * remote_ns
+                if emit_miss:
+                    em.emit(
+                        MissServiced(
+                            t=time, cpu=cpu, page=page,
+                            node=int(node) if local else min(page_copies),
+                            weight=weight,
+                            latency_ns=float(
+                                local_ns if local else remote_ns
+                            ),
+                            remote=not local,
+                        )
+                    )
             cnt = cn[k]
             if cnt == 0:
                 continue
@@ -447,6 +643,13 @@ class _VectorEngine:
                 continue  # hot but already local
             result.hot_events += 1
             armed.add(page)
+            if em is not None:
+                em.emit(
+                    HotPageTriggered(
+                        t=time, page=page, cpu=cpu, count=count,
+                        threshold=trigger,
+                    )
+                )
             pending.append((time + delay, page, cpu))
 
 
@@ -462,6 +665,7 @@ def replay_dynamic_vector(
     sampling_rate: int = 1,
     driver_trace=None,
     profiler=None,
+    tracer=None,
 ) -> None:
     """Vectorized equivalent of the scalar whole-trace dynamic replay.
 
@@ -470,11 +674,14 @@ def replay_dynamic_vector(
     streams are merged by a stable sort — cost events win timestamp
     ties, exactly like the scalar two-pointer merge.  ``profiler``
     times the batch replay; spans touch no simulation state, so the
-    result stays byte-identical with profiling on.
+    result stays byte-identical with profiling on.  An active ``tracer``
+    receives the scalar core's exact event sequence via batched
+    emission.
     """
     prof = as_profiler(profiler)
     engine = _VectorEngine(
-        config, params, result, sampling_rate, placement=placement
+        config, params, result, sampling_rate, placement=placement,
+        tracer=tracer,
     )
     if driver_trace is None:
         n = len(trace)
@@ -516,23 +723,28 @@ def replay_chunks_vector(
     chunks,
     params,
     result,
-    initial_kind: str,
+    initial_kind: Optional[str],
     sampling_rate: int = 1,
     profiler=None,
+    tracer=None,
+    placement: Optional[np.ndarray] = None,
 ) -> None:
     """Vectorized streaming replay over time-ordered trace chunks.
 
     ``initial_kind`` is ``"ft"`` (first-touch) or ``"rr"``
-    (round-robin); post-facto needs the whole trace and is rejected by
-    the caller.  Bank counters, armed pages, pending interrupts and
-    sampling carries flow across chunk boundaries, so the streamed
-    result is byte-identical to the whole-trace replay.  ``profiler``
-    gets one ``replay.chunk`` span per chunk.
+    (round-robin), or ``None`` when ``placement`` supplies a full
+    initial placement array (the post-facto two-pass path: the caller
+    streams the chunks once to majority-count them, then replays here).
+    Bank counters, armed pages, pending interrupts and sampling carries
+    flow across chunk boundaries, so the streamed result is
+    byte-identical to the whole-trace replay.  ``profiler`` gets one
+    ``replay.chunk`` span per chunk.
     """
     prof = as_profiler(profiler)
     engine = _VectorEngine(
         config, params, result, sampling_rate,
-        placement=None, initial_kind=initial_kind,
+        placement=placement, initial_kind=initial_kind,
+        tracer=tracer,
     )
     for chunk in chunks:
         n = len(chunk)
@@ -543,3 +755,177 @@ def replay_chunks_vector(
                 chunk.is_write, ones, ones, streaming=True,
             )
     engine.finish()
+
+
+def replay_batches_vector(
+    config,
+    batches,
+    params,
+    result,
+    initial_kind: Optional[str],
+    sampling_rate: int = 1,
+    profiler=None,
+    tracer=None,
+    placement: Optional[np.ndarray] = None,
+) -> None:
+    """Vectorized streaming replay over pre-merged column batches.
+
+    Each batch is a ``(times, cpus, pages, weights, iswrite, costmask)``
+    tuple of aligned arrays — the shape
+    :func:`repro.trace.tlbsim.merged_tlb_stream` yields, where TLB-miss
+    driver events (``costmask`` False) are interleaved with the cost
+    stream in exact scalar merge order.  Driver events count toward
+    triggers but carry no stall; cost events do both.  ``initial_kind``
+    and ``placement`` behave as in :func:`replay_chunks_vector`.
+    """
+    prof = as_profiler(profiler)
+    engine = _VectorEngine(
+        config, params, result, sampling_rate,
+        placement=placement, initial_kind=initial_kind,
+        tracer=tracer,
+    )
+    for times, cpus, pages, weights, iswrite, costmask in batches:
+        with prof.span("replay.chunk", items=len(times)):
+            engine.run_batch(
+                times, cpus, pages, weights, iswrite,
+                costmask, ~costmask, streaming=True,
+            )
+    engine.finish()
+
+
+def replay_competitive_vector(
+    config,
+    trace,
+    result,
+    placement: np.ndarray,
+    core,
+    profiler=None,
+) -> None:
+    """Vectorized [BGW89]-style competitive replication baseline.
+
+    ``core`` is the shared scalar state machine
+    (``policysim._CompetitiveCore``); only events of *candidate* pages —
+    those whose per-(page, CPU) remote-miss weight sum can reach the
+    break-even watermark — go through it.  A non-candidate page can
+    never replicate (the watermark counter is bounded by that sum), so
+    its placement is constant and its stall reduces to masked sums
+    against the initial placement, exactly like the dynamic engine's
+    cold split.  Candidate pages replay *all* their events (reads and
+    writes: the written-set bookkeeping needs both).
+    """
+    prof = as_profiler(profiler)
+    times = trace.time_ns
+    cpus = trace.cpu
+    pages = trace.page
+    weights = trace.weight
+    iswrite = trace.is_write
+    n = len(times)
+    with prof.span("fastpath.competitive", items=n):
+        cpu_nodes = np.asarray(
+            [config.node_of_cpu(c) for c in range(config.n_cpus)],
+            dtype=np.int64,
+        )
+        remote = placement[pages] != cpu_nodes[cpus]
+        rsel = np.flatnonzero(remote)
+        if len(rsel):
+            keys = pages[rsel] * config.n_cpus + cpus[rsel]
+            u, inv = np.unique(keys, return_inverse=True)
+            sums = np.bincount(inv, weights=weights[rsel])
+            cand_pages = np.unique((u // config.n_cpus)[sums >= core.break_even])
+        else:
+            cand_pages = np.zeros(0, dtype=np.int64)
+        if len(cand_pages):
+            flag = np.zeros(len(placement), dtype=bool)
+            flag[cand_pages] = True
+            hot = flag[pages]
+        else:
+            hot = np.zeros(n, dtype=bool)
+
+        # Cold bulk: non-candidate pages keep their initial placement
+        # (no replication can fire, and collapses only drop replicas of
+        # replicated — hence candidate — pages).
+        cold = ~hot
+        cw = weights[cold]
+        if len(cw):
+            local = ~remote[cold]
+            total_w = int(cw.sum())
+            local_w = int((cw * local).sum())
+            result.total_misses += total_w
+            result.local_misses += local_w
+            result.stall_ns += float(
+                local_w * config.local_ns
+                + (total_w - local_w) * config.remote_ns
+            )
+            core.local_stall += float(local_w * config.local_ns)
+
+        # Hot: replay candidate pages' events, one page at a time.  The
+        # watermark machine's state (copies, written flag, per-CPU
+        # counters) is entirely per-page and every result field is an
+        # order-independent exact sum (integral addends below 2^53), so
+        # grouping by page is byte-identical to stream order — and lets
+        # the inner loop keep the whole state in locals instead of dict
+        # lookups per event.  This intentionally restates
+        # ``_CompetitiveCore.step``; the differential suites hold the
+        # two to byte identity.
+        if hot.any():
+            idx = np.flatnonzero(hot)
+            order = np.argsort(pages[idx], kind="stable")
+            idx = idx[order]
+            gpages = pages[idx]
+            bounds = np.flatnonzero(
+                np.r_[True, gpages[1:] != gpages[:-1], True]
+            )
+            ev_nodes = cpu_nodes[cpus[idx]].tolist()
+            ev_cpus = cpus[idx].tolist()
+            ev_w = weights[idx].tolist()
+            ev_iw = iswrite[idx].tolist()
+            break_even = core.break_even
+            local_ns = config.local_ns
+            remote_ns = config.remote_ns
+            op_cost = config.op_cost_ns
+            total_w = local_w = overhead = 0
+            collapses = migrations = replications = hot_events = 0
+            for g in range(len(bounds) - 1):
+                lo, hi = int(bounds[g]), int(bounds[g + 1])
+                page_copies = {int(placement[gpages[lo]])}
+                counts = [0] * config.n_cpus
+                written = False
+                for pos in range(lo, hi):
+                    node = ev_nodes[pos]
+                    weight = ev_w[pos]
+                    if ev_iw[pos]:
+                        written = True
+                        if len(page_copies) > 1:
+                            keep = (node if node in page_copies
+                                    else min(page_copies))
+                            page_copies = {keep}
+                            collapses += 1
+                            overhead += op_cost
+                    total_w += weight
+                    if node in page_copies:
+                        local_w += weight
+                        continue
+                    cpu = ev_cpus[pos]
+                    counts[cpu] += weight
+                    if counts[cpu] < break_even:
+                        continue
+                    hot_events += 1
+                    if written and len(page_copies) == 1:
+                        page_copies = {node}
+                        migrations += 1
+                    else:
+                        page_copies.add(node)
+                        replications += 1
+                    overhead += op_cost
+                    counts = [0] * config.n_cpus
+            result.total_misses += total_w
+            result.local_misses += local_w
+            result.stall_ns += float(
+                local_w * local_ns + (total_w - local_w) * remote_ns
+            )
+            core.local_stall += float(local_w * local_ns)
+            result.collapses += collapses
+            result.migrations += migrations
+            result.replications += replications
+            result.hot_events += hot_events
+            result.overhead_ns += overhead

@@ -28,7 +28,6 @@ from repro.common.units import US
 from repro.machine.directory import MissCounterBank, SamplingAccumulator
 from repro.obs.events import (
     CollapseEvent,
-    EngineFallback,
     HotPageTriggered,
     IntervalReset,
     MigrationDecision,
@@ -50,7 +49,7 @@ from repro.policy.placement import (
 )
 from repro.sim.results import RESULT_SCHEMA_VERSION, check_schema
 from repro.trace.record import Trace
-from repro.trace.tlbsim import derive_tlb_trace
+from repro.trace.tlbsim import derive_tlb_trace, merged_tlb_stream
 
 
 class StaticPolicy(enum.Enum):
@@ -109,11 +108,13 @@ class PolicySimConfig:
     engine: str = field(default_factory=_engine_from_env)
     """Dynamic-replay engine: ``"auto"``, ``"scalar"`` or ``"vector"``.
 
-    ``"vector"`` selects the segmented batch engine of
-    :mod:`repro.trace.fastpath` (byte-identical results, much faster);
+    ``"vector"`` selects the segmented batch engines of
+    :mod:`repro.trace.fastpath` and :mod:`repro.ptpol.fastpath`
+    (byte-identical results — event logs included, emitted through the
+    batched buffer of :mod:`repro.obs.batch` — and much faster);
     ``"auto"`` (the default, overridable via ``REPRO_REPLAY_ENGINE``)
-    uses it whenever no tracer needs per-event decision emission, and
-    falls back to the scalar core otherwise.
+    always picks the vector engine.  ``"scalar"`` pins the reference
+    core, mainly for the differential suites and for debugging.
     """
 
     def __post_init__(self) -> None:
@@ -330,6 +331,79 @@ def _pager_act(
             )
 
 
+class _CompetitiveCore:
+    """The [BGW89] competitive state machine, one event at a time.
+
+    The single copy of the watermark/migrate/replicate logic, shared by
+    the scalar loop and the vectorized engine's candidate sub-replay
+    (:func:`repro.trace.fastpath.replay_competitive_vector`) so the two
+    cannot drift.  Unlike the pager replay it needs no clock: no reset
+    interval, no decision delay — actions fire synchronously at the
+    event that crosses the break-even watermark.
+    """
+
+    __slots__ = (
+        "result", "placement", "cpu_nodes", "copies", "remote_counts",
+        "written", "break_even", "n_cpus", "local_ns", "remote_ns",
+        "op_cost", "local_stall",
+    )
+
+    def __init__(self, config, result, placement, cpu_nodes, break_even):
+        self.result = result
+        self.placement = placement
+        self.cpu_nodes = [int(n) for n in cpu_nodes]
+        self.copies: Dict[int, Set[int]] = {}
+        self.remote_counts: Dict[int, "np.ndarray"] = {}
+        self.written: Set[int] = set()
+        self.break_even = break_even
+        self.n_cpus = config.n_cpus
+        self.local_ns = config.local_ns
+        self.remote_ns = config.remote_ns
+        self.op_cost = config.op_cost_ns
+        self.local_stall = 0.0
+
+    def step(self, cpu: int, page: int, weight: int, is_write: bool) -> None:
+        result = self.result
+        page_copies = self.copies.get(page)
+        if page_copies is None:
+            page_copies = self.copies[page] = {int(self.placement[page])}
+        node = self.cpu_nodes[cpu]
+        if is_write:
+            self.written.add(page)
+            if len(page_copies) > 1:
+                keep = node if node in page_copies else min(page_copies)
+                page_copies.clear()
+                page_copies.add(keep)
+                result.collapses += 1
+                result.overhead_ns += self.op_cost
+        local = node in page_copies
+        result.total_misses += weight
+        if local:
+            result.local_misses += weight
+            result.stall_ns += weight * self.local_ns
+            self.local_stall += weight * self.local_ns
+            return
+        result.stall_ns += weight * self.remote_ns
+        counts = self.remote_counts.get(page)
+        if counts is None:
+            counts = self.remote_counts[page] = np.zeros(
+                self.n_cpus, dtype=np.int64
+            )
+        counts[cpu] += weight
+        if counts[cpu] < self.break_even:
+            return
+        result.hot_events += 1
+        if page in self.written and len(page_copies) == 1:
+            page_copies.clear()
+            page_copies.add(node)
+            result.migrations += 1
+        else:
+            page_copies.add(node)
+            result.replications += 1
+        result.overhead_ns += self.op_cost
+        counts[:] = 0
+
+
 class TracePolicySimulator:
     """Replay traces under static and dynamic placement policies."""
 
@@ -380,46 +454,26 @@ class TracePolicySimulator:
             )
         )
 
-    def _resolve_engine(self) -> str:
-        """Pick the dynamic-replay engine for this run.
+    def _resolve_engine(self, path: str = "dynamic") -> str:
+        """Pick the replay engine for this run.
 
-        ``auto`` uses the vectorized engine unless a tracer is active —
-        only the scalar core walks every event and can emit the
-        per-event decision stream.  Asking for ``vector`` explicitly
-        with a live tracer is a configuration error rather than a
-        silent downgrade.  The choice lands in the ``replay.engine.*``
-        counters when a metrics registry is attached; the auto->scalar
-        downgrade is additionally recorded as an explicit
-        :class:`~repro.obs.events.EngineFallback` warning event and a
-        ``replay.engine.fallback`` counter, never a silent choice.
+        Every replay path now has a vectorized twin, and an active
+        tracer composes with the vector engines through batched
+        emission (:mod:`repro.obs.batch`), so ``auto`` simply picks
+        ``vector`` — there is no tracer-driven fallback and no
+        vector+tracer error any more.  The choice lands in the
+        aggregate ``replay.engine.<engine>`` counter and the per-path
+        ``replay.engine.<path>.<engine>`` counter when a metrics
+        registry is attached (``path`` is ``"dynamic"``, ``"chunks"``
+        or ``"competitive"``; :mod:`repro.ptpol` counts under
+        ``"ptpol"``); the historical ``replay.engine.fallback`` counter
+        stays at zero.
         """
         engine = self.config.engine
-        if engine == "vector" and self.tracer.active:
-            raise ConfigurationError(
-                "engine 'vector' cannot emit per-event decision traces; "
-                "drop the tracer or use engine 'scalar' or 'auto'"
-            )
-        if engine == "auto":
-            choice = "scalar" if self.tracer.active else "vector"
-        else:
-            choice = engine
-        fell_back = engine == "auto" and choice == "scalar"
+        choice = "vector" if engine == "auto" else engine
         if self.metrics is not None:
             self.metrics.counter(f"replay.engine.{choice}").inc()
-            if fell_back:
-                self.metrics.counter("replay.engine.fallback").inc()
-        if fell_back and self.tracer.wants(EngineFallback.KIND):
-            # The fallback only ever fires under an active tracer, so the
-            # warning lands in the very decision log that caused it.
-            self.tracer.emit(
-                EngineFallback(
-                    t=0,
-                    requested="auto",
-                    chosen="scalar",
-                    reason="active tracer needs per-event decision "
-                           "emission; only the scalar core provides it",
-                )
-            )
+            self.metrics.counter(f"replay.engine.{path}.{choice}").inc()
         return choice
 
     # -- static policies ----------------------------------------------------------
@@ -517,7 +571,7 @@ class TracePolicySimulator:
         n_events = len(trace) + (len(driver_trace) if driver_trace is not None else 0)
 
         self._emit_run_meta(result.label, params)
-        engine = self._resolve_engine()
+        engine = self._resolve_engine("dynamic")
         with profiler.span("replay.dynamic", items=n_events):
             if engine == "vector":
                 from repro.trace import fastpath
@@ -528,6 +582,7 @@ class TracePolicySimulator:
                         sampling_rate=metric.sampling_rate,
                         driver_trace=driver_trace,
                         profiler=profiler,
+                        tracer=self.tracer,
                     )
                 return result
 
@@ -555,70 +610,140 @@ class TracePolicySimulator:
     ) -> PolicySimResult:
         """Streaming dynamic replay over time-ordered trace chunks.
 
-        ``chunks`` is any iterator of time-ordered sub-traces — most
-        usefully a :meth:`repro.store.ContainerReader.iter_chunks`
-        stream, so a stored trace replays with peak memory bounded by
-        one chunk instead of the whole trace.  For a first-touch or
-        round-robin initial placement the streamed result is
-        byte-identical to :meth:`simulate_dynamic` over the
-        concatenated trace (first-touch placement only ever consults a
-        page's first toucher, which streaming observes directly);
-        post-facto initial placement and TLB-driven metrics need the
-        whole trace up front and raise.
+        ``chunks`` is a zero-argument callable returning a fresh
+        iterator of time-ordered sub-traces (a *chunk factory*), a
+        sequence of chunks, or a one-shot iterator — most usefully
+        ``lambda: reader.iter_chunks()`` over a
+        :class:`repro.store.ContainerReader`, so a stored trace replays
+        with peak memory bounded by one chunk instead of the whole
+        trace.  The streamed result is byte-identical to
+        :meth:`simulate_dynamic` over the concatenated trace for every
+        initial placement and metric: first-touch and round-robin
+        placements are derived on the fly, post-facto placement
+        majority-counts the stream in a first pass (so it needs a
+        factory or a sequence — a one-shot iterator raises), and
+        TLB-driven metrics derive and merge the TLB stream chunk by
+        chunk (:func:`repro.trace.tlbsim.merged_tlb_stream`).
         """
         cfg = self.config
-        if metric.uses_tlb:
-            raise ConfigurationError(
-                "streaming replay drives counters from the cache-miss "
-                "stream (FC/SC); TLB-driven metrics need the whole "
-                "trace — use simulate_dynamic"
-            )
+        if callable(chunks):
+            factory = chunks
+        elif isinstance(chunks, (list, tuple)):
+            chunk_seq = chunks
+            factory = lambda: iter(chunk_seq)  # noqa: E731
+        else:
+            factory = None  # one-shot iterator: single pass only
         if metric.sampling_rate > 1:
             params = params.scaled_for_sampling(metric.sampling_rate)
         result = PolicySimResult(label=label or self._default_label(params, metric))
         cpu_nodes = self._cpu_nodes
+        placement: Optional[np.ndarray] = None
         if initial is StaticPolicy.FIRST_TOUCH:
+            initial_kind: Optional[str] = "ft"
+
             def initial_node(page: int, cpu: int) -> int:
                 return int(cpu_nodes[cpu])
         elif initial is StaticPolicy.ROUND_ROBIN:
+            initial_kind = "rr"
             n_nodes = cfg.n_nodes
 
             def initial_node(page: int, cpu: int) -> int:
                 return int(page % n_nodes)
         else:
-            raise ConfigurationError(
-                "post-facto initial placement needs the whole trace; "
-                "use simulate_dynamic"
-            )
+            if factory is None:
+                raise ConfigurationError(
+                    "post-facto initial placement replays the stream "
+                    "twice; pass a chunk factory (a zero-argument "
+                    "callable returning a fresh iterator) or a "
+                    "sequence of chunks instead of a one-shot iterator"
+                )
+            initial_kind = None
+            placement = self._post_facto_from_chunks(factory)
+            pf_placement = placement
+
+            def initial_node(page: int, cpu: int) -> int:
+                return int(pf_placement[page])
+        stream = factory() if factory is not None else chunks
         profiler = self.profiler
         self._emit_run_meta(result.label, params)
-        engine = self._resolve_engine()
+        engine = self._resolve_engine("chunks")
         with profiler.span("replay.chunks") as run_span:
             if engine == "vector":
                 from repro.trace import fastpath
 
                 with profiler.span("engine.vector") as engine_span:
-                    fastpath.replay_chunks_vector(
-                        self.config, chunks, params, result,
-                        initial_kind=(
-                            "ft" if initial is StaticPolicy.FIRST_TOUCH
-                            else "rr"
-                        ),
-                        sampling_rate=metric.sampling_rate,
-                        profiler=profiler,
-                    )
+                    if metric.uses_tlb:
+                        fastpath.replay_batches_vector(
+                            self.config,
+                            merged_tlb_stream(stream, cfg.n_cpus),
+                            params, result,
+                            initial_kind=initial_kind,
+                            sampling_rate=metric.sampling_rate,
+                            profiler=profiler,
+                            tracer=self.tracer,
+                            placement=placement,
+                        )
+                    else:
+                        fastpath.replay_chunks_vector(
+                            self.config, stream, params, result,
+                            initial_kind=initial_kind,
+                            sampling_rate=metric.sampling_rate,
+                            profiler=profiler,
+                            tracer=self.tracer,
+                            placement=placement,
+                        )
                     engine_span.add_items(result.total_misses)
                 run_span.add_items(result.total_misses)
                 return result
+            if metric.uses_tlb:
+                events = self._batch_stream_events(
+                    merged_tlb_stream(stream, cfg.n_cpus), profiler
+                )
+            else:
+                events = self._chunk_stream_events(stream, profiler)
             with profiler.span("engine.scalar") as engine_span:
                 self._replay_dynamic(
-                    self._chunk_stream_events(chunks, profiler), params,
-                    result, initial_node,
+                    events, params, result, initial_node,
                     sampling_rate=metric.sampling_rate,
                 )
                 engine_span.add_items(result.total_misses)
             run_span.add_items(result.total_misses)
         return result
+
+    def _post_facto_from_chunks(self, factory) -> np.ndarray:
+        """Majority-count pass: post-facto placement from streamed chunks.
+
+        Reproduces :func:`repro.policy.placement.post_facto_placement`
+        over the concatenated stream without materializing it: per-page
+        per-node miss weights accumulate chunk by chunk into a flat
+        ``(page, node)`` table (float64 sums of integer weights — exact
+        below 2**53, like every other bulk sum in the vector engine).
+        """
+        cfg = self.config
+        n_nodes = cfg.n_nodes
+        cpu_nodes = self._cpu_nodes
+        counts = np.zeros(0, dtype=np.float64)
+        with self.profiler.span("replay.post-facto-count"):
+            for chunk in factory():
+                if not len(chunk):
+                    continue
+                pages = chunk.page
+                need = (int(pages.max()) + 1) * n_nodes
+                if need > len(counts):
+                    counts = np.concatenate(
+                        [counts, np.zeros(need - len(counts), dtype=np.float64)]
+                    )
+                keys = pages * n_nodes + cpu_nodes[chunk.cpu]
+                counts += np.bincount(
+                    keys, weights=chunk.weight, minlength=len(counts)
+                )
+        n_pages = len(counts) // n_nodes
+        placement = np.arange(max(n_pages, 1), dtype=np.int64) % max(n_nodes, 1)
+        if n_pages:
+            per_page = counts.reshape(n_pages, n_nodes)
+            touched = per_page.sum(axis=1) > 0
+            placement[touched] = per_page[touched].argmax(axis=1)
+        return placement
 
     def _replay_dynamic(
         self,
@@ -791,6 +916,26 @@ class TracePolicySimulator:
                     yield (row[0], row[1], row[2], row[3], row[4], True, True)
 
     @staticmethod
+    def _batch_stream_events(batches, profiler=None):
+        """Scalar 7-tuple events over pre-merged column batches.
+
+        Consumes the ``(times, cpus, pages, weights, is_write,
+        costmask)`` batches of
+        :func:`repro.trace.tlbsim.merged_tlb_stream`; equivalent to
+        :meth:`_merged_events` on the concatenated cost and driver
+        traces, with only one batch's columns live at a time.
+        """
+        prof = as_profiler(profiler)
+        for times, cpus, pages, weights, iswrite, costmask in batches:
+            with prof.span("replay.chunk", items=len(times)):
+                rows = zip(
+                    times.tolist(), cpus.tolist(), pages.tolist(),
+                    weights.tolist(), iswrite.tolist(), costmask.tolist(),
+                )
+                for t, cpu, page, weight, iw, cost in rows:
+                    yield (t, cpu, page, weight, iw, cost, not cost)
+
+    @staticmethod
     def _merged_events(cost: Trace, driver: Trace):
         """Merge the cost and driver streams in time order.
 
@@ -841,83 +986,41 @@ class TracePolicySimulator:
         should leave alone and pays for the collapses — the behaviour the
         paper's Section 2 argues coherent caches make unaffordable.
 
-        The competitive baseline is **scalar-only**: it has no
-        vectorized twin, so ``engine="vector"`` raises instead of
-        silently running a different core than the caller asked for
-        (``"auto"`` runs the scalar loop, as documented).
+        Both engines run it: the scalar loop steps every event through
+        :class:`_CompetitiveCore`; the vector engine
+        (:func:`repro.trace.fastpath.replay_competitive_vector`) steps
+        only events of pages whose remote weight can reach the
+        break-even watermark through the same core and bulk-sums the
+        rest, byte-identically.
         """
         cfg = self.config
-        if cfg.engine == "vector":
-            raise ConfigurationError(
-                "simulate_competitive has no vectorized twin and runs "
-                "only on the scalar replay core; re-run with --engine "
-                "scalar (or REPRO_REPLAY_ENGINE=scalar, or engine "
-                "'auto', which picks the scalar core here) instead of "
-                "engine 'vector'"
-            )
         break_even = max(
             1, -(-cfg.op_cost_ns // max(cfg.remote_ns - cfg.local_ns, 1))
         )
         result = PolicySimResult(label=label)
         self._emit_run_meta(label)
+        engine = self._resolve_engine("competitive")
         with self.profiler.span("replay.competitive", items=len(trace)):
             placement = self.placement_for(trace, initial)
-            copies: Dict[int, Set[int]] = {}
-            remote_counts: Dict[int, "np.ndarray"] = {}
-            written: Set[int] = set()
-            cpu_nodes = self._cpu_nodes
-            local_ns, remote_ns = cfg.local_ns, cfg.remote_ns
-            op_cost = cfg.op_cost_ns
-            local_stall = 0.0
-            times = trace.time_ns
-            cpus = trace.cpu
-            pages = trace.page
-            weights = trace.weight
-            writes_mask = trace.is_write
-            for i in range(len(trace)):
-                cpu = int(cpus[i])
-                page = int(pages[i])
-                weight = int(weights[i])
-                is_write = bool(writes_mask[i])
-                page_copies = copies.get(page)
-                if page_copies is None:
-                    page_copies = copies[page] = {int(placement[page])}
-                node = int(cpu_nodes[cpu])
-                if is_write:
-                    written.add(page)
-                    if len(page_copies) > 1:
-                        keep = node if node in page_copies else min(page_copies)
-                        page_copies.clear()
-                        page_copies.add(keep)
-                        result.collapses += 1
-                        result.overhead_ns += op_cost
-                local = node in page_copies
-                result.total_misses += weight
-                if local:
-                    result.local_misses += weight
-                    result.stall_ns += weight * local_ns
-                    local_stall += weight * local_ns
-                    continue
-                result.stall_ns += weight * remote_ns
-                counts = remote_counts.get(page)
-                if counts is None:
-                    counts = remote_counts[page] = np.zeros(
-                        cfg.n_cpus, dtype=np.int64
-                    )
-                counts[cpu] += weight
-                if counts[cpu] < break_even:
-                    continue
-                result.hot_events += 1
-                if page in written and len(page_copies) == 1:
-                    page_copies.clear()
-                    page_copies.add(node)
-                    result.migrations += 1
-                else:
-                    page_copies.add(node)
-                    result.replications += 1
-                result.overhead_ns += op_cost
-                counts[:] = 0
-            result.extra["local_stall_ns"] = local_stall
+            core = _CompetitiveCore(
+                cfg, result, placement, self._cpu_nodes, break_even
+            )
+            if engine == "vector":
+                from repro.trace import fastpath
+
+                fastpath.replay_competitive_vector(
+                    cfg, trace, result, placement, core,
+                    profiler=self.profiler,
+                )
+            else:
+                step = core.step
+                rows = zip(
+                    trace.cpu.tolist(), trace.page.tolist(),
+                    trace.weight.tolist(), trace.is_write.tolist(),
+                )
+                for cpu, page, weight, is_write in rows:
+                    step(cpu, page, weight, is_write)
+            result.extra["local_stall_ns"] = core.local_stall
             result.extra["break_even_misses"] = float(break_even)
         return result
 

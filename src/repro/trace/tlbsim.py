@@ -22,7 +22,9 @@ between the two streams.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
 
 from repro.common.errors import TraceError
 from repro.machine.config import TlbConfig
@@ -147,3 +149,71 @@ def derive_tlb_trace_chunks(
         derived = deriver.feed(chunk)
         if len(derived):
             yield derived
+
+
+def merged_tlb_stream(
+    chunks: Iterable[Trace],
+    n_cpus: int,
+    tlb_config: Optional[TlbConfig] = None,
+    factor_of_page: Optional[Callable[[int], float]] = None,
+) -> Iterator[Tuple[np.ndarray, ...]]:
+    """Stream the cost/TLB-driver merge over time-ordered chunks.
+
+    Derives each chunk's TLB-miss sub-trace (statefully, like
+    :func:`derive_tlb_trace_chunks`) and merges it back into the
+    cache-miss stream in exactly the order the whole-trace two-pointer
+    merge (``policysim._merged_events``) produces: time order, cost
+    events winning timestamp ties.  Yields ``(times, cpus, pages,
+    weights, is_write, costmask)`` column batches — ``costmask`` True
+    for cache-miss (stall-charging) records, False for derived TLB
+    (counter-driving) records — ready for
+    :func:`repro.trace.fastpath.replay_batches_vector` or a scalar
+    event wrapper.
+
+    A derived record whose timestamp reaches the chunk's last cost
+    timestamp is *held back* and merged with a later batch: a future
+    chunk may still contain cost events at or below that timestamp,
+    which must sort before it.  Cost timestamps are non-decreasing
+    across chunks, so anything strictly earlier is safe to emit.
+    """
+    deriver = TlbTraceDeriver(
+        n_cpus, tlb_config=tlb_config, factor_of_page=factor_of_page
+    )
+    carry: Optional[Tuple[np.ndarray, ...]] = None
+    for chunk in chunks:
+        derived = deriver.feed(chunk)
+        if not len(chunk):
+            continue
+        pool: Tuple[np.ndarray, ...] = (
+            derived.time_ns, derived.cpu, derived.page,
+            derived.weight, derived.is_write,
+        )
+        if carry is not None:
+            pool = tuple(
+                np.concatenate([c, d]) for c, d in zip(carry, pool)
+            )
+        last_cost_t = int(chunk.time_ns[-1])
+        ready = pool[0] < last_cost_t
+        now = tuple(col[ready] for col in pool)
+        carry = tuple(col[~ready] for col in pool)
+        n_cost, n_driver = len(chunk), len(now[0])
+        times = np.concatenate([chunk.time_ns, now[0]])
+        # Stable sort with cost columns first: at equal timestamps the
+        # cost record precedes the driver record, like the scalar merge.
+        order = np.argsort(times, kind="stable")
+        costmask = np.concatenate(
+            [np.ones(n_cost, dtype=bool), np.zeros(n_driver, dtype=bool)]
+        )[order]
+        yield (
+            times[order],
+            np.concatenate([chunk.cpu, now[1]])[order],
+            np.concatenate([chunk.page, now[2]])[order],
+            np.concatenate([chunk.weight, now[3]])[order],
+            np.concatenate([chunk.is_write, now[4]])[order],
+            costmask,
+        )
+    if carry is not None and len(carry[0]):
+        yield (
+            carry[0], carry[1], carry[2], carry[3], carry[4],
+            np.zeros(len(carry[0]), dtype=bool),
+        )

@@ -12,11 +12,11 @@ workloads, not synthetic streams:
 * a system-sim run reconciles against ``pager.tally`` and the stall
   breakdown (float tolerance: contention latencies sum in a different
   order);
-* the auto-engine fallback is consistent across every surface — the
-  :class:`EngineFallback` event count, the ``replay.engine.fallback``
-  counter, and the attribution — and sweep workers (which trace
-  nothing) never fall back while producing the exact results a traced
-  scalar rerun attributes.
+* the auto engine never falls back, traced or not — the historical
+  :class:`EngineFallback` event, the ``replay.engine.fallback``
+  counter, and the attribution all stay at zero while the traced
+  vector log diffs to zero against scalar — and sweep workers produce
+  the exact results a traced scalar rerun attributes.
 """
 
 import pytest
@@ -117,12 +117,12 @@ def test_system_sim_reconciles_against_pager_tally():
 
 
 class TestEngineFallbackReconciliation:
-    """One fallback, visible identically on every surface."""
+    """No fallback left, visible identically on every surface."""
 
     def dynamic_cell(self):
         return next(c for c in GRID if c.policy not in _STATIC_POLICIES)
 
-    def test_auto_engine_fallback_event_matches_counter(self, traces):
+    def test_auto_engine_traced_run_emits_no_fallback(self, traces):
         cell = self.dynamic_cell()
         spec, trace = traces[cell.workload]
         registry = MetricsRegistry()
@@ -133,9 +133,10 @@ class TestEngineFallbackReconciliation:
         )
         fallbacks = [e for e in events.events
                      if e.KIND == "engine-fallback"]
-        assert len(fallbacks) == 1
-        assert registry.counter("replay.engine.fallback").value == 1
-        assert attrib.engine_fallbacks == 1
+        assert fallbacks == []
+        assert registry.counter("replay.engine.fallback").value == 0
+        assert registry.counter("replay.engine.vector").value == 1
+        assert attrib.engine_fallbacks == 0
         assert attrib.reconcile(expected_from_policysim(result)) == []
 
     def test_scalar_and_auto_logs_diff_to_zero(self, traces):
@@ -144,7 +145,7 @@ class TestEngineFallbackReconciliation:
         _, scalar = run_attributed(cell, spec, trace, engine="scalar")
         _, auto = run_attributed(cell, spec, trace, engine="auto")
         assert scalar.engine_fallbacks == 0
-        assert auto.engine_fallbacks == 1
+        assert auto.engine_fallbacks == 0
         diff = diff_attributions(scalar, auto)
         assert diff.is_identical
         assert diff.stall_delta_ns == 0.0
@@ -199,10 +200,9 @@ class TestSweepWorkers:
                 )
             sim.tracer.close()
             attrib = sink.attribution
-            # The traced scalar rerun attributes exactly what the
-            # (untraced, possibly vectorized) worker recorded.
+            # The traced rerun stays vectorized (batched emission) and
+            # attributes exactly what the worker recorded.
             assert attrib.reconcile(
                 expected_from_policysim(outcome.result)
             ) == []
-            expected_fallbacks = 0 if spec.policy in _STATIC_POLICIES else 1
-            assert attrib.engine_fallbacks == expected_fallbacks
+            assert attrib.engine_fallbacks == 0

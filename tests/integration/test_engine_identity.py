@@ -1,25 +1,32 @@
 """Vectorized replay engine identity over the full figure grids.
 
-The fastpath engine (``repro.trace.fastpath``) must reproduce the scalar
-core byte-for-byte on the real paper workloads, not just on synthetic
-traces.  This runs every fig6 and fig9 grid cell at the default
-experiment scale (0.25) under both engines and compares
+The fastpath engines (``repro.trace.fastpath`` and
+``repro.ptpol.fastpath``) must reproduce the scalar cores byte-for-byte
+on the real paper workloads, not just on synthetic traces.  This runs
+every fig6, fig9, ptpol6 and ptpol9 grid cell at the default experiment
+scale (0.25) under both engines and compares
 ``PolicySimResult.to_dict()`` exactly — the same bar the trace store
-replay tests hold themselves to.
+replay tests hold themselves to — plus a competitive-baseline cell and
+a traced cell per workload, where identity extends to the event log.
 """
 
 import pytest
 
 from repro.exp.runner import POLICY_LABELS, _METRICS_BY_LABEL, _STATIC_POLICIES
 from repro.exp.spec import NAMED_GRIDS
+from repro.obs.tracer import Tracer
+from repro.ptpol import PtPolicySimulator
 from repro.trace.policysim import PolicySimConfig, TracePolicySimulator
 from repro.workloads import build_spec, generate_trace
 
 SCALE = 0.25
 SEED = 0
 
-GRID = NAMED_GRIDS["fig6"](scale=SCALE, seed=SEED) + NAMED_GRIDS["fig9"](
-    scale=SCALE, seed=SEED
+GRID = (
+    NAMED_GRIDS["fig6"](scale=SCALE, seed=SEED)
+    + NAMED_GRIDS["fig9"](scale=SCALE, seed=SEED)
+    + NAMED_GRIDS["ptpol6"](scale=SCALE, seed=SEED)
+    + NAMED_GRIDS["ptpol9"](scale=SCALE, seed=SEED)
 )
 
 
@@ -33,16 +40,23 @@ def traces():
     return out
 
 
+def _config(workload_spec, engine):
+    return PolicySimConfig(
+        n_cpus=workload_spec.n_cpus,
+        n_nodes=workload_spec.n_nodes,
+        engine=engine,
+    )
+
+
 def run_cell(cell, workload_spec, trace, engine):
     """One grid cell exactly as ``execute_spec`` runs it."""
     stream = trace.kernel_only() if cell.kernel_trace else trace.user_only()
-    sim = TracePolicySimulator(
-        PolicySimConfig(
-            n_cpus=workload_spec.n_cpus,
-            n_nodes=workload_spec.n_nodes,
-            engine=engine,
+    if cell.pt_policy:
+        sim = PtPolicySimulator(_config(workload_spec, engine))
+        return sim.simulate(
+            stream, cell.params(), label=POLICY_LABELS[cell.policy]
         )
-    )
+    sim = TracePolicySimulator(_config(workload_spec, engine))
     if cell.policy in _STATIC_POLICIES:
         return sim.simulate_static(stream, _STATIC_POLICIES[cell.policy])
     return sim.simulate_dynamic(
@@ -60,3 +74,66 @@ def test_grid_cell_identical_scalar_vs_vector(cell, traces):
         run_cell(cell, spec, trace, "scalar").to_dict()
         == run_cell(cell, spec, trace, "vector").to_dict()
     )
+
+
+def _normalized(tracer):
+    """Event dicts with the run-meta engine field masked."""
+    return [
+        dict(d, engine="<engine>") if d.get("kind") == "run-meta" else d
+        for d in (e.to_dict() for e in tracer.events())
+    ]
+
+
+@pytest.mark.parametrize(
+    "workload", sorted({spec.workload for spec in GRID})
+)
+def test_competitive_identical_scalar_vs_vector(workload, traces):
+    spec, trace = traces[workload]
+    stream = trace.user_only()
+    results = {}
+    for engine in ("scalar", "vector"):
+        sim = TracePolicySimulator(_config(spec, engine))
+        results[engine] = sim.simulate_competitive(stream).to_dict()
+    assert results["scalar"] == results["vector"]
+
+
+@pytest.mark.parametrize(
+    "workload", sorted({spec.workload for spec in GRID})
+)
+def test_traced_migrep_event_logs_identical(workload, traces):
+    """The flagship traced cell: event logs match byte for byte."""
+    from repro.exp.spec import params_for
+
+    spec, trace = traces[workload]
+    stream = trace.user_only()
+    logs = {}
+    for engine in ("scalar", "vector"):
+        tracer = Tracer(capacity=1 << 22)
+        sim = TracePolicySimulator(_config(spec, engine), tracer=tracer)
+        result = sim.simulate_dynamic(
+            stream, params_for(workload, None), label="Mig/Rep"
+        )
+        logs[engine] = (result.to_dict(), _normalized(tracer))
+    assert logs["scalar"][0] == logs["vector"][0]
+    assert logs["scalar"][1] == logs["vector"][1]
+
+
+@pytest.mark.parametrize(
+    "workload", sorted({spec.workload for spec in GRID})
+)
+def test_traced_coplace_event_logs_identical(workload, traces):
+    """The traced PT cell: walk/replication events match byte for byte."""
+    from repro.ptpol import params_for_pt_policy
+
+    spec, trace = traces[workload]
+    stream = trace.user_only()
+    logs = {}
+    for engine in ("scalar", "vector"):
+        tracer = Tracer(capacity=1 << 22)
+        sim = PtPolicySimulator(_config(spec, engine), tracer=tracer)
+        result = sim.simulate(
+            stream, params_for_pt_policy("coplace"), label="CoPlace"
+        )
+        logs[engine] = (result.to_dict(), _normalized(tracer))
+    assert logs["scalar"][0] == logs["vector"][0]
+    assert logs["scalar"][1] == logs["vector"][1]

@@ -238,21 +238,44 @@ class TestCoPlacement:
         assert replicas[0].reason == "pt-replica-cheaper"
 
 
-class TestEngineGate:
-    def test_vector_engine_is_rejected_by_name(self):
-        cost = _trace([(0, 0, 0, 0, 1)])
-        sim = PtPolicySimulator(config=_config(engine="vector"))
-        with pytest.raises(ConfigurationError, match="--engine scalar"):
-            sim.simulate(cost, params_for_pt_policy("ptft"))
+class TestEngineParity:
+    def test_vector_engine_matches_scalar_by_name(self):
+        cost = _trace([(0, 0, 0, 0, 1), (50, 1, 1, 4, 2)])
+        driver = _trace([(10, 1, 1, 1, 1), (60, 0, 0, 5, 3)])
+        results = {}
+        for engine in ("scalar", "vector"):
+            result, tally = simulate_ptpol(
+                cost, "ptrepl", config=_config(engine=engine),
+                driver_trace=driver,
+            )
+            results[engine] = (dict(vars(result)), tally)
+        assert results["scalar"] == results["vector"]
 
-    def test_auto_engine_picks_the_scalar_core(self):
+    def test_auto_engine_picks_the_vector_core(self):
         cost = _trace([(0, 0, 0, 0, 1)])
         driver = _trace([(10, 1, 1, 1, 1)])
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
         result, tally = simulate_ptpol(
-            cost, "ptft", config=_config(engine="auto"), driver_trace=driver
+            cost, "ptft", config=_config(engine="auto"),
+            driver_trace=driver, metrics=metrics,
         )
         assert tally.walks == 1
         assert result.total_misses == 1
+        assert metrics.counter("replay.engine.ptpol.vector").value == 1
+
+    def test_data_replication_parameters_are_rejected(self):
+        # No PT-family policy enables data replication; the vector
+        # engine's cold accounting leans on the single-copy invariant
+        # and refuses a hand-built parameter set that breaks it.
+        cost = _trace([(0, 0, 0, 0, 1)])
+        sim = PtPolicySimulator(config=_config(engine="vector"))
+        params = PolicyParameters(
+            enable_replication=True, reset_interval_ns=10_000_000
+        )
+        with pytest.raises(ConfigurationError, match="--engine scalar"):
+            sim.simulate(cost, params)
 
 
 class TestParamsForPtPolicy:

@@ -234,13 +234,14 @@ def test_ptsim_trace_out_reconciles(tmp_path, capsys):
     assert "miss" in kinds          # walk reconciliation needs misses
 
 
-def test_ptsim_vector_engine_refused(capsys):
+def test_ptsim_vector_engine(capsys):
     assert main(
         ["ptsim", "--workload", "splash", "--scale", "0.05",
          "--engine", "vector"]
-    ) == 2
-    captured = capsys.readouterr()
-    assert "--engine scalar" in captured.out + captured.err
+    ) == 0
+    out = capsys.readouterr().out
+    for label in ("PT-FT", "PT-Migr", "PT-Repl", "CoPlace"):
+        assert label in out
 
 
 def _sweep_args(tmp_path, *extra):

@@ -4,9 +4,11 @@ The fastpath's whole contract is byte-identity — ``PolicySimResult``
 (including ``extra`` floats) must match the scalar engine exactly, not
 approximately.  These tests hammer that contract with seeded-random
 traces across trigger thresholds, reset intervals, sampling rates,
-metric sources, initial placements and chunked streaming, plus the
-engine-selection plumbing (config validation, env default, tracer
-fallback, metrics counters).
+metric sources, initial placements (post-facto included), chunked
+streaming, the competitive baseline and traced runs — where byte
+identity extends to the event *log*, emitted through the batched
+buffer of :mod:`repro.obs.batch` — plus the engine-selection plumbing
+(config validation, env default, per-path metrics counters).
 """
 
 import numpy as np
@@ -84,6 +86,21 @@ def run_pair(trace, params, metric=FULL_CACHE, initial=StaticPolicy.FIRST_TOUCH,
             driver_trace=driver_trace,
         ).to_dict()
     return results["scalar"], results["vector"]
+
+
+def events_normalized(tracer):
+    """The tracer's log as dicts, with the run-meta engine masked.
+
+    A scalar and a vector run differ *only* in the ``engine`` field of
+    the run-meta header; everything else must match byte for byte.
+    """
+    out = []
+    for event in tracer.events():
+        d = event.to_dict()
+        if d.get("kind") == "run-meta":
+            d = dict(d, engine="<engine>")
+        out.append(d)
+    return out
 
 
 PARAM_GRID = [
@@ -167,20 +184,48 @@ class TestDifferentialChunked:
     @pytest.mark.parametrize("n_chunks", [2, 7])
     @pytest.mark.parametrize("initial", [
         StaticPolicy.FIRST_TOUCH, StaticPolicy.ROUND_ROBIN,
+        StaticPolicy.POST_FACTO,
     ])
     def test_chunked_byte_identical(self, seed, n_chunks, initial):
         rng = np.random.default_rng(500 + seed)
         trace = random_trace(rng)
         params = PolicyParameters(trigger_threshold=16, sharing_threshold=4)
+        chunks = split_chunks(trace, n_chunks)
         results = {}
         for engine in ("scalar", "vector"):
             sim = TracePolicySimulator(
                 PolicySimConfig(n_cpus=8, n_nodes=4, engine=engine)
             )
+            # Post-facto placement replays the stream twice, so it needs
+            # a re-iterable chunk source; the others take a one-shot
+            # iterator.
+            source = (
+                chunks if initial is StaticPolicy.POST_FACTO
+                else iter(chunks)
+            )
             results[engine] = sim.simulate_dynamic_chunks(
-                iter(split_chunks(trace, n_chunks)), params, initial=initial
+                source, params, initial=initial
             ).to_dict()
         assert results["scalar"] == results["vector"]
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("n_chunks", [3, 9])
+    def test_chunked_tlb_metric_byte_identical(self, seed, n_chunks):
+        # TLB-derived metrics stream the deriver's output through the
+        # segmented engine (merged_tlb_stream); the scalar engine on
+        # the whole trace is the reference.
+        rng = np.random.default_rng(600 + seed)
+        trace = random_trace(rng)
+        params = PolicyParameters(trigger_threshold=16, sharing_threshold=4)
+        chunked = TracePolicySimulator(
+            PolicySimConfig(n_cpus=8, n_nodes=4, engine="vector")
+        ).simulate_dynamic_chunks(
+            iter(split_chunks(trace, n_chunks)), params, metric=FULL_TLB
+        )
+        scalar = TracePolicySimulator(
+            PolicySimConfig(n_cpus=8, n_nodes=4, engine="scalar")
+        ).simulate_dynamic(trace, params, metric=FULL_TLB)
+        assert chunked.to_dict() == scalar.to_dict()
 
     def test_chunked_sampled_matches_full(self):
         rng = np.random.default_rng(77)
@@ -196,6 +241,81 @@ class TestDifferentialChunked:
             PolicySimConfig(n_cpus=8, n_nodes=4, engine="scalar")
         ).simulate_dynamic(trace, params, metric=SAMPLED_CACHE)
         assert chunked.to_dict() == scalar.to_dict()
+
+
+class TestDifferentialTraced:
+    """Byte identity extends to the event log, not just the result."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("pidx", [0, 2])
+    def test_traced_event_logs_byte_identical(self, seed, pidx):
+        rng = np.random.default_rng(3000 * seed + pidx)
+        trace = random_trace(rng, n_events=2500)
+        params = PolicyParameters(**PARAM_GRID[pidx])
+        logs = {}
+        for engine in ("scalar", "vector"):
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=8, n_nodes=4, engine=engine),
+                tracer=Tracer(capacity=1 << 20),
+            )
+            result = sim.simulate_dynamic(trace, params)
+            logs[engine] = (result.to_dict(), events_normalized(sim.tracer))
+        assert logs["scalar"][0] == logs["vector"][0]
+        assert logs["scalar"][1] == logs["vector"][1]
+
+    @pytest.mark.parametrize("n_chunks", [3, 7])
+    def test_traced_chunked_event_logs(self, n_chunks):
+        # Chunk boundaries mid-interval: the traced cold-page set-aside
+        # must dedupe against counters the boundary writeback already
+        # put in the bank, or IntervalReset.tracked_pages drifts.
+        rng = np.random.default_rng(77)
+        trace = random_trace(rng, n_events=2500)
+        params = PolicyParameters(trigger_threshold=8, sharing_threshold=2)
+        logs = {}
+        for engine in ("scalar", "vector"):
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=8, n_nodes=4, engine=engine),
+                tracer=Tracer(capacity=1 << 20),
+            )
+            result = sim.simulate_dynamic_chunks(
+                iter(split_chunks(trace, n_chunks)), params
+            )
+            logs[engine] = (result.to_dict(), events_normalized(sim.tracer))
+        assert logs["scalar"] == logs["vector"]
+
+    def test_traced_tlb_metric_event_logs(self):
+        rng = np.random.default_rng(31)
+        trace = random_trace(rng, n_events=2000)
+        params = PolicyParameters(trigger_threshold=8, sharing_threshold=2)
+        logs = {}
+        for engine in ("scalar", "vector"):
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=8, n_nodes=4, engine=engine),
+                tracer=Tracer(capacity=1 << 20),
+            )
+            result = sim.simulate_dynamic(trace, params, metric=FULL_TLB)
+            logs[engine] = (result.to_dict(), events_normalized(sim.tracer))
+        assert logs["scalar"] == logs["vector"]
+
+
+class TestDifferentialCompetitive:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("initial", [
+        StaticPolicy.FIRST_TOUCH, StaticPolicy.ROUND_ROBIN,
+        StaticPolicy.POST_FACTO,
+    ])
+    def test_competitive_byte_identical(self, seed, initial):
+        rng = np.random.default_rng(4000 + seed)
+        trace = random_trace(rng, n_events=3000)
+        results = {}
+        for engine in ("scalar", "vector"):
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=8, n_nodes=4, engine=engine)
+            )
+            results[engine] = sim.simulate_competitive(
+                trace, initial=initial
+            ).to_dict()
+        assert results["scalar"] == results["vector"]
 
 
 class TestEngineSelection:
@@ -214,15 +334,19 @@ class TestEngineSelection:
         monkeypatch.delenv("REPRO_REPLAY_ENGINE")
         assert PolicySimConfig().engine == "auto"
 
-    def test_vector_with_tracer_raises(self):
-        sim = TracePolicySimulator(
-            PolicySimConfig(engine="vector"), tracer=Tracer(capacity=64)
-        )
-        trace = random_trace(np.random.default_rng(0), n_events=10)
-        with pytest.raises(ConfigurationError):
-            sim.simulate_dynamic(trace, self.params())
+    def test_vector_with_tracer_runs_and_matches_scalar(self):
+        trace = random_trace(np.random.default_rng(0), n_events=800)
+        logs = {}
+        for engine in ("scalar", "vector"):
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=8, n_nodes=4, engine=engine),
+                tracer=Tracer(capacity=1 << 18),
+            )
+            result = sim.simulate_dynamic(trace, self.params())
+            logs[engine] = (result.to_dict(), events_normalized(sim.tracer))
+        assert logs["scalar"] == logs["vector"]
 
-    def test_auto_with_tracer_falls_back_to_scalar(self):
+    def test_auto_with_tracer_stays_vector(self):
         registry = MetricsRegistry()
         sim = TracePolicySimulator(
             PolicySimConfig(n_cpus=8, n_nodes=4, engine="auto"),
@@ -235,17 +359,15 @@ class TestEngineSelection:
             PolicySimConfig(n_cpus=8, n_nodes=4, engine="scalar")
         ).simulate_dynamic(trace, self.params())
         assert traced.to_dict() == plain.to_dict()
-        assert registry.counter("replay.engine.scalar").value == 1
-        assert registry.counter("replay.engine.fallback").value == 1
-        # The fallback is also an explicit, inspectable warning event.
+        assert registry.counter("replay.engine.vector").value == 1
+        assert registry.counter("replay.engine.fallback").value == 0
+        # No tracer-driven demotion exists any more: auto + tracer runs
+        # the vector engine and emits no EngineFallback warning.
         fallbacks = [
             e for e in sim.tracer.events()
             if isinstance(e, EngineFallback)
         ]
-        assert len(fallbacks) == 1
-        assert fallbacks[0].requested == "auto"
-        assert fallbacks[0].chosen == "scalar"
-        assert "tracer" in fallbacks[0].reason
+        assert fallbacks == []
 
     def test_engine_choice_counted(self):
         registry = MetricsRegistry()
@@ -257,14 +379,19 @@ class TestEngineSelection:
         assert registry.counter("replay.engine.vector").value == 1
         assert registry.counter("replay.engine.fallback").value == 0
 
-    def test_competitive_is_scalar_only(self):
-        sim = TracePolicySimulator(
-            PolicySimConfig(n_cpus=8, n_nodes=4, engine="vector")
-        )
+    def test_competitive_runs_on_both_engines(self):
         trace = random_trace(np.random.default_rng(5), n_events=100)
-        # The refusal must name the fix, not just the failure.
-        with pytest.raises(ConfigurationError, match="--engine scalar"):
-            sim.simulate_competitive(trace)
-        # auto quietly uses the scalar competitive path.
-        auto = TracePolicySimulator(PolicySimConfig(n_cpus=8, n_nodes=4))
+        results = {}
+        for engine in ("scalar", "vector"):
+            sim = TracePolicySimulator(
+                PolicySimConfig(n_cpus=8, n_nodes=4, engine=engine)
+            )
+            results[engine] = sim.simulate_competitive(trace).to_dict()
+        assert results["scalar"] == results["vector"]
+        # auto picks the vector competitive path.
+        registry = MetricsRegistry()
+        auto = TracePolicySimulator(
+            PolicySimConfig(n_cpus=8, n_nodes=4), metrics=registry
+        )
         assert auto.simulate_competitive(trace).label == "Competitive"
+        assert registry.counter("replay.engine.competitive.vector").value == 1

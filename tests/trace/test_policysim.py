@@ -314,15 +314,29 @@ class TestStreamingReplay:
         )
         assert streamed.to_dict() == full.to_dict()
 
-    def test_tlb_metric_rejected(self, sim):
-        with pytest.raises(ConfigurationError, match="whole"):
-            sim.simulate_dynamic_chunks(iter(()), fast_params(), FULL_TLB)
+    def test_tlb_metric_matches(self, sim):
+        trace = build(
+            [(t * 10, t % 4, t % 2, t % 9, 6 + t % 5, t % 4 == 0)
+             for t in range(150)]
+        )
+        full = sim.simulate_dynamic(trace, fast_params(), FULL_TLB)
+        streamed = sim.simulate_dynamic_chunks(
+            self.chunked(trace, 40), fast_params(), FULL_TLB
+        )
+        assert streamed.to_dict() == full.to_dict()
 
-    def test_post_facto_initial_rejected(self, sim):
-        with pytest.raises(ConfigurationError, match="whole trace"):
-            sim.simulate_dynamic_chunks(
-                iter(()), fast_params(), initial=StaticPolicy.POST_FACTO
-            )
+    def test_post_facto_initial_matches(self, sim):
+        trace = build(
+            [(t * 10, t % 4, 0, t % 9, 3) for t in range(120)]
+        )
+        full = sim.simulate_dynamic(
+            trace, fast_params(), initial=StaticPolicy.POST_FACTO
+        )
+        streamed = sim.simulate_dynamic_chunks(
+            self.chunked(trace, 30), fast_params(),
+            initial=StaticPolicy.POST_FACTO,
+        )
+        assert streamed.to_dict() == full.to_dict()
 
     def test_empty_stream(self, sim):
         result = sim.simulate_dynamic_chunks(iter(()), fast_params())
