@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.obs.bench import BenchArtifact
+from repro.obs.prof import resource_usage
 
 
 def bench_context(**extra: Any) -> Dict[str, Any]:
@@ -75,7 +76,19 @@ class BenchRun:
         )
 
     def emit(self, text: str) -> str:
-        """Print ``text``, write the ``.txt``, and write the JSON twin."""
+        """Print ``text``, write the ``.txt``, and write the JSON twin.
+
+        Every artifact automatically records the process's resource
+        telemetry (peak RSS, user/sys CPU time) so the run-history store
+        can trend memory and CPU per bench; these are informational
+        (``tolerance=None``) — scale-tier targets gate on the *history*
+        bands, not on a committed absolute.
+        """
+        for name, value in sorted(resource_usage().items()):
+            unit = "bytes" if name.endswith("_bytes") else "s"
+            self.artifact.add(
+                f"resource.{name}", value, unit=unit, direction="lower"
+            )
         print()
         print(text)
         self.results_dir.mkdir(exist_ok=True)

@@ -26,7 +26,12 @@ The subcommands cover the common flows:
   drained through the shared result cache, with a local status/results
   API (``docs/SERVICE.md``);
 * ``repro submit|status|results|cancel`` — thin clients against the
-  running service (endpoint discovered via ``serve.json``).
+  running service (endpoint discovered via ``serve.json``);
+* ``repro history`` — the longitudinal run-history store: ``ingest``
+  artifacts, ``list`` runs, ``verify`` the database
+  (``docs/OBSERVABILITY.md``);
+* ``repro report`` — static HTML dashboard + JSON summary over the
+  history store.
 
 Examples::
 
@@ -51,6 +56,11 @@ Examples::
     repro status
     repro results <job-id> --out results.json
     repro cancel <job-id>
+    repro bench --quick --ingest --compare-history
+    repro history ingest 'benchmarks/results/BENCH_*.json'
+    repro history list --kind bench
+    repro history verify
+    repro report --out report.html --json
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ import os
 import signal
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -915,10 +926,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     stem, text = timing_summary(grid_name, report, args.scale, args.seed)
     _write_artifact(args.out, stem, text)
-    if args.stats_out:
-        with open(args.stats_out, "w", encoding="utf-8") as fh:
-            json.dump(_sweep_stats(report, cache), fh, indent=2)
-            fh.write("\n")
+    if args.stats_out or args.history_ingest:
+        stats = _sweep_stats(report, cache)
+        if args.stats_out:
+            with open(args.stats_out, "w", encoding="utf-8") as fh:
+                json.dump(stats, fh, indent=2)
+                fh.write("\n")
+        if args.history_ingest:
+            from repro.common.errors import ResultSchemaError
+            from repro.obs.history import HistoryStore
+
+            try:
+                store = HistoryStore(directory=args.history_dir)
+                run_id = store.ingest_sweep_stats(stats, name=grid_name)
+                print(f"ingested sweep/{grid_name} as run {run_id}")
+            except ResultSchemaError as exc:
+                print(f"warning: history ingest skipped: {exc}",
+                      file=sys.stderr)
     for outcome in report.failures:
         if outcome.cancelled:
             continue
@@ -986,6 +1010,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     serve_dir = Path(args.serve_dir) if args.serve_dir else default_serve_dir()
     registry = MetricsRegistry()
     cache = ResultCache(args.cache_dir, metrics=registry)
+    history = None
+    if not args.no_history:
+        from repro.common.errors import ResultSchemaError
+        from repro.obs.history import HistoryStore
+
+        try:
+            history = HistoryStore(directory=args.history_dir)
+        except ResultSchemaError as exc:
+            # A stale-schema history DB must not keep the service down;
+            # run without ingest and say why.
+            print(f"warning: history disabled: {exc}", file=sys.stderr)
     try:
         queue = JobQueue(serve_dir)
     except ServeError as exc:
@@ -999,6 +1034,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         metrics=registry,
+        history=history,
     )
 
     def dump_metrics() -> None:
@@ -1188,6 +1224,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     subset), validates every artifact, and — with ``--compare`` — fails
     with exit code 1 when any gated metric regressed beyond its baseline
     tolerance band (see docs/PERFORMANCE.md).
+
+    ``--compare-history`` gates against the run-history store instead:
+    each metric is judged against the rolling-median band of its last
+    ``--history-window`` ingested runs (docs/OBSERVABILITY.md), and
+    ``--ingest`` appends the current artifacts to the store afterwards —
+    always after comparison, so a run never gates against itself.
     """
     import subprocess
 
@@ -1278,6 +1320,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             artifact.write(baseline_dir)
         print(f"wrote {len(current)} baseline artifact(s) to {baseline_dir}")
 
+    status = 0
     if args.compare:
         baseline_path = Path(args.compare)
         try:
@@ -1307,9 +1350,161 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     f"band {d.tolerance})",
                     file=sys.stderr,
                 )
-            return 1
-        print(f"\nno regressions across {len(baseline)} baseline bench(es)")
+            status = 1
+        else:
+            print(
+                f"\nno regressions across {len(baseline)} baseline bench(es)"
+            )
+
+    if args.compare_history or args.ingest:
+        from repro.obs.history import (
+            HistoryStore,
+            compare_history,
+            format_trends,
+            trend_regressions,
+        )
+
+        try:
+            store = HistoryStore(directory=args.history_dir)
+        except ResultSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.compare_history:
+            trends = compare_history(
+                current, store, window=args.history_window
+            )
+            print()
+            print(format_trends(trends))
+            failed_trends = trend_regressions(trends)
+            if failed_trends:
+                for d in failed_trends:
+                    print(f"error: {d.verdict_line()}", file=sys.stderr)
+                status = 1
+            else:
+                judged = sum(1 for d in trends if d.stats is not None)
+                print(
+                    f"\nno trend regressions across {judged} "
+                    f"metric(s) with history"
+                )
+        if args.ingest:
+            # Always after --compare-history: the current run must never
+            # be part of the history window it is judged against.
+            for name in sorted(current):
+                run_id = store.ingest_bench(current[name].to_dict())
+                print(f"ingested bench/{name} as run {run_id}")
+    return status
+
+
+def _history_store(args: argparse.Namespace):
+    """Open the history store named by ``--history-dir``, or fail loudly."""
+    from repro.common.errors import ResultSchemaError
+    from repro.obs.history import HistoryStore
+
+    try:
+        return HistoryStore(directory=args.history_dir)
+    except ResultSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the run-history dashboard (HTML and/or JSON summary)."""
+    from repro.obs.report import build_summary, render_html
+
+    store = _history_store(args)
+    if store is None:
+        return 2
+    summary = build_summary(store, window=args.window)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(render_html(summary))
+        metric_cells = sum(
+            len(metrics)
+            for names in summary["kinds"].values()
+            for metrics in names.values()
+        )
+        print(
+            f"wrote {args.out} ({summary['history']['total_runs']} run(s), "
+            f"{metric_cells} metric cell(s))",
+            file=sys.stderr if args.json else sys.stdout,
+        )
+    if not args.json and not args.out:
+        print(
+            "error: nothing to do — pass --out FILE and/or --json",
+            file=sys.stderr,
+        )
+        return 2
     return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Inspect and maintain the run-history store."""
+    store = _history_store(args)
+    if store is None:
+        return 2
+
+    if args.history_command == "ingest":
+        ingested = 0
+        skipped = 0
+        for pattern in args.paths:
+            paths = (
+                sorted(Path().glob(pattern))
+                if any(ch in pattern for ch in "*?[")
+                else [Path(pattern)]
+            )
+            if not paths:
+                print(f"warning: {pattern}: no files matched",
+                      file=sys.stderr)
+            for path in paths:
+                run_id, message = store.ingest_file(path)
+                if run_id is None:
+                    skipped += 1
+                    print(f"warning: {message}", file=sys.stderr)
+                else:
+                    ingested += 1
+                    print(f"{path}: {message} (run {run_id})")
+        print(f"{ingested} ingested, {skipped} skipped")
+        return 0 if ingested or not skipped else 1
+
+    if args.history_command == "list":
+        rows = [
+            [
+                run.run_id,
+                run.kind,
+                run.name,
+                run.n_metrics,
+                time.strftime(
+                    "%Y-%m-%d %H:%M:%S", time.localtime(run.t)
+                ),
+                run.code_token[:12],
+            ]
+            for run in store.runs(
+                kind=args.kind, name=args.name, limit=args.limit
+            )
+        ]
+        print(
+            format_table(
+                f"History runs in {store.path}",
+                ["Run", "Kind", "Name", "Metrics", "When", "Code"],
+                rows,
+            )
+        )
+        print(f"\n{store.count()} run(s) total")
+        return 0
+
+    if args.history_command == "verify":
+        problems = store.verify()
+        if problems:
+            for problem in problems:
+                print(f"error: {store.path}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{store.path}: ok ({store.count()} run(s))")
+        return 0
+
+    print("error: choose one of: ingest, list, verify", file=sys.stderr)
+    return 2
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -1639,6 +1834,15 @@ def _add_serve_dir_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_history_dir_option(parser: argparse.ArgumentParser) -> None:
+    """Where the longitudinal run-history database lives."""
+    parser.add_argument(
+        "--history-dir", metavar="DIR", default=None,
+        help="history store directory (default $REPRO_HISTORY_DIR or "
+        "~/.cache/repro/history)",
+    )
+
+
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by ``repro sweep`` and ``repro figures``."""
     _add_scale_seed(parser)
@@ -1856,6 +2060,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-out", metavar="PATH", default=None,
         help="write sweep/cache accounting as JSON to PATH",
     )
+    p.add_argument(
+        "--history-ingest", action="store_true",
+        help="append the sweep's stats to the run-history store",
+    )
+    _add_history_dir_option(p)
     _add_sweep_options(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -1900,6 +2109,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="dump the service's metrics registry as JSON on shutdown",
+    )
+    _add_history_dir_option(p)
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="do not ingest completed-job telemetry into the history store",
     )
     p.set_defaults(func=cmd_serve)
 
@@ -2057,7 +2271,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", metavar="DIR", default=None,
         help="copy the current artifacts to DIR as a new baseline",
     )
+    p.add_argument(
+        "--compare-history", action="store_true",
+        help="gate each metric against the rolling-median band of its "
+        "ingested history (exit 1 on a trend regression)",
+    )
+    p.add_argument(
+        "--history-window", type=int, default=10, metavar="N",
+        help="history runs per metric the trend band is fit to "
+        "(default 10)",
+    )
+    p.add_argument(
+        "--ingest", action="store_true",
+        help="append the current artifacts to the run-history store "
+        "(after --compare-history, never before)",
+    )
+    _add_history_dir_option(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "history",
+        help="inspect and maintain the longitudinal run-history store",
+    )
+    history_sub = p.add_subparsers(dest="history_command", required=True)
+
+    hp = history_sub.add_parser(
+        "ingest",
+        help="ingest BENCH_*.json / profile / sweep-stats artifacts",
+    )
+    hp.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="artifact files (quoted globs are expanded)",
+    )
+    _add_history_dir_option(hp)
+    hp.set_defaults(func=cmd_history)
+
+    hp = history_sub.add_parser("list", help="list ingested runs")
+    hp.add_argument(
+        "--kind", choices=("bench", "report", "sweep", "serve"),
+        default=None, help="only runs of this kind",
+    )
+    hp.add_argument(
+        "--name", default=None, help="only runs with this artifact name"
+    )
+    hp.add_argument(
+        "--limit", type=int, default=20,
+        help="most recent N runs (default 20)",
+    )
+    _add_history_dir_option(hp)
+    hp.set_defaults(func=cmd_history)
+
+    hp = history_sub.add_parser(
+        "verify", help="re-check the database (exit 1 on any problem)"
+    )
+    _add_history_dir_option(hp)
+    hp.set_defaults(func=cmd_history)
+
+    p = sub.add_parser(
+        "report",
+        help="render the run-history dashboard (self-contained HTML)",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the HTML dashboard to PATH",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable summary to stdout",
+    )
+    p.add_argument(
+        "--window", type=int, default=30, metavar="N",
+        help="history runs per metric in sparklines/trends (default 30)",
+    )
+    _add_history_dir_option(p)
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "figures",

@@ -147,6 +147,28 @@ class SampleStats(OnlineStats):
         if len(self.samples) < self.max_samples:
             self.samples.append(float(value))
 
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator in, retaining its samples too.
+
+        The streaming moments merge exactly (Welford); retained samples
+        from a :class:`SampleStats` peer are appended up to this
+        accumulator's own cap, so post-merge percentiles describe both
+        inputs whenever neither side had overflowed.  Merging a plain
+        :class:`OnlineStats` contributes moments only.
+        """
+        super().merge(other)
+        if isinstance(other, SampleStats):
+            room = self.max_samples - len(self.samples)
+            if room > 0:
+                self.samples.extend(other.samples[:room])
+
+    def combined(self, other: "OnlineStats") -> "SampleStats":
+        """Non-mutating merge that keeps percentile support."""
+        out = SampleStats(max_samples=self.max_samples)
+        out.merge(self)
+        out.merge(other)
+        return out
+
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) of retained samples.
 

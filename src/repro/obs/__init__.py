@@ -21,7 +21,12 @@ same attribution power at runtime:
 * :mod:`repro.obs.prof` — the hierarchical span profiler and
   :class:`RunReport` (``--profile-out``);
 * :mod:`repro.obs.bench` — the machine-readable benchmark artifact
-  schema behind ``repro bench`` and its regression gating.
+  schema behind ``repro bench`` and its regression gating;
+* :mod:`repro.obs.history` — the sqlite-backed longitudinal run-history
+  store and the trend-aware regression bands
+  (``repro bench --compare-history``);
+* :mod:`repro.obs.report` — static HTML dashboards over the history
+  store (``repro report``).
 
 See ``docs/OBSERVABILITY.md`` for the full guide.
 """
@@ -77,6 +82,19 @@ from repro.obs.bench import (
     read_artifact,
     regressions,
 )
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryStore,
+    MetricSample,
+    RunRow,
+    TrendDelta,
+    TrendStats,
+    compare_history,
+    default_history_dir,
+    format_trends,
+    trend_delta,
+    trend_regressions,
+)
 from repro.obs.prof import (
     NULL_PROFILER,
     NullProfiler,
@@ -86,6 +104,14 @@ from repro.obs.prof import (
     SpanRecord,
     as_profiler,
     peak_rss_bytes,
+    resource_usage,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    build_summary,
+    render_html,
+    sparkline_svg,
+    write_report,
 )
 from repro.obs.export import (
     JsonlSink,
@@ -110,6 +136,7 @@ from repro.obs.registry import (
     Gauge,
     MetricFamily,
     MetricsRegistry,
+    prom_exposition,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -172,6 +199,17 @@ __all__ = [
     "load_artifacts",
     "read_artifact",
     "regressions",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryStore",
+    "MetricSample",
+    "RunRow",
+    "TrendDelta",
+    "TrendStats",
+    "compare_history",
+    "default_history_dir",
+    "format_trends",
+    "trend_delta",
+    "trend_regressions",
     "NULL_PROFILER",
     "NullProfiler",
     "Profiler",
@@ -180,6 +218,12 @@ __all__ = [
     "SpanRecord",
     "as_profiler",
     "peak_rss_bytes",
+    "resource_usage",
+    "REPORT_SCHEMA_VERSION",
+    "build_summary",
+    "render_html",
+    "sparkline_svg",
+    "write_report",
     "JsonlSink",
     "event_to_json",
     "interval_summary",
@@ -198,6 +242,7 @@ __all__ = [
     "Gauge",
     "MetricFamily",
     "MetricsRegistry",
+    "prom_exposition",
     "NULL_TRACER",
     "CountingSink",
     "ListSink",

@@ -53,6 +53,21 @@ def peak_rss_bytes() -> int:
     return peak if sys.platform == "darwin" else peak * 1024
 
 
+def resource_usage() -> Dict[str, float]:
+    """This process's resource telemetry: peak RSS and CPU time.
+
+    The triple every RunReport and bench artifact records so the
+    run-history store can enforce scale-tier wall/memory targets from
+    trends rather than single snapshots (``docs/OBSERVABILITY.md``).
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "peak_rss_bytes": float(peak_rss_bytes()),
+        "cpu_user_s": float(usage.ru_utime),
+        "cpu_sys_s": float(usage.ru_stime),
+    }
+
+
 @dataclass
 class SpanRecord:
     """One completed span."""
@@ -364,6 +379,8 @@ class RunReport:
     command: str = ""
     wall_ns: int = 0
     peak_rss: int = 0
+    cpu_user_s: float = 0.0
+    cpu_sys_s: float = 0.0
     spans: List[SpanRecord] = field(default_factory=list)
     metrics: Dict[str, float] = field(default_factory=dict)
     context: Dict[str, Any] = field(default_factory=dict)
@@ -378,11 +395,14 @@ class RunReport:
         context: Optional[Dict[str, Any]] = None,
     ) -> "RunReport":
         """Snapshot a profiler's completed spans into a report."""
+        usage = resource_usage()
         return cls(
             label=label,
             command=command,
             wall_ns=int(profiler.total_ns),
-            peak_rss=peak_rss_bytes(),
+            peak_rss=int(usage["peak_rss_bytes"]),
+            cpu_user_s=usage["cpu_user_s"],
+            cpu_sys_s=usage["cpu_sys_s"],
             spans=list(profiler.records),
             metrics=dict(metrics) if metrics else {},
             context=dict(context) if context else {},
@@ -401,6 +421,8 @@ class RunReport:
             "command": self.command,
             "wall_ns": self.wall_ns,
             "peak_rss": self.peak_rss,
+            "cpu_user_s": self.cpu_user_s,
+            "cpu_sys_s": self.cpu_sys_s,
             "spans": [s.to_dict() for s in self.spans],
             "metrics": dict(self.metrics),
             "context": dict(self.context),
@@ -421,6 +443,10 @@ class RunReport:
             command=str(data["command"]),
             wall_ns=int(data["wall_ns"]),
             peak_rss=int(data["peak_rss"]),
+            # Reports written before the resource-telemetry satellite
+            # carry no CPU fields; default them instead of refusing.
+            cpu_user_s=float(data.get("cpu_user_s", 0.0)),
+            cpu_sys_s=float(data.get("cpu_sys_s", 0.0)),
             spans=[SpanRecord.from_dict(s) for s in data["spans"]],
             metrics={k: float(v) for k, v in data["metrics"].items()},
             context=dict(data["context"]),

@@ -21,10 +21,11 @@ children into an aggregate with ``OnlineStats.__add__`` (non-mutating).
 from __future__ import annotations
 
 import math
+import re
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
-from repro.common.stats import OnlineStats
+from repro.common.stats import OnlineStats, SampleStats
 
 
 class Counter:
@@ -94,17 +95,27 @@ class MetricFamily:
         ]
 
     def merged(self) -> OnlineStats:
-        """Fold all OnlineStats children into one aggregate (non-mutating)."""
-        out = OnlineStats()
-        for _, child in self.items():
-            if isinstance(child, OnlineStats):
-                out = out + child
+        """Fold all OnlineStats children into one aggregate (non-mutating).
+
+        If any child retains samples (:class:`SampleStats`) the aggregate
+        does too, so the folded family still reports percentiles.
+        """
+        children = [
+            child for _, child in self.items()
+            if isinstance(child, OnlineStats)
+        ]
+        if any(isinstance(child, SampleStats) for child in children):
+            out: OnlineStats = SampleStats()
+        else:
+            out = OnlineStats()
+        for child in children:
+            out.merge(child)
         return out
 
 
 def _stats_values(name: str, stats: OnlineStats) -> Dict[str, float]:
     empty = stats.count == 0
-    return {
+    out = {
         f"{name}.count": float(stats.count),
         f"{name}.total": stats.total,
         f"{name}.mean": stats.mean,
@@ -112,6 +123,10 @@ def _stats_values(name: str, stats: OnlineStats) -> Dict[str, float]:
         f"{name}.max": 0.0 if empty or math.isinf(stats.maximum) else stats.maximum,
         f"{name}.stddev": stats.stddev,
     }
+    if isinstance(stats, SampleStats):
+        out[f"{name}.p50"] = stats.percentile(50)
+        out[f"{name}.p95"] = stats.percentile(95)
+    return out
 
 
 class MetricsRegistry:
@@ -190,7 +205,8 @@ class MetricsRegistry:
     def collect(self) -> Dict[str, float]:
         """Flatten the whole namespace to ``{dotted.name: float}``.
 
-        Histograms expand to ``.count/.total/.mean/.min/.max/.stddev``;
+        Histograms expand to ``.count/.total/.mean/.min/.max/.stddev``
+        (plus ``.p50``/``.p95`` when the accumulator retains samples);
         histogram families additionally emit the folded aggregate under
         the bare family name.  Keys come back sorted, so collection order
         is deterministic.
@@ -217,3 +233,71 @@ class MetricsRegistry:
             if has_stats:
                 out.update(_stats_values(name, family.merged()))
         return dict(sorted(out.items()))
+
+
+# -- Prometheus text exposition -------------------------------------------------
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_parts(raw: str) -> Tuple[str, str]:
+    """Split one collected key into a Prometheus (name, label-block).
+
+    Collected keys are dotted, and family children carry a
+    ``{k=v,...}`` label segment mid-name (``prof.span{path=x}.mean``);
+    Prometheus wants underscores and the labels at the end, so the
+    label block is extracted, the remaining dots fold to underscores,
+    and label values get quoted/escaped.
+    """
+    labels = ""
+    name = raw
+    if "{" in raw and "}" in raw:
+        start = raw.index("{")
+        end = raw.rindex("}")
+        labels = raw[start + 1:end]
+        name = raw[:start] + raw[end + 1:]
+    name = _PROM_NAME_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    block = ""
+    if labels:
+        pairs = []
+        for part in labels.split(","):
+            key, _, value = part.partition("=")
+            key = _PROM_LABEL_BAD.sub("_", key)
+            value = (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
+            pairs.append(f'{key}="{value}"')
+        block = "{" + ",".join(pairs) + "}"
+    return name, block
+
+
+def prom_exposition(values: Dict[str, float]) -> str:
+    """Render a :meth:`MetricsRegistry.collect` dict as Prometheus text.
+
+    Version 0.0.4 exposition: one ``# TYPE`` line per metric name with
+    all of its label children grouped under it (the format forbids
+    interleaving families), every sample typed ``gauge`` — the registry
+    does not distinguish counters at collection time, and untyped
+    gauges are always safe to scrape.
+    """
+    grouped: Dict[str, List[Tuple[str, float]]] = {}
+    for raw in sorted(values):
+        name, block = _prom_parts(raw)
+        grouped.setdefault(name, []).append((block, float(values[raw])))
+    lines: List[str] = []
+    for name in sorted(grouped):
+        lines.append(f"# TYPE {name} gauge")
+        for block, value in grouped[name]:
+            if math.isnan(value):
+                rendered = "NaN"
+            elif math.isinf(value):
+                rendered = "+Inf" if value > 0 else "-Inf"
+            else:
+                rendered = f"{value:.10g}"
+            lines.append(f"{name}{block} {rendered}")
+    return "\n".join(lines) + "\n" if lines else ""

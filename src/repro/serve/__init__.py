@@ -20,10 +20,19 @@ service in three layers (see ``docs/SERVICE.md``):
 Every job records queue-wait/run/total timings, a per-job profiler
 :class:`~repro.obs.prof.RunReport`, and the sweep-level attribution
 summary as telemetry; service counters live under ``serve.*`` in the
-scheduler's :class:`~repro.obs.registry.MetricsRegistry`.
+scheduler's :class:`~repro.obs.registry.MetricsRegistry`, exported as
+JSON or Prometheus text by ``GET /metrics``.  With a
+:class:`~repro.obs.history.HistoryStore` attached, completed-job
+telemetry is appended to the run-history database and trend rollups are
+served from ``GET /history/summary``.
 """
 
-from repro.serve.api import ENDPOINT_FILE, ServeServer, default_serve_dir
+from repro.serve.api import (
+    ENDPOINT_FILE,
+    ServeServer,
+    TextResponse,
+    default_serve_dir,
+)
 from repro.serve.client import ServeClient
 from repro.serve.queue import (
     ACTIVE_STATES,
@@ -44,5 +53,6 @@ __all__ = [
     "Scheduler",
     "ServeClient",
     "ServeServer",
+    "TextResponse",
     "default_serve_dir",
 ]

@@ -20,7 +20,14 @@ Endpoints (all JSON):
 ``POST /submit``                    ``{"specs": [...], "tenant": "..."}``
 ``POST /jobs/<id>/cancel``          request cancellation
 ``GET  /metrics``                   the scheduler's metric namespace
+``GET  /metrics?format=prom``       same, as Prometheus text exposition
+``GET  /history/summary``           run-history trend rollups
 ==================================  =======================================
+
+``/metrics?format=prom`` is the one non-JSON endpoint (``text/plain``,
+exposition format 0.0.4).  ``/history/summary`` is 404 unless the
+scheduler was built with a history store (``repro serve`` wires one by
+default).
 
 Errors follow the queue's convention: unknown job ids are 404, malformed
 requests are 400, both with a one-line ``{"error": ...}`` body.
@@ -40,6 +47,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.common.errors import ServeError
 from repro.exp.spec import ExperimentSpec
+from repro.obs.registry import prom_exposition
 from repro.serve.queue import JOB_STATES
 from repro.serve.scheduler import Scheduler
 
@@ -56,6 +64,20 @@ def default_serve_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro" / "serve"
+
+
+class TextResponse:
+    """A non-JSON reply from :meth:`ServeServer.handle` (e.g. prom text)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(
+        self,
+        body: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -75,8 +97,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _reply_text(self, status: int, response: "TextResponse") -> None:
+        self._send(
+            status, response.body.encode("utf-8"), response.content_type
+        )
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -110,6 +140,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if handled is None:
             self._error(404, f"no such endpoint: {method} {parts.path}")
+            return
+        if isinstance(handled, TextResponse):
+            self._reply_text(200, handled)
             return
         self._reply(200, handled)
 
@@ -218,13 +251,18 @@ class ServeServer:
         segments: List[str],
         query: Dict[str, str],
         body_fn,
-    ) -> Optional[Dict[str, Any]]:
+    ) -> Optional[Union[Dict[str, Any], TextResponse]]:
         """Resolve one request; ``None`` means no such route (404)."""
         if method == "GET":
             if segments == ["health"]:
                 return self._health()
             if segments == ["metrics"]:
-                return {"metrics": self.scheduler.metrics.collect()}
+                collected = self.scheduler.metrics.collect()
+                if query.get("format") == "prom":
+                    return TextResponse(prom_exposition(collected))
+                return {"metrics": collected}
+            if segments == ["history", "summary"]:
+                return self._history_summary(query)
             if segments == ["jobs"]:
                 return self._jobs(query)
             if len(segments) == 2 and segments[0] == "jobs":
@@ -255,6 +293,20 @@ class ServeServer:
         except ServeError as exc:
             exc.not_found = True  # type: ignore[attr-defined]
             raise
+
+    def _history_summary(self, query: Dict[str, str]) -> Dict[str, Any]:
+        store = self.scheduler.history
+        if store is None:
+            exc = ServeError("no history store configured for this server")
+            exc.not_found = True  # type: ignore[attr-defined]
+            raise exc
+        try:
+            window = int(query.get("window", "50"))
+        except ValueError:
+            raise ServeError('"window" must be an integer')
+        if window <= 0:
+            raise ServeError('"window" must be positive')
+        return {"history": store.summary(window=window)}
 
     def _health(self) -> Dict[str, Any]:
         return {

@@ -138,6 +138,30 @@ class ServeClient:
         """The server's ``serve.*`` (and cache/store) metric namespace."""
         return self._request("GET", "/metrics")["metrics"]
 
+    def metrics_prom(self) -> str:
+        """The metric namespace as Prometheus text exposition."""
+        request = urllib.request.Request(
+            self.url + "/metrics?format=prom",
+            headers={"Accept": "text/plain"},
+            method="GET",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServeError(f"HTTP {exc.code}")
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach the service at {self.url}: {exc.reason}"
+            )
+
+    def history_summary(self, window: Optional[int] = None) -> Dict[str, Any]:
+        """Trend rollups from the server's run-history store."""
+        suffix = f"?window={int(window)}" if window is not None else ""
+        return self._request("GET", "/history/summary" + suffix)["history"]
+
     def wait(
         self,
         job_id: str,

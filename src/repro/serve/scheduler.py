@@ -37,9 +37,15 @@ counts, the sweep's attribution summary, and a profiler
 ``serve.specs.failed``         specs that exhausted their retries
 ``serve.specs.duplicate_runs`` specs executed more than once — 0 by
                                construction; a positive value is a bug
-``serve.queue.wait_s``         histogram of queue wait per job
-``serve.job.run_s``            histogram of run time per job
+``serve.queue.wait_s``         histogram of queue wait per job (p50/p95)
+``serve.job.run_s``            histogram of run time per job (p50/p95)
+``serve.history.ingested``     job telemetry rows written to the history DB
+``serve.history.errors``       history ingest failures (never fail the job)
 =============================  ============================================
+
+When constructed with a :class:`~repro.obs.history.HistoryStore`, the
+scheduler appends every finished job's telemetry to it, which is what
+``GET /history/summary`` and ``repro report`` aggregate.
 """
 
 from __future__ import annotations
@@ -49,10 +55,12 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import ServeError
+from repro.common.stats import SampleStats
 from repro.exp.cache import ResultCache
 from repro.exp.runner import SweepRunner
 from repro.exp.spec import ExperimentSpec
 from repro.obs.attrib import sweep_attribution
+from repro.obs.history import HistoryStore
 from repro.obs.prof import Profiler, RunReport
 from repro.obs.registry import MetricsRegistry
 from repro.serve.queue import Job, JobQueue
@@ -78,6 +86,7 @@ class Scheduler:
         poll_s: float = 0.1,
         prerecord: bool = True,
         fault_hook=None,
+        history: Optional[HistoryStore] = None,
     ) -> None:
         if cache is None:
             raise ServeError(
@@ -106,8 +115,14 @@ class Scheduler:
         self._m_duplicates = self.metrics.counter(
             "serve.specs.duplicate_runs"
         )
-        self._m_wait = self.metrics.histogram("serve.queue.wait_s")
-        self._m_run = self.metrics.histogram("serve.job.run_s")
+        # Sample-retaining histograms so /metrics exposes p50/p95.
+        self._m_wait = self.metrics.histogram(
+            "serve.queue.wait_s", SampleStats()
+        )
+        self._m_run = self.metrics.histogram("serve.job.run_s", SampleStats())
+        self.history = history
+        self._m_hist_ok = self.metrics.counter("serve.history.ingested")
+        self._m_hist_err = self.metrics.counter("serve.history.errors")
         self._mu = threading.Lock()
         #: spec hash -> Event set when the owning job publishes results.
         self._inflight: Dict[str, threading.Event] = {}
@@ -337,6 +352,23 @@ class Scheduler:
         else:
             self.queue.mark_done(job.job_id, telemetry=telemetry)
             self._m_completed.inc()
+        self._ingest_history(job, telemetry)
+
+    def _ingest_history(self, job: Job, telemetry: Dict[str, Any]) -> None:
+        """Append the job's telemetry to the run-history store (if any).
+
+        History is an observer: an unwritable or corrupt store must
+        never fail a job, so every error degrades to a counter bump.
+        """
+        if self.history is None:
+            return
+        try:
+            self.history.ingest_serve_job(
+                telemetry, job_id=job.job_id, tenant=job.tenant
+            )
+            self._m_hist_ok.inc()
+        except Exception:
+            self._m_hist_err.inc()
 
     def _telemetry(
         self,

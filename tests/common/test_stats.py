@@ -255,3 +255,51 @@ class TestSampleStats:
         assert data["p50"] == pytest.approx(20.0)
         assert data["p95"] == pytest.approx(29.0)
         assert data["count"] == 3
+
+    def test_merge_retains_samples_and_moments(self):
+        a, b = SampleStats(), SampleStats()
+        for v in (1.0, 2.0):
+            a.add(v)
+        for v in (3.0, 4.0, 5.0):
+            b.add(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.mean == pytest.approx(3.0)
+        assert sorted(a.samples) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert a.percentile(50) == pytest.approx(3.0)
+        # The merged-from side is untouched.
+        assert b.samples == [3.0, 4.0, 5.0]
+
+    def test_merge_respects_sample_cap(self):
+        a = SampleStats(max_samples=3)
+        a.add(1.0)
+        b = SampleStats()
+        for v in (2.0, 3.0, 4.0, 5.0):
+            b.add(v)
+        a.merge(b)
+        assert len(a.samples) == 3      # cap held
+        assert a.count == 5             # moments see everything
+
+    def test_merge_plain_online_stats_adds_moments_only(self):
+        a = SampleStats()
+        a.add(1.0)
+        plain = OnlineStats()
+        plain.add(9.0)
+        a.merge(plain)
+        assert a.count == 2
+        assert a.maximum == 9.0
+        assert a.samples == [1.0]       # no samples to take
+
+    def test_combined_returns_sample_stats(self):
+        a, b = SampleStats(), SampleStats()
+        a.add(1.0)
+        b.add(3.0)
+        out = a.combined(b)
+        assert isinstance(out, SampleStats)
+        assert out.count == 2
+        assert sorted(out.samples) == [1.0, 3.0]
+        # Non-mutating on both inputs.
+        assert a.samples == [1.0] and b.samples == [3.0]
+        added = a + b
+        assert isinstance(added, SampleStats)
+        assert added.percentile(100) == 3.0

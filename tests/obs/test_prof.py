@@ -16,6 +16,7 @@ from repro.obs.prof import (
     _NULL_SPAN,
     as_profiler,
     peak_rss_bytes,
+    resource_usage,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
@@ -199,6 +200,24 @@ class TestRegistryIntegration:
         assert rss > 4 * 1024 * 1024
 
 
+class TestResourceUsage:
+    def test_keys_and_plausible_values(self):
+        usage = resource_usage()
+        assert set(usage) == {"peak_rss_bytes", "cpu_user_s", "cpu_sys_s"}
+        assert usage["peak_rss_bytes"] > 4 * 1024 * 1024
+        assert usage["cpu_user_s"] > 0.0
+        assert usage["cpu_sys_s"] >= 0.0
+        assert all(isinstance(v, float) for v in usage.values())
+
+    def test_cpu_time_is_monotone(self):
+        before = resource_usage()
+        # Burn a little user CPU between the two snapshots.
+        sum(i * i for i in range(200_000))
+        after = resource_usage()
+        assert after["cpu_user_s"] >= before["cpu_user_s"]
+        assert after["peak_rss_bytes"] >= before["peak_rss_bytes"]
+
+
 class TestSpanEvents:
     def test_spans_emit_to_tracer(self):
         tracer = Tracer(capacity=64)
@@ -261,6 +280,23 @@ class TestRunReport:
         assert data["schema_version"] == RESULT_SCHEMA_VERSION
         rebuilt = RunReport.from_dict(json.loads(json.dumps(data)))
         assert rebuilt == report
+
+    def test_cpu_times_captured(self):
+        report = self.make_report()
+        assert report.cpu_user_s > 0.0
+        assert report.cpu_sys_s >= 0.0
+        data = report.to_dict()
+        assert data["cpu_user_s"] == report.cpu_user_s
+        assert data["cpu_sys_s"] == report.cpu_sys_s
+
+    def test_from_dict_tolerates_missing_cpu_fields(self):
+        # Reports written before the resource-telemetry fields existed.
+        data = self.make_report().to_dict()
+        del data["cpu_user_s"]
+        del data["cpu_sys_s"]
+        rebuilt = RunReport.from_dict(data)
+        assert rebuilt.cpu_user_s == 0.0
+        assert rebuilt.cpu_sys_s == 0.0
 
     def test_schema_mismatch_rejected(self):
         data = self.make_report().to_dict()

@@ -1,10 +1,18 @@
 """The metrics registry: registration kinds, families, and collection."""
 
+import re
+
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.common.stats import OnlineStats
-from repro.obs.registry import Counter, Gauge, MetricFamily, MetricsRegistry
+from repro.common.stats import OnlineStats, SampleStats
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricFamily,
+    MetricsRegistry,
+    prom_exposition,
+)
 
 
 class TestCounterGauge:
@@ -127,3 +135,109 @@ class TestCollect:
         registry.counter("c").inc()
         registry.histogram("h").add(1.0)
         assert registry.collect() == registry.collect()
+
+
+class TestSampleStatsHistograms:
+    def test_percentiles_in_collect(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wait", SampleStats())
+        for v in range(1, 101):
+            hist.add(float(v))
+        collected = registry.collect()
+        assert collected["wait.p50"] == pytest.approx(50.5)
+        assert collected["wait.p95"] == pytest.approx(95.05)
+        assert collected["wait.count"] == 100.0
+
+    def test_plain_histogram_has_no_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").add(1.0)
+        collected = registry.collect()
+        assert "h.p50" not in collected
+        assert "h.mean" in collected
+
+    def test_family_merge_preserves_percentiles(self):
+        registry = MetricsRegistry()
+        family = registry.family("lat", factory=SampleStats)
+        for v in (1.0, 2.0, 3.0):
+            family.labels(node=0).add(v)
+        for v in (4.0, 5.0):
+            family.labels(node=1).add(v)
+        merged = family.merged()
+        assert isinstance(merged, SampleStats)
+        assert merged.count == 5
+        assert merged.percentile(50) == pytest.approx(3.0)
+        collected = registry.collect()
+        assert collected["lat.p50"] == pytest.approx(3.0)
+        assert collected["lat{node=0}.p95"] == pytest.approx(2.9)
+        # Folding is non-mutating: children keep their own samples.
+        assert family.labels(node=0).count == 3
+
+    def test_mixed_family_keeps_sample_children(self):
+        registry = MetricsRegistry()
+        family = registry.family("mix", factory=OnlineStats)
+        family.labels(node=0).add(1.0)
+        family.attach(SampleStats(), node=1)
+        family.labels(node=1).add(2.0)
+        merged = family.merged()
+        assert isinstance(merged, SampleStats)
+        assert merged.count == 2
+
+
+class TestPromExposition:
+    def test_names_and_values(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.jobs.completed").inc(3)
+        registry.histogram("serve.queue.wait_s", SampleStats()).add(0.5)
+        text = prom_exposition(registry.collect())
+        assert "# TYPE serve_jobs_completed gauge" in text
+        assert "serve_jobs_completed 3" in text
+        assert "serve_queue_wait_s_p95 0.5" in text
+        assert text.endswith("\n")
+
+    def test_labels_extracted_and_quoted(self):
+        registry = MetricsRegistry()
+        family = registry.family("prof.span", factory=OnlineStats)
+        family.labels(path="a/b").add(2.0)
+        text = prom_exposition(registry.collect())
+        assert 'prof_span_mean{path="a/b"} 2' in text
+
+    def test_families_are_grouped_not_interleaved(self):
+        registry = MetricsRegistry()
+        family = registry.family("lat", factory=OnlineStats)
+        family.labels(node=0).add(1.0)
+        family.labels(node=1).add(3.0)
+        text = prom_exposition(registry.collect())
+        names = [
+            line.split("{")[0].split(" ")[0]
+            for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        # Every metric family's samples are contiguous.
+        seen = []
+        for name in names:
+            if not seen or seen[-1] != name:
+                assert name not in seen, f"{name} interleaved"
+                seen.append(name)
+
+    def test_every_line_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(-2.5)
+        registry.histogram("h", SampleStats()).add(1e-9)
+        family = registry.family("f", factory=OnlineStats)
+        family.labels(kind="x").add(4.0)
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? '
+            r"[-+0-9.eE]+|[-+]Inf|NaN$"
+        )
+        for line in prom_exposition(registry.collect()).splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            assert line_re.match(line), line
+            float(line.rsplit(" ", 1)[1])
+
+    def test_empty_registry_is_empty_exposition(self):
+        assert prom_exposition({}) == ""

@@ -9,6 +9,7 @@ from repro.common.errors import ServeError
 from repro.exp.cache import ResultCache, _load_result
 from repro.exp.runner import SweepRunner
 from repro.exp.spec import sweep
+from repro.obs.history import HistoryStore
 from repro.obs.registry import MetricsRegistry
 from repro.serve import (
     ENDPOINT_FILE,
@@ -47,6 +48,23 @@ def server(tmp_path):
 @pytest.fixture
 def client(server, tmp_path):
     return ServeClient.from_endpoint(tmp_path / "serve")
+
+
+@pytest.fixture
+def history_server(tmp_path):
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+    queue = JobQueue(tmp_path / "queue")
+    store = HistoryStore(directory=tmp_path / "hist", token="t")
+    scheduler = Scheduler(
+        queue, cache, workers=2, metrics=registry,
+        prerecord=False, poll_s=0.01, history=store,
+    )
+    srv = ServeServer(scheduler, tmp_path / "serve")
+    srv.start()
+    yield srv, store
+    srv.stop()
+    queue.close()
 
 
 class TestDiscovery:
@@ -142,6 +160,87 @@ class TestErrors:
     def test_bad_state_filter_is_400(self, client):
         with pytest.raises(ServeError, match="unknown state"):
             client.status(state="limbo")
+
+
+class TestPromMetrics:
+    def test_exposition_parses_and_reflects_job(self, server, client):
+        job = client.submit(specs(1))
+        client.wait(job["job_id"], timeout_s=120)
+        text = client.metrics_prom()
+        assert "# TYPE serve_jobs_completed gauge" in text
+        assert "serve_jobs_completed 1" in text.splitlines()
+        # p50/p95 from the sample-retaining queue/run histograms.
+        assert any(
+            line.startswith("serve_job_run_s_p95 ")
+            for line in text.splitlines()
+        )
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            float(line.rsplit(" ", 1)[1])
+
+    def test_metrics_monotone_under_concurrent_completion(
+        self, server, tmp_path
+    ):
+        """Polling /metrics while jobs finish never shows torn reads:
+        the completed-jobs counter only moves forwards."""
+        client = ServeClient.from_endpoint(tmp_path / "serve")
+        grids = [specs(2)[:1], specs(2)[1:], specs(3)[2:]]
+        jobs = [client.submit(g)["job_id"] for g in grids]
+
+        observed, errors, done = [], [], threading.Event()
+
+        def poll():
+            poller = ServeClient.from_endpoint(tmp_path / "serve")
+            try:
+                while not done.is_set():
+                    metrics = poller.metrics()
+                    observed.append(metrics["serve.jobs.completed"])
+                    text = poller.metrics_prom()
+                    for line in text.splitlines():
+                        if not line.startswith("#"):
+                            float(line.rsplit(" ", 1)[1])
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        try:
+            for job_id in jobs:
+                assert client.wait(job_id, timeout_s=300)["state"] == "done"
+        finally:
+            done.set()
+            thread.join(timeout=30)
+        assert not errors
+        assert observed == sorted(observed)
+        assert client.metrics()["serve.jobs.completed"] == len(jobs)
+
+
+class TestHistoryEndpoint:
+    def test_404_without_a_store(self, client):
+        with pytest.raises(ServeError, match="no history store"):
+            client.history_summary()
+
+    def test_summary_reflects_completed_jobs(self, history_server, tmp_path):
+        srv, store = history_server
+        client = ServeClient(srv.url)
+        job = client.submit(specs(1), tenant="acme")
+        assert client.wait(job["job_id"], timeout_s=120)["state"] == "done"
+        summary = client.history_summary()
+        assert summary["total_runs"] == 1
+        acme = summary["serve"]["acme"]
+        assert acme["jobs"] == 1
+        assert acme["run_s"]["p50"] > 0
+        assert store.count() == 1
+
+    def test_bad_window_is_400(self, history_server):
+        srv, _ = history_server
+        client = ServeClient(srv.url)
+        with pytest.raises(ServeError, match="window"):
+            client.history_summary(window=0)
+        with pytest.raises(ServeError, match="window"):
+            client._request("GET", "/history/summary?window=soon")
 
 
 class TestConcurrentClients:

@@ -9,6 +9,7 @@ from repro.common.errors import ServeError
 from repro.exp.cache import ResultCache
 from repro.exp.runner import SweepRunner
 from repro.exp.spec import sweep
+from repro.obs.history import HistoryStore
 from repro.obs.registry import MetricsRegistry
 from repro.serve.queue import JobQueue
 from repro.serve.scheduler import Scheduler
@@ -181,6 +182,79 @@ class TestWorkers:
             _GATE.set()
             scheduler.stop(wait=True)
             queue.close()
+
+
+class TestHistoryIngest:
+    def make_stack(self, tmp_path, history):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+        queue = JobQueue(tmp_path / "queue")
+        scheduler = Scheduler(
+            queue, cache, metrics=registry, prerecord=False, history=history,
+        )
+        return scheduler, queue, registry
+
+    def test_completed_job_lands_in_history(self, tmp_path):
+        store = HistoryStore(directory=tmp_path / "hist", token="t")
+        scheduler, queue, registry = self.make_stack(tmp_path, store)
+        try:
+            scheduler.submit(specs(1), tenant="alice")
+            scheduler.drain()
+            assert store.count() == 1
+            (row,) = store.runs(kind="serve")
+            assert row.name == "alice"
+            values = store.sample_values("serve", "alice", "run_s")
+            assert len(values) == 1 and values[0] > 0
+            assert metric(registry, "serve.history.ingested") == 1
+            assert metric(registry, "serve.history.errors") == 0
+        finally:
+            scheduler.stop(wait=True)
+            queue.close()
+
+    def test_failed_jobs_are_recorded_too(self, tmp_path):
+        store = HistoryStore(directory=tmp_path / "hist", token="t")
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache", metrics=registry, token="t")
+        queue = JobQueue(tmp_path / "queue")
+        scheduler = Scheduler(
+            queue, cache, metrics=registry, retries=0, prerecord=False,
+            fault_hook=fail_hook, history=store,
+        )
+        try:
+            job = scheduler.submit(specs(1))
+            scheduler.drain()
+            assert queue.get(job.job_id).state == "failed"
+            assert store.count() == 1
+            (failures,) = store.sample_values(
+                "serve", "default", "failures"
+            )
+            assert failures == 1.0
+        finally:
+            scheduler.stop(wait=True)
+            queue.close()
+
+    def test_ingest_failure_never_fails_the_job(self, tmp_path):
+        class BrokenStore:
+            def ingest_serve_job(self, *args, **kwargs):
+                raise RuntimeError("disk full")
+
+        scheduler, queue, registry = self.make_stack(tmp_path, BrokenStore())
+        try:
+            job = scheduler.submit(specs(1))
+            scheduler.drain()
+            assert queue.get(job.job_id).state == "done"
+            assert metric(registry, "serve.history.errors") == 1
+            assert metric(registry, "serve.history.ingested") == 0
+        finally:
+            scheduler.stop(wait=True)
+            queue.close()
+
+    def test_no_store_is_a_noop(self, stack):
+        scheduler, queue, cache, registry = stack
+        scheduler.submit(specs(1))
+        scheduler.drain()
+        assert metric(registry, "serve.history.ingested") == 0
+        assert metric(registry, "serve.history.errors") == 0
 
 
 class TestCancellation:

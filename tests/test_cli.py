@@ -512,6 +512,141 @@ class TestBenchCommand:
         assert (baseline / "BENCH_demo.json").is_file()
 
 
+class TestHistoryCommands:
+    """`repro history` / `repro report` / trend-gated `repro bench`."""
+
+    def _artifact(self, wall=1.0):
+        from repro.obs.bench import BenchArtifact, BenchMetric
+
+        return BenchArtifact(
+            name="demo",
+            metrics={
+                "speedup.all": BenchMetric(4.0, unit="x", tolerance=0.5),
+                "wall_s": BenchMetric(wall, unit="s", direction="lower"),
+            },
+            context={"scale": 0.1},
+        )
+
+    def _bench_dir(self, tmp_path, wall=1.0):
+        bench_dir = tmp_path / "benchmarks"
+        self._artifact(wall=wall).write(bench_dir / "results")
+        return bench_dir
+
+    def _hist(self, tmp_path):
+        return str(tmp_path / "hist")
+
+    def _ingest_runs(self, tmp_path, n=3):
+        bench_dir = self._bench_dir(tmp_path)
+        for _ in range(n):
+            assert main([
+                "bench", "--compare-only", "--bench-dir", str(bench_dir),
+                "--ingest", "--history-dir", self._hist(tmp_path),
+            ]) == 0
+        return bench_dir
+
+    def test_identical_reruns_stay_flat(self, tmp_path, capsys):
+        bench_dir = self._ingest_runs(tmp_path)
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(bench_dir),
+            "--compare-history", "--history-dir", self._hist(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no trend regressions" in out
+        assert "flat" in out
+
+    def test_synthetic_slowdown_is_flagged(self, tmp_path, capsys):
+        self._ingest_runs(tmp_path)
+        slow_dir = tmp_path / "slow"
+        self._artifact(wall=2.0).write(slow_dir / "results")
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(slow_dir),
+            "--compare-history", "--history-dir", self._hist(tmp_path),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "demo/wall_s: regressed" in captured.err
+        assert "regressed" in captured.out
+
+    def test_first_run_never_gates_against_itself(self, tmp_path, capsys):
+        """--ingest runs after --compare-history, so the very first run
+        judges against an empty window and ingests itself afterwards."""
+        bench_dir = self._bench_dir(tmp_path)
+        assert main([
+            "bench", "--compare-only", "--bench-dir", str(bench_dir),
+            "--compare-history", "--ingest",
+            "--history-dir", self._hist(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no-history" in out
+        assert "ingested bench/demo" in out
+
+    def test_history_ingest_list_verify(self, tmp_path, capsys):
+        artifact = self._artifact().write(tmp_path / "artifacts")
+        hist = self._hist(tmp_path)
+        assert main([
+            "history", "ingest", str(artifact), "--history-dir", hist,
+        ]) == 0
+        assert "1 ingested, 0 skipped" in capsys.readouterr().out
+
+        assert main(["history", "list", "--history-dir", hist]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "1 run(s) total" in out
+
+        assert main(["history", "verify", "--history-dir", hist]) == 0
+        assert "ok (1 run(s))" in capsys.readouterr().out
+
+    def test_history_ingest_degrades_on_garbage(self, tmp_path, capsys):
+        garbage = tmp_path / "noise.json"
+        garbage.write_text("{not json")
+        hist = self._hist(tmp_path)
+        assert main([
+            "history", "ingest", str(garbage), "--history-dir", hist,
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err
+        assert "Traceback" not in captured.err
+        # A good artifact alongside garbage still lands; exit 0.
+        good = self._artifact().write(tmp_path / "artifacts")
+        assert main([
+            "history", "ingest", str(garbage), str(good),
+            "--history-dir", hist,
+        ]) == 0
+        assert "1 ingested, 1 skipped" in capsys.readouterr().out
+
+    def test_report_json_and_html(self, tmp_path, capsys):
+        self._ingest_runs(tmp_path, n=2)
+        capsys.readouterr()  # drain the ingest chatter
+        html_path = tmp_path / "report.html"
+        assert main([
+            "report", "--json", "--out", str(html_path),
+            "--history-dir", self._hist(tmp_path),
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["history"]["total_runs"] == 2
+        assert "wall_s" in summary["kinds"]["bench"]["demo"]
+        html_text = html_path.read_text()
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<svg" in html_text
+
+    def test_report_without_outputs_errors(self, tmp_path, capsys):
+        assert main([
+            "report", "--history-dir", self._hist(tmp_path),
+        ]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_sweep_history_ingest(self, tmp_path, capsys):
+        hist = self._hist(tmp_path)
+        argv = _sweep_args(
+            tmp_path, "--workloads", "database", "--kind", "trace",
+            "--policies", "ft", "--history-ingest", "--history-dir", hist,
+        )
+        assert main(argv) == 0
+        assert "ingested sweep/" in capsys.readouterr().out
+        assert main(["history", "list", "--kind", "sweep",
+                     "--history-dir", hist]) == 0
+        assert "1 run(s) total" in capsys.readouterr().out
+
+
 class TestProfileOut:
     def test_run_profile_out(self, tmp_path, capsys):
         from repro.obs.prof import RunReport
